@@ -1,0 +1,342 @@
+// Package ipa_test contains the benchmark harness entry points that
+// regenerate every table and figure of the paper's evaluation as Go
+// benchmarks. Each benchmark runs a scaled-down version of the experiment
+// (see EXPERIMENTS.md for the full-size runs produced by cmd/ipabench) and
+// reports the paper's metrics via testing.B custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints, for every experiment, the quantities the paper's tables report
+// (GC migrations and erases per host write, in-place-append share,
+// transactional throughput, write amplification, ...).
+package ipa_test
+
+import (
+	"testing"
+
+	"ipa"
+	"ipa/internal/bench"
+)
+
+// benchProfile keeps the Go benchmarks quick while still triggering garbage
+// collection on the simulated device.
+var benchProfile = bench.DeviceProfile{
+	PageSize:        4 * 1024,
+	Blocks:          96,
+	PagesPerBlock:   32,
+	BufferPoolPages: 48,
+}
+
+// reportTable1Row publishes one Table 1 configuration as benchmark metrics.
+func reportTable1Row(b *testing.B, row bench.Table1Row) {
+	b.Helper()
+	s := row.Result.Stats
+	b.ReportMetric(float64(s.HostReads), "hostReads")
+	b.ReportMetric(float64(s.TotalHostWrites()), "hostWrites")
+	b.ReportMetric(row.InPlacePct, "inPlace%")
+	b.ReportMetric(float64(s.GCMigrations), "gcMigrations")
+	b.ReportMetric(float64(s.GCErases), "gcErases")
+	b.ReportMetric(row.MigPerWrite, "migrations/write")
+	b.ReportMetric(row.ErasePerWrite, "erases/write")
+	b.ReportMetric(row.Throughput, "tps")
+}
+
+// table1Config runs one Table 1 configuration (one column of the table).
+func table1Config(b *testing.B, mode ipa.WriteMode, scheme ipa.Scheme, flash ipa.FlashMode) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		exp := bench.Experiment{
+			Name:     "bench-table1",
+			Workload: "tpcb",
+			Scale:    1,
+			Mode:     mode,
+			Scheme:   scheme,
+			Flash:    flash,
+			Ops:      5000,
+			Seed:     1,
+			Analytic: true,
+		}.ApplyProfile(benchProfile)
+		res, err := bench.Run(exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTable1Row(b, bench.Table1RowFromResult(res))
+		}
+	}
+}
+
+// BenchmarkTable1TPCBTraditional is the [0×0] baseline column of Table 1.
+func BenchmarkTable1TPCBTraditional(b *testing.B) {
+	table1Config(b, ipa.Traditional, ipa.Scheme{}, ipa.MLCFull)
+}
+
+// BenchmarkTable1TPCBIPA2x4PSLC is the [2×4] pSLC column of Table 1.
+func BenchmarkTable1TPCBIPA2x4PSLC(b *testing.B) {
+	table1Config(b, ipa.IPANativeFlash, ipa.Scheme{N: 2, M: 4}, ipa.PSLC)
+}
+
+// BenchmarkTable1TPCBIPA2x4OddMLC is the [2×4] odd-MLC column of Table 1.
+func BenchmarkTable1TPCBIPA2x4OddMLC(b *testing.B) {
+	table1Config(b, ipa.IPANativeFlash, ipa.Scheme{N: 2, M: 4}, ipa.OddMLC)
+}
+
+// BenchmarkFigure1WriteAmplification reproduces Figure 1: the DBMS
+// write-amplification of the traditional write path and the transfer
+// reduction achieved by write_delta, per workload.
+func BenchmarkFigure1WriteAmplification(b *testing.B) {
+	for _, wl := range []string{"tpcb", "tpcc", "tatp", "linkbench"} {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Figure1(bench.Figure1Options{
+					Workloads: []string{wl},
+					Scale:     1,
+					Ops:       1200,
+					Profile:   benchProfile,
+					SchemeN:   2, SchemeM: 4,
+					Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					row := res.Rows[0]
+					b.ReportMetric(100*row.SmallEvictionShare, "<100B-evictions%")
+					b.ReportMetric(row.AvgChangedBytes, "avgChangedBytes")
+					b.ReportMetric(row.WriteAmplification, "writeAmp")
+					b.ReportMetric(row.IPAReductionPct, "ipaTransferReduction%")
+					b.ReportMetric(100*row.IPAInPlaceShare, "ipaInPlace%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOLTPSuite reproduces the headline claims (experiment E3): the
+// throughput gain and the reduction of invalidations, migrations and erases
+// of IPA over the traditional baseline for TPC-B, TPC-C and TATP.
+func BenchmarkOLTPSuite(b *testing.B) {
+	for _, wl := range []string{"tpcb", "tpcc", "tatp"} {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Suite(bench.SuiteOptions{
+					Workloads: []string{wl},
+					Scale:     1,
+					Ops:       3000,
+					Profile:   benchProfile,
+					SchemeN:   2, SchemeM: 4,
+					Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					row := res.Rows[0]
+					b.ReportMetric(row.Baseline.Throughput(), "baseTps")
+					b.ReportMetric(row.IPA.Throughput(), "ipaTps")
+					b.ReportMetric(row.ThroughputGainPct, "tpsGain%")
+					b.ReportMetric(row.InvalidationDropPct, "invalidationDrop%")
+					b.ReportMetric(row.EraseDropPct, "eraseDrop%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIPAvsIPL reproduces the comparison against In-Page Logging
+// (experiment E4): Flash writes, reads and erases of both approaches on the
+// same eviction trace.
+func BenchmarkIPAvsIPL(b *testing.B) {
+	for _, wl := range []string{"tpcb", "tpcc", "tatp"} {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.IPLCompare(bench.IPLOptions{
+					Workloads: []string{wl},
+					Scale:     1,
+					Ops:       1200,
+					Profile:   benchProfile,
+					SchemeN:   2, SchemeM: 4,
+					Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					row := res.Rows[0]
+					b.ReportMetric(float64(row.IPAFlashWrites), "ipaWrites")
+					b.ReportMetric(float64(row.IPLFlashWrites), "iplWrites")
+					b.ReportMetric(row.WriteReductionPct, "writeReduction%")
+					b.ReportMetric(row.EraseReductionPct, "eraseReduction%")
+					b.ReportMetric(row.ReadOverheadPct, "iplReadOverhead%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLongevity reproduces the Flash-lifetime estimate (experiment E5):
+// how many times longer the device lasts under IPA, derived from the erase
+// rate per host write.
+func BenchmarkLongevity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Suite(bench.SuiteOptions{
+			Workloads: []string{"tpcb"},
+			Scale:     1,
+			Ops:       5000,
+			Profile:   benchProfile,
+			SchemeN:   2, SchemeM: 4,
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			rows := bench.Longevity(res)
+			b.ReportMetric(rows[0].ErasesPerWrite, "baseErases/write")
+			b.ReportMetric(rows[1].ErasesPerWrite, "ipaErases/write")
+			b.ReportMetric(rows[1].RelativeLifetime, "lifetimeX")
+		}
+	}
+}
+
+// BenchmarkSchemeSweep reproduces the N×M ablation (experiment E6): the
+// space overhead of the delta-record area against the share of evictions
+// served by in-place appends.
+func BenchmarkSchemeSweep(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		n, m int
+	}{
+		{"1x4", 1, 4},
+		{"2x4", 2, 4},
+		{"4x8", 4, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Sweep(bench.SweepOptions{
+					Workload: "tpcb",
+					Scale:    1,
+					Ops:      1000,
+					Profile:  benchProfile,
+					Ns:       []int{cfg.n},
+					Ms:       []int{cfg.m},
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					row := res.Rows[0]
+					b.ReportMetric(100*row.SpaceOverhead, "areaOverhead%")
+					b.ReportMetric(100*row.InPlaceShare, "inPlace%")
+					b.ReportMetric(row.Throughput, "tps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarios reproduces the three demonstration scenarios of the
+// paper (traditional, IPA on a conventional SSD, IPA on native Flash) and
+// reports the transferred bytes and throughput of each.
+func BenchmarkScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Scenarios(bench.ScenarioOptions{
+			Workload: "tpcb",
+			Scale:    1,
+			Ops:      3000,
+			Profile:  benchProfile,
+			SchemeN:  2, SchemeM: 4,
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Baseline.HostBytesWritten), "baseBytes")
+			b.ReportMetric(float64(res.SSD.HostBytesWritten), "ssdBytes")
+			b.ReportMetric(float64(res.Native.HostBytesWritten), "nativeBytes")
+			b.ReportMetric(res.Baseline.Throughput, "baseTps")
+			b.ReportMetric(res.Native.Throughput, "nativeTps")
+		}
+	}
+}
+
+// BenchmarkInterference reproduces the program-interference ablation of
+// Section 3: bit errors accumulated by each MLC operation mode under fault
+// injection.
+func BenchmarkInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Interference(bench.InterferenceOptions{
+			Workload: "tpcb",
+			Scale:    1,
+			Ops:      2000,
+			Profile:  benchProfile,
+			SchemeN:  2, SchemeM: 4,
+			InterferenceProb: 0.3,
+			Seed:             1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, row := range res.Rows {
+				b.ReportMetric(float64(row.InterferenceBits), row.Mode.String()+"-bits")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineUpdateTraditional measures the end-to-end cost (in real
+// time) of a small transactional update under the traditional write path.
+func BenchmarkEngineUpdateTraditional(b *testing.B) {
+	benchmarkEngineUpdate(b, ipa.Traditional, ipa.Scheme{}, ipa.MLCFull)
+}
+
+// BenchmarkEngineUpdateIPANative measures the same update under IPA.
+func BenchmarkEngineUpdateIPANative(b *testing.B) {
+	benchmarkEngineUpdate(b, ipa.IPANativeFlash, ipa.Scheme{N: 2, M: 4}, ipa.PSLC)
+}
+
+func benchmarkEngineUpdate(b *testing.B, mode ipa.WriteMode, scheme ipa.Scheme, flash ipa.FlashMode) {
+	b.Helper()
+	db, err := ipa.Open(ipa.Config{
+		PageSize:        4096,
+		Blocks:          96,
+		PagesPerBlock:   32,
+		BufferPoolPages: 32,
+		WriteMode:       mode,
+		Scheme:          scheme,
+		FlashMode:       flash,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	table, err := db.CreateTable("t", 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keys = 2000
+	row := make([]byte, 100)
+	for k := int64(0); k < keys; k++ {
+		if err := table.Insert(k, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if err := tx.UpdateAt(table, int64(i)%keys, 8, []byte{byte(i), byte(i >> 8)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := db.Stats()
+	b.ReportMetric(float64(s.InPlaceAppends), "inPlaceAppends")
+	b.ReportMetric(float64(s.GCErases), "gcErases")
+}

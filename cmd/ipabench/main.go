@@ -1,0 +1,245 @@
+// Command ipabench regenerates the tables and figures of the paper's
+// evaluation on the simulated Flash device.
+//
+// Usage:
+//
+//	ipabench -exp table1       # Table 1: TPC-B, 0x0 vs 2x4 pSLC vs 2x4 odd-MLC
+//	ipabench -exp fig1         # Figure 1: DBMS write-amplification analysis
+//	ipabench -exp oltp         # OLTP suite: throughput / GC reduction claims
+//	ipabench -exp ipl          # IPA vs In-Page Logging comparison
+//	ipabench -exp longevity    # Flash lifetime estimate
+//	ipabench -exp scenarios    # demo scenarios 1/2/3 side by side
+//	ipabench -exp interference # program-interference ablation (MLC modes)
+//	ipabench -exp sweep        # N×M scheme ablation
+//	ipabench -exp all
+//
+// The -quick flag shrinks every experiment so the whole suite finishes in
+// about a minute; without it the defaults match the EXPERIMENTS.md runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ipa/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, all")
+		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
+		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
+		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "shrink all experiments for a fast demo run")
+		n        = flag.Int("n", 2, "IPA scheme parameter N")
+		m        = flag.Int("m", 4, "IPA scheme parameter M")
+	)
+	flag.Parse()
+
+	profile := bench.DefaultProfile
+	if *quick {
+		profile = bench.SmallProfile
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(completed in %s wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("Table 1: TPC-B traditional vs IPA [2x4] pSLC / odd-MLC", func() error {
+			o := bench.DefaultTable1Options()
+			o.Profile = profile
+			o.Seed = *seed
+			o.Scheme.N, o.Scheme.M = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops, o.Duration = *ops, 0
+			}
+			if *duration > 0 {
+				o.Duration, o.Ops = *duration, 0
+			}
+			if *quick {
+				o.Duration, o.Ops = 0, 6000
+				if *scale == 0 {
+					// The small quick-mode device halves its capacity in
+					// pSLC mode; keep the TPC-B data set within it.
+					o.Scale = 1
+				}
+			}
+			res, err := bench.Table1(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig1") {
+		run("Figure 1: DBMS write-amplification", func() error {
+			o := bench.DefaultFigure1Options()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 3000
+			}
+			res, err := bench.Figure1(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	var suiteRes *bench.SuiteResult
+	if want("oltp") || want("longevity") {
+		run("OLTP suite: TPC-B / TPC-C / TATP", func() error {
+			o := bench.DefaultSuiteOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops, o.Duration = *ops, 0
+			}
+			if *duration > 0 {
+				o.Duration, o.Ops = *duration, 0
+			}
+			if *quick {
+				o.Duration, o.Ops = 0, 4000
+			}
+			res, err := bench.Suite(o)
+			if err != nil {
+				return err
+			}
+			suiteRes = &res
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("longevity") && suiteRes != nil {
+		run("Longevity: erase budget per host write", func() error {
+			bench.WriteLongevity(os.Stdout, bench.Longevity(*suiteRes))
+			return nil
+		})
+	}
+	if want("ipl") {
+		run("IPA vs In-Page Logging", func() error {
+			o := bench.DefaultIPLOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 3000
+			}
+			res, err := bench.IPLCompare(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("scenarios") {
+		run("Demonstration scenarios 1/2/3", func() error {
+			o := bench.DefaultScenarioOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops, o.Duration = *ops, 0
+			}
+			if *duration > 0 {
+				o.Duration, o.Ops = *duration, 0
+			}
+			if *quick {
+				o.Ops, o.Duration = 4000, 0
+				o.Scale = 1
+			}
+			res, err := bench.Scenarios(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("interference") {
+		run("Program interference on MLC Flash", func() error {
+			o := bench.DefaultInterferenceOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 3000
+				o.Scale = 1
+			}
+			res, err := bench.Interference(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("sweep") {
+		run("N×M scheme sweep", func() error {
+			o := bench.DefaultSweepOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 2000
+				o.Ns = []int{1, 2, 4}
+				o.Ms = []int{4, 8}
+			}
+			res, err := bench.Sweep(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+}

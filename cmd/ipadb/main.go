@@ -1,0 +1,194 @@
+// Command ipadb is a small interactive shell around the ipa storage engine,
+// in the spirit of the demonstration GUI of the paper: it lets you create
+// tables, insert and update rows, and watch how the Flash device reacts
+// (in-place appends vs out-of-place writes, GC work, virtual time).
+//
+// Usage:
+//
+//	ipadb [-mode traditional|ssd|native] [-n 2] [-m 4] [-flash pslc|oddmlc|mlc]
+//
+// Commands (one per line on stdin):
+//
+//	create <table> <tupleSize>
+//	insert <table> <key> <text>
+//	get <table> <key>
+//	update <table> <key> <offset> <text>
+//	tables
+//	stats
+//	flush
+//	help
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"ipa"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "native", "write mode: traditional, ssd or native")
+		n     = flag.Int("n", 2, "IPA scheme parameter N")
+		m     = flag.Int("m", 4, "IPA scheme parameter M")
+		flash = flag.String("flash", "pslc", "flash mode: pslc, oddmlc or mlc")
+	)
+	flag.Parse()
+
+	cfg := ipa.Config{
+		PageSize:        8 * 1024,
+		Blocks:          128,
+		PagesPerBlock:   64,
+		BufferPoolPages: 128,
+		Scheme:          ipa.Scheme{N: *n, M: *m},
+		Analytic:        true,
+	}
+	switch *mode {
+	case "traditional":
+		cfg.WriteMode = ipa.Traditional
+		cfg.Scheme = ipa.Scheme{}
+	case "ssd":
+		cfg.WriteMode = ipa.IPAConventionalSSD
+	default:
+		cfg.WriteMode = ipa.IPANativeFlash
+	}
+	switch *flash {
+	case "oddmlc":
+		cfg.FlashMode = ipa.OddMLC
+	case "mlc":
+		cfg.FlashMode = ipa.MLCFull
+	default:
+		cfg.FlashMode = ipa.PSLC
+	}
+
+	db, err := ipa.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipadb: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Printf("ipadb: %s write path, scheme %s, %s flash — type 'help' for commands\n",
+		cfg.WriteMode, cfg.Scheme, cfg.FlashMode)
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if quit := execute(db, line); quit {
+			return
+		}
+	}
+}
+
+// execute runs one shell command and reports whether the shell should exit.
+func execute(db *ipa.DB, line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	fail := func(format string, a ...any) bool {
+		fmt.Printf("error: "+format+"\n", a...)
+		return false
+	}
+	switch cmd {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Println("commands: create <table> <tupleSize> | insert <t> <key> <text> | get <t> <key> |")
+		fmt.Println("          update <t> <key> <offset> <text> | tables | stats | flush | quit")
+	case "create":
+		if len(args) != 2 {
+			return fail("usage: create <table> <tupleSize>")
+		}
+		size, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fail("bad tuple size: %v", err)
+		}
+		if _, err := db.CreateTable(args[0], size); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Printf("table %s created (%d-byte tuples)\n", args[0], size)
+	case "insert", "update", "get":
+		return tableCommand(db, cmd, args)
+	case "tables":
+		for _, name := range db.Tables() {
+			t, _ := db.Table(name)
+			fmt.Printf("  %-24s %8d rows %6d pages\n", name, t.Count(), t.Pages())
+		}
+	case "stats":
+		fmt.Print(db.Stats())
+	case "flush":
+		if err := db.FlushAll(); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Println("all dirty pages flushed")
+	default:
+		return fail("unknown command %q (try 'help')", cmd)
+	}
+	return false
+}
+
+func tableCommand(db *ipa.DB, cmd string, args []string) bool {
+	fail := func(format string, a ...any) bool {
+		fmt.Printf("error: "+format+"\n", a...)
+		return false
+	}
+	if len(args) < 2 {
+		return fail("usage: %s <table> <key> ...", cmd)
+	}
+	table, ok := db.Table(args[0])
+	if !ok {
+		return fail("no such table %q", args[0])
+	}
+	key, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return fail("bad key: %v", err)
+	}
+	switch cmd {
+	case "insert":
+		if len(args) < 3 {
+			return fail("usage: insert <table> <key> <text>")
+		}
+		row := make([]byte, table.TupleSize())
+		copy(row, strings.Join(args[2:], " "))
+		if err := table.Insert(key, row); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Println("ok")
+	case "get":
+		row, err := table.Get(key)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Printf("%q\n", strings.TrimRight(string(row), "\x00"))
+	case "update":
+		if len(args) < 4 {
+			return fail("usage: update <table> <key> <offset> <text>")
+		}
+		off, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fail("bad offset: %v", err)
+		}
+		tx := db.Begin()
+		if err := tx.UpdateAt(table, key, off, []byte(strings.Join(args[3:], " "))); err != nil {
+			_ = tx.Abort()
+			return fail("%v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Println("ok")
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+// Command ipatrace records the fetch/eviction trace of a benchmark run and
+// analyses it: it prints the eviction-size summary behind Figure 1 and
+// replays the trace against the In-Page Logging baseline, following the
+// trace-driven methodology of the paper's IPA-vs-IPL comparison.
+//
+// Usage:
+//
+//	ipatrace -workload tpcb -ops 8000 -out trace.jsonl   # record + analyse
+//	ipatrace -in trace.jsonl                             # analyse an existing trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ipa"
+	"ipa/internal/ipl"
+	"ipa/internal/trace"
+	"ipa/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "tpcb", "workload to record: tpcb, tpcc, tatp, linkbench")
+		ops          = flag.Int("ops", 8000, "transactions to record")
+		scale        = flag.Int("scale", 1, "workload scale factor")
+		out          = flag.String("out", "", "write the recorded trace to this file (JSON lines)")
+		in           = flag.String("in", "", "analyse an existing trace file instead of recording")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var events []trace.Event
+	pageSize, pagesPerBlock := 8192, 64
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("ipatrace: %v", err)
+		}
+		defer f.Close()
+		events, err = trace.Read(f)
+		if err != nil {
+			log.Fatalf("ipatrace: %v", err)
+		}
+		fmt.Printf("loaded %d events from %s\n", len(events), *in)
+	} else {
+		var err error
+		events, err = record(*workloadName, *scale, *ops, *seed, pageSize, pagesPerBlock)
+		if err != nil {
+			log.Fatalf("ipatrace: %v", err)
+		}
+		fmt.Printf("recorded %d events from %s (%d transactions)\n", len(events), *workloadName, *ops)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatalf("ipatrace: %v", err)
+			}
+			if err := trace.Write(f, events); err != nil {
+				log.Fatalf("ipatrace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("ipatrace: %v", err)
+			}
+			fmt.Printf("trace written to %s\n", *out)
+		}
+	}
+
+	fmt.Println("\nsummary:", trace.Summarize(events))
+
+	// Replay against the In-Page Logging baseline.
+	storageEvents, err := trace.ToStorage(events)
+	if err != nil {
+		log.Fatalf("ipatrace: %v", err)
+	}
+	mgr, err := ipl.NewManager(ipl.DefaultConfig(pageSize, pagesPerBlock))
+	if err != nil {
+		log.Fatalf("ipatrace: %v", err)
+	}
+	mgr.Replay(storageEvents)
+	s := mgr.Stats()
+	fmt.Println("\nIn-Page Logging replay of the same trace:")
+	fmt.Printf("  flash writes : %d (data %d, log sectors %d, merge rewrites %d)\n",
+		s.TotalFlashWrites(), s.DataPageWrites, s.LogSectorFlush, s.MergeMigrations)
+	fmt.Printf("  flash reads  : %d (data %d, log pages %d)\n", s.TotalFlashReads(), s.DataPageReads, s.LogPageReads)
+	fmt.Printf("  merges/erases: %d / %d\n", s.Merges, s.Erases)
+}
+
+// record runs the workload with eviction tracing enabled and returns the
+// serialisable trace.
+func record(name string, scale, ops int, seed int64, pageSize, pagesPerBlock int) ([]trace.Event, error) {
+	db, err := ipa.Open(ipa.Config{
+		PageSize:        pageSize,
+		Blocks:          128,
+		PagesPerBlock:   pagesPerBlock,
+		BufferPoolPages: 128,
+		WriteMode:       ipa.IPANativeFlash,
+		Scheme:          ipa.Scheme{N: 2, M: 4},
+		FlashMode:       ipa.PSLC,
+		Analytic:        true,
+		TraceEvictions:  true,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	var w workload.Workload
+	switch name {
+	case "tpcb":
+		cfg := workload.DefaultTPCBConfig()
+		cfg.Branches = scale
+		w = workload.NewTPCB(cfg)
+	case "tpcc":
+		cfg := workload.DefaultTPCCConfig()
+		cfg.Warehouses = scale
+		w = workload.NewTPCC(cfg)
+	case "tatp":
+		cfg := workload.DefaultTATPConfig()
+		cfg.Subscribers = scale * 10000
+		w = workload.NewTATP(cfg)
+	case "linkbench":
+		cfg := workload.DefaultLinkBenchConfig()
+		cfg.Nodes = scale * 10000
+		w = workload.NewLinkBench(cfg)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	if err := w.Load(db); err != nil {
+		return nil, err
+	}
+	db.ResetStats()
+	if _, err := workload.Run(db, w, workload.RunOptions{MaxOps: ops, Seed: seed + 1}); err != nil {
+		return nil, err
+	}
+	if err := db.FlushAll(); err != nil {
+		return nil, err
+	}
+	return trace.FromStorage(db.Trace()), nil
+}

@@ -1,0 +1,18 @@
+package bench
+
+import "ipa"
+
+// Short aliases keep the experiment definitions close to the notation used
+// in the paper.
+var (
+	modeTraditional = ipa.Traditional
+	modeSSD         = ipa.IPAConventionalSSD
+	modeNative      = ipa.IPANativeFlash
+
+	flashMLC    = ipa.MLCFull
+	flashPSLC   = ipa.PSLC
+	flashOddMLC = ipa.OddMLC
+)
+
+// ipaScheme builds an N×M scheme.
+func ipaScheme(n, m int) ipa.Scheme { return ipa.Scheme{N: n, M: m} }

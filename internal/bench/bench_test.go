@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyProfile keeps the harness tests fast.
+var tinyProfile = DeviceProfile{
+	PageSize:        4 * 1024,
+	Blocks:          96,
+	PagesPerBlock:   32,
+	BufferPoolPages: 48,
+}
+
+func TestNewWorkloadNames(t *testing.T) {
+	for _, name := range []string{"tpcb", "tpcc", "tatp", "linkbench"} {
+		w, err := NewWorkload(name, 1, 1)
+		if err != nil {
+			t.Fatalf("NewWorkload(%s): %v", name, err)
+		}
+		if w.Name() != name {
+			t.Fatalf("driver name %q != %q", w.Name(), name)
+		}
+	}
+	if _, err := NewWorkload("nosuch", 1, 1); err == nil {
+		t.Fatalf("unknown workload must be rejected")
+	}
+}
+
+func TestRunNeedsALimit(t *testing.T) {
+	if _, err := Run(Experiment{Name: "x", Workload: "tpcb"}); err == nil {
+		t.Fatalf("experiments without Ops or Duration must be rejected")
+	}
+}
+
+func TestRunBaselineVsIPA(t *testing.T) {
+	base := Experiment{
+		Name: "t-base", Workload: "tpcb", Scale: 1,
+		Mode: modeTraditional, Flash: flashMLC,
+		Ops: 600, Seed: 1, Analytic: true,
+	}.ApplyProfile(tinyProfile)
+	ipaExp := Experiment{
+		Name: "t-ipa", Workload: "tpcb", Scale: 1,
+		Mode: modeNative, Scheme: ipaScheme(2, 4), Flash: flashPSLC,
+		Ops: 600, Seed: 1, Analytic: true,
+	}.ApplyProfile(tinyProfile)
+
+	baseRes, err := Run(base)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	ipaRes, err := Run(ipaExp)
+	if err != nil {
+		t.Fatalf("ipa run: %v", err)
+	}
+	if baseRes.Run.Committed != 600 || ipaRes.Run.Committed != 600 {
+		t.Fatalf("both runs must commit 600 transactions")
+	}
+	bs, is := baseRes.Stats, ipaRes.Stats
+	if bs.InPlaceAppends != 0 {
+		t.Fatalf("baseline must not append in place")
+	}
+	if is.InPlaceAppends == 0 {
+		t.Fatalf("IPA run must append in place")
+	}
+	if is.Invalidations >= bs.Invalidations {
+		t.Fatalf("IPA must invalidate fewer pages: %d vs %d", is.Invalidations, bs.Invalidations)
+	}
+	if ipaRes.Throughput() <= baseRes.Throughput() {
+		t.Fatalf("IPA throughput (%.1f) must exceed the baseline (%.1f)", ipaRes.Throughput(), baseRes.Throughput())
+	}
+}
+
+func TestFigure1SmallRun(t *testing.T) {
+	res, err := Figure1(Figure1Options{
+		Workloads: []string{"tpcb"},
+		Scale:     1,
+		Ops:       400,
+		Profile:   tinyProfile,
+		SchemeN:   2, SchemeM: 4,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("expected one row")
+	}
+	row := res.Rows[0]
+	if row.DirtyEvictions == 0 {
+		t.Fatalf("no dirty evictions observed")
+	}
+	if row.SmallEvictionShare < 0.5 {
+		t.Fatalf("OLTP evictions should be dominated by small changes, got %.2f", row.SmallEvictionShare)
+	}
+	if row.WriteAmplification < 10 {
+		t.Fatalf("traditional write amplification should be large, got %.1f", row.WriteAmplification)
+	}
+	if row.IPAReductionPct <= 0 {
+		t.Fatalf("IPA must reduce the transferred bytes, got %.1f%%", row.IPAReductionPct)
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "tpcb") {
+		t.Fatalf("report rendering missing workload name")
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	o := Table1Options{
+		Scale:   1,
+		Ops:     800,
+		Profile: tinyProfile,
+		Seed:    1,
+	}
+	o.Scheme.N, o.Scheme.M = 2, 4
+	res, err := Table1(o)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if res.Baseline.InPlacePct != 0 {
+		t.Fatalf("baseline must have no in-place appends")
+	}
+	if res.PSLC.InPlacePct <= res.OddMLC.InPlacePct {
+		t.Fatalf("pSLC must serve more appends than odd-MLC: %.1f vs %.1f",
+			res.PSLC.InPlacePct, res.OddMLC.InPlacePct)
+	}
+	if res.PSLC.Throughput <= res.Baseline.Throughput {
+		t.Fatalf("IPA pSLC throughput must exceed the baseline")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"Host Reads", "GC Erases", "Transactional Throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestIPLCompareSmallRun(t *testing.T) {
+	res, err := IPLCompare(IPLOptions{
+		Workloads: []string{"tpcb"},
+		Scale:     1,
+		Ops:       400,
+		Profile:   tinyProfile,
+		SchemeN:   2, SchemeM: 4,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("IPLCompare: %v", err)
+	}
+	row := res.Rows[0]
+	if row.IPLFlashReads <= row.IPAFlashReads {
+		t.Fatalf("IPL must read more pages than IPA (read amplification): %d vs %d",
+			row.IPLFlashReads, row.IPAFlashReads)
+	}
+	if row.IPAFlashWrites == 0 || row.IPLFlashWrites == 0 {
+		t.Fatalf("write counters missing")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "In-Page Logging") {
+		t.Fatalf("IPL rendering wrong")
+	}
+}
+
+func TestSweepSmallRun(t *testing.T) {
+	res, err := Sweep(SweepOptions{
+		Workload: "tpcb",
+		Scale:    1,
+		Ops:      300,
+		Profile:  tinyProfile,
+		Ns:       []int{1, 2},
+		Ms:       []int{4},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 grid points, got %d", len(res.Rows))
+	}
+	// A larger N must not lower the in-place share.
+	if res.Rows[1].InPlaceShare < res.Rows[0].InPlaceShare {
+		t.Fatalf("in-place share should grow with N: %.2f then %.2f",
+			res.Rows[0].InPlaceShare, res.Rows[1].InPlaceShare)
+	}
+	if res.Rows[0].AreaBytes >= res.Rows[1].AreaBytes {
+		t.Fatalf("area size should grow with N")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "scheme") {
+		t.Fatalf("sweep rendering wrong")
+	}
+}
+
+func TestSuiteAndLongevitySmallRun(t *testing.T) {
+	res, err := Suite(SuiteOptions{
+		Workloads: []string{"tpcb"},
+		Scale:     1,
+		Ops:       600,
+		Profile:   tinyProfile,
+		SchemeN:   2, SchemeM: 4,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Suite: %v", err)
+	}
+	row := res.Rows[0]
+	if row.ThroughputGainPct <= 0 {
+		t.Fatalf("IPA should improve throughput, got %+.1f%%", row.ThroughputGainPct)
+	}
+	if row.InvalidationDropPct <= 0 {
+		t.Fatalf("IPA should reduce invalidations, got %+.1f%%", row.InvalidationDropPct)
+	}
+	rows := Longevity(res)
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 longevity rows")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	WriteLongevity(&sb, rows)
+	if !strings.Contains(sb.String(), "longevity") {
+		t.Fatalf("longevity rendering wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ipa"
+	"ipa/internal/ipl"
+	"ipa/internal/storage"
+)
+
+// IPLOptions configures the IPA vs In-Page Logging comparison (experiment
+// E4). Following footnote 1 of the paper, the comparison replays the
+// fetch/eviction trace of a benchmark run against the IPL simulator and
+// compares the resulting Flash writes, reads and erases with the IPA run
+// of the same trace.
+type IPLOptions struct {
+	Workloads []string
+	Scale     int
+	Ops       int
+	Profile   DeviceProfile
+	SchemeN   int
+	SchemeM   int
+	Seed      int64
+}
+
+// DefaultIPLOptions returns the configuration used by cmd/ipabench.
+func DefaultIPLOptions() IPLOptions {
+	return IPLOptions{
+		Workloads: []string{"tpcb", "tpcc", "tatp"},
+		Scale:     2,
+		Ops:       8000,
+		Profile:   DefaultProfile,
+		SchemeN:   2,
+		SchemeM:   4,
+		Seed:      1,
+	}
+}
+
+// IPLRow compares IPA and IPL for one workload.
+type IPLRow struct {
+	Workload string
+
+	// IPA side (from the engine run with write_delta).
+	IPAFlashWrites uint64 // physical page programs + delta programs
+	IPAFlashReads  uint64
+	IPAErases      uint64
+
+	// IPL side (from the trace replay).
+	IPLFlashWrites uint64
+	IPLFlashReads  uint64
+	IPLErases      uint64
+	IPLStats       ipl.Stats
+
+	WriteReductionPct float64 // fewer writes with IPA
+	EraseReductionPct float64
+	ReadOverheadPct   float64 // extra reads IPL needs vs IPA
+}
+
+// IPLResult is the full comparison.
+type IPLResult struct {
+	Rows []IPLRow
+}
+
+// IPLCompare runs the comparison for every workload.
+func IPLCompare(o IPLOptions) (IPLResult, error) {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"tpcb", "tpcc", "tatp"}
+	}
+	if o.Ops <= 0 {
+		o.Ops = 8000
+	}
+	if o.Scale <= 0 {
+		o.Scale = 2
+	}
+	if o.SchemeN == 0 && o.SchemeM == 0 {
+		o.SchemeN, o.SchemeM = 2, 4
+	}
+	var out IPLResult
+	for _, wl := range o.Workloads {
+		row, err := iplCompareOne(wl, o)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func iplCompareOne(wl string, o IPLOptions) (IPLRow, error) {
+	exp := Experiment{
+		Name: "ipl-" + wl, Workload: wl, Scale: o.Scale,
+		Mode: modeNative, Scheme: ipaScheme(o.SchemeN, o.SchemeM), Flash: flashPSLC,
+		Ops: o.Ops, Seed: o.Seed, Analytic: true, TraceEvictions: true,
+	}.ApplyProfile(o.Profile)
+
+	var trace []storage.TraceEvent
+	res, err := RunWithDB(exp, func(db *ipa.DB, _ Result) error {
+		trace = db.Trace()
+		return nil
+	})
+	if err != nil {
+		return IPLRow{}, err
+	}
+
+	iplCfg := ipl.DefaultConfig(exp.PageSize, exp.PagesPerBlock)
+	mgr, err := ipl.NewManager(iplCfg)
+	if err != nil {
+		return IPLRow{}, err
+	}
+	mgr.Replay(trace)
+	is := mgr.Stats()
+	s := res.Stats
+
+	row := IPLRow{
+		Workload:       wl,
+		IPAFlashWrites: s.FlashPagePrograms + s.FlashDeltaPrograms,
+		IPAFlashReads:  s.FlashPageReads,
+		IPAErases:      s.FlashBlockErases,
+		IPLFlashWrites: is.TotalFlashWrites(),
+		IPLFlashReads:  is.TotalFlashReads(),
+		IPLErases:      is.Erases,
+		IPLStats:       is,
+	}
+	if row.IPLFlashWrites > 0 {
+		row.WriteReductionPct = 100 * (1 - float64(row.IPAFlashWrites)/float64(row.IPLFlashWrites))
+	}
+	if row.IPLErases > 0 {
+		row.EraseReductionPct = 100 * (1 - float64(row.IPAErases)/float64(row.IPLErases))
+	}
+	if row.IPAFlashReads > 0 {
+		row.ReadOverheadPct = 100 * (float64(row.IPLFlashReads)/float64(row.IPAFlashReads) - 1)
+	}
+	return row, nil
+}
+
+// Write renders the comparison.
+func (r IPLResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "IPA vs In-Page Logging (trace replay)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+		"workload", "ipa writes", "ipl writes", "write red.", "ipa erases", "ipl erases", "erase red.",
+		"ipa reads", "ipl reads", "read ovh.")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %12d %12d %+11.1f%% %12d %12d %+11.1f%% %12d %12d %+11.1f%%\n",
+			row.Workload, row.IPAFlashWrites, row.IPLFlashWrites, row.WriteReductionPct,
+			row.IPAErases, row.IPLErases, row.EraseReductionPct,
+			row.IPAFlashReads, row.IPLFlashReads, row.ReadOverheadPct)
+	}
+}

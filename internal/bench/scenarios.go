@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ScenarioOptions configures the three-way comparison of the paper's
+// demonstration scenarios on the same workload:
+//
+//	scenario 1 — traditional out-of-place writes (baseline),
+//	scenario 2 — IPA for conventional SSDs (block-device interface),
+//	scenario 3 — IPA for native Flash (write_delta command).
+//
+// Scenarios 2 and 3 avoid the same page invalidations and GC work; the
+// native path additionally removes the DBMS write amplification on the
+// host interface because only the delta records are transferred.
+type ScenarioOptions struct {
+	Workload string
+	Scale    int
+	Ops      int
+	Duration time.Duration
+	Profile  DeviceProfile
+	SchemeN  int
+	SchemeM  int
+	Seed     int64
+}
+
+// DefaultScenarioOptions returns the configuration used by cmd/ipabench.
+func DefaultScenarioOptions() ScenarioOptions {
+	return ScenarioOptions{
+		Workload: "tpcb",
+		Scale:    2,
+		Ops:      8000,
+		Profile:  DefaultProfile,
+		SchemeN:  2,
+		SchemeM:  4,
+		Seed:     1,
+	}
+}
+
+// ScenarioRow is one demonstration scenario.
+type ScenarioRow struct {
+	Label            string
+	Result           Result
+	HostWrites       uint64
+	HostBytesWritten uint64
+	InPlaceAppends   uint64
+	Invalidations    uint64
+	GCErases         uint64
+	Throughput       float64
+	WriteAmp         float64
+}
+
+// ScenarioResult bundles the three scenarios.
+type ScenarioResult struct {
+	Baseline ScenarioRow
+	SSD      ScenarioRow
+	Native   ScenarioRow
+}
+
+// Rows returns the scenarios in presentation order.
+func (r ScenarioResult) Rows() []ScenarioRow { return []ScenarioRow{r.Baseline, r.SSD, r.Native} }
+
+func makeScenarioRow(label string, res Result) ScenarioRow {
+	s := res.Stats
+	return ScenarioRow{
+		Label:            label,
+		Result:           res,
+		HostWrites:       s.TotalHostWrites(),
+		HostBytesWritten: s.HostBytesWritten,
+		InPlaceAppends:   s.InPlaceAppends,
+		Invalidations:    s.Invalidations,
+		GCErases:         s.GCErases,
+		Throughput:       s.Throughput(),
+		WriteAmp:         s.DBMSWriteAmplification(),
+	}
+}
+
+// Scenarios runs the three demonstration scenarios.
+func Scenarios(o ScenarioOptions) (ScenarioResult, error) {
+	if o.Workload == "" {
+		o.Workload = "tpcb"
+	}
+	if o.Scale <= 0 {
+		o.Scale = 2
+	}
+	if o.Ops <= 0 && o.Duration <= 0 {
+		o.Ops = 8000
+	}
+	if o.SchemeN == 0 && o.SchemeM == 0 {
+		o.SchemeN, o.SchemeM = 2, 4
+	}
+	scheme := ipaScheme(o.SchemeN, o.SchemeM)
+	var out ScenarioResult
+
+	base := Experiment{
+		Name: "scenario1-baseline", Workload: o.Workload, Scale: o.Scale,
+		Mode: modeTraditional, Flash: flashMLC,
+		Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(o.Profile)
+	ssd := Experiment{
+		Name: "scenario2-ipa-ssd", Workload: o.Workload, Scale: o.Scale,
+		Mode: modeSSD, Scheme: scheme, Flash: flashPSLC,
+		Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(o.Profile)
+	native := Experiment{
+		Name: "scenario3-ipa-native", Workload: o.Workload, Scale: o.Scale,
+		Mode: modeNative, Scheme: scheme, Flash: flashPSLC,
+		Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(o.Profile)
+
+	baseRes, err := Run(base)
+	if err != nil {
+		return out, err
+	}
+	out.Baseline = makeScenarioRow("1: traditional", baseRes)
+	ssdRes, err := Run(ssd)
+	if err != nil {
+		return out, err
+	}
+	out.SSD = makeScenarioRow("2: IPA conventional SSD", ssdRes)
+	nativeRes, err := Run(native)
+	if err != nil {
+		return out, err
+	}
+	out.Native = makeScenarioRow("3: IPA native Flash", nativeRes)
+	return out, nil
+}
+
+// Write renders the comparison.
+func (r ScenarioResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Demonstration scenarios: traditional vs IPA (conventional SSD) vs IPA (native Flash)\n")
+	fmt.Fprintf(w, "%-26s %12s %16s %12s %14s %10s %12s %10s\n",
+		"scenario", "host writes", "bytes to device", "in-place", "invalidations", "erases", "tps", "write-amp")
+	for _, row := range r.Rows() {
+		fmt.Fprintf(w, "%-26s %12d %16d %12d %14d %10d %12.1f %9.1fx\n",
+			row.Label, row.HostWrites, row.HostBytesWritten, row.InPlaceAppends,
+			row.Invalidations, row.GCErases, row.Throughput, row.WriteAmp)
+	}
+}

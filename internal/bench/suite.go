@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// SuiteOptions configures the OLTP suite backing the paper's headline
+// claims (E3): up to 45% higher throughput, up to ~67-85% fewer page
+// invalidations/migrations and up to ~53-80% fewer erases across TPC-B,
+// TPC-C and TATP, plus the derived longevity estimate (E5).
+type SuiteOptions struct {
+	Workloads []string
+	Scale     int
+	Duration  time.Duration
+	Ops       int
+	Profile   DeviceProfile
+	SchemeN   int
+	SchemeM   int
+	Flash     int // 0 = pSLC, 1 = odd-MLC
+	Seed      int64
+}
+
+// DefaultSuiteOptions returns the configuration used by cmd/ipabench.
+func DefaultSuiteOptions() SuiteOptions {
+	return SuiteOptions{
+		Workloads: []string{"tpcb", "tpcc", "tatp"},
+		Scale:     2,
+		Duration:  3 * time.Second,
+		Profile:   DefaultProfile,
+		SchemeN:   2,
+		SchemeM:   4,
+		Seed:      1,
+	}
+}
+
+// SuiteRow compares baseline and IPA for one workload.
+type SuiteRow struct {
+	Workload string
+	Baseline Result
+	IPA      Result
+
+	ThroughputGainPct    float64
+	InvalidationDropPct  float64
+	MigrationDropPct     float64
+	EraseDropPct         float64
+	LongevityImprovement float64 // ratio of host writes per erase (IPA / baseline)
+}
+
+// SuiteResult is the full comparison.
+type SuiteResult struct {
+	Rows []SuiteRow
+}
+
+// Suite runs baseline vs IPA for every workload.
+func Suite(o SuiteOptions) (SuiteResult, error) {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"tpcb", "tpcc", "tatp"}
+	}
+	if o.Scale <= 0 {
+		o.Scale = 2
+	}
+	if o.Duration <= 0 && o.Ops <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.SchemeN == 0 && o.SchemeM == 0 {
+		o.SchemeN, o.SchemeM = 2, 4
+	}
+	flash := flashPSLC
+	if o.Flash == 1 {
+		flash = flashOddMLC
+	}
+	var out SuiteResult
+	for _, wl := range o.Workloads {
+		base := Experiment{
+			Name: "suite-" + wl + "-baseline", Workload: wl, Scale: o.Scale,
+			Mode: modeTraditional, Flash: flashMLC,
+			Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+		}.ApplyProfile(o.Profile)
+		ipaExp := Experiment{
+			Name: "suite-" + wl + "-ipa", Workload: wl, Scale: o.Scale,
+			Mode: modeNative, Scheme: ipaScheme(o.SchemeN, o.SchemeM), Flash: flash,
+			Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+		}.ApplyProfile(o.Profile)
+
+		baseRes, err := Run(base)
+		if err != nil {
+			return out, err
+		}
+		ipaRes, err := Run(ipaExp)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, makeSuiteRow(wl, baseRes, ipaRes))
+	}
+	return out, nil
+}
+
+func makeSuiteRow(wl string, baseRes, ipaRes Result) SuiteRow {
+	bs, is := baseRes.Stats, ipaRes.Stats
+	row := SuiteRow{Workload: wl, Baseline: baseRes, IPA: ipaRes}
+	if bt := bs.Throughput(); bt > 0 {
+		row.ThroughputGainPct = 100 * (is.Throughput() - bt) / bt
+	}
+	row.InvalidationDropPct = dropPctPerWrite(bs.Invalidations, bs.TotalHostWrites(), is.Invalidations, is.TotalHostWrites())
+	row.MigrationDropPct = dropPctPerWrite(bs.GCMigrations, bs.TotalHostWrites(), is.GCMigrations, is.TotalHostWrites())
+	row.EraseDropPct = dropPctPerWrite(bs.GCErases, bs.TotalHostWrites(), is.GCErases, is.TotalHostWrites())
+	be := bs.ErasesPerHostWrite()
+	ie := is.ErasesPerHostWrite()
+	if ie > 0 && be > 0 {
+		row.LongevityImprovement = be / ie
+	}
+	return row
+}
+
+// dropPctPerWrite compares two counters normalised by the work performed
+// (host writes), returning the percentage reduction.
+func dropPctPerWrite(baseCnt, baseWork, ipaCnt, ipaWork uint64) float64 {
+	if baseWork == 0 || ipaWork == 0 || baseCnt == 0 {
+		return 0
+	}
+	baseRate := float64(baseCnt) / float64(baseWork)
+	ipaRate := float64(ipaCnt) / float64(ipaWork)
+	return 100 * (1 - ipaRate/baseRate)
+}
+
+// Write renders the suite comparison.
+func (r SuiteResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "OLTP suite: traditional [0x0] vs IPA\n")
+	fmt.Fprintf(w, "%-10s %14s %14s %12s %12s %12s %12s %10s\n",
+		"workload", "base tps", "ipa tps", "tps gain", "inval drop", "migr drop", "erase drop", "lifetime")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %14.1f %14.1f %+11.1f%% %+11.1f%% %+11.1f%% %+11.1f%% %9.2fx\n",
+			row.Workload, row.Baseline.Throughput(), row.IPA.Throughput(),
+			row.ThroughputGainPct, row.InvalidationDropPct, row.MigrationDropPct,
+			row.EraseDropPct, row.LongevityImprovement)
+	}
+}
+
+// LongevityRow summarises device-lifetime projections (experiment E5).
+type LongevityRow struct {
+	Label            string
+	ErasesPerWrite   float64
+	EnduranceCycles  int
+	RelativeLifetime float64 // normalised to the baseline row
+}
+
+// Longevity derives lifetime estimates from a suite result: the fewer
+// erases each host write causes, the more host writes fit into the erase
+// budget of the Flash device.
+func Longevity(r SuiteResult) []LongevityRow {
+	var rows []LongevityRow
+	for _, s := range r.Rows {
+		base := LongevityRow{
+			Label:           s.Workload + " 0x0",
+			ErasesPerWrite:  s.Baseline.Stats.ErasesPerHostWrite(),
+			EnduranceCycles: s.Baseline.Stats.EnduranceCycles,
+		}
+		ipaRow := LongevityRow{
+			Label:           s.Workload + " " + s.IPA.Experiment.Scheme.String(),
+			ErasesPerWrite:  s.IPA.Stats.ErasesPerHostWrite(),
+			EnduranceCycles: s.IPA.Stats.EnduranceCycles,
+		}
+		base.RelativeLifetime = 1
+		if ipaRow.ErasesPerWrite > 0 && base.ErasesPerWrite > 0 {
+			ipaRow.RelativeLifetime = base.ErasesPerWrite / ipaRow.ErasesPerWrite
+		}
+		rows = append(rows, base, ipaRow)
+	}
+	return rows
+}
+
+// WriteLongevity renders the longevity rows.
+func WriteLongevity(w io.Writer, rows []LongevityRow) {
+	fmt.Fprintf(w, "Flash longevity (erase budget per host write)\n")
+	fmt.Fprintf(w, "%-20s %16s %12s %14s\n", "configuration", "erases/write", "endurance", "rel. lifetime")
+	for _, r := range rows {
+		lifetime := "n/a"
+		if r.RelativeLifetime > 0 {
+			lifetime = fmt.Sprintf("%.2fx", r.RelativeLifetime)
+		}
+		fmt.Fprintf(w, "%-20s %16.5f %12d %14s\n", r.Label, r.ErasesPerWrite, r.EnduranceCycles, lifetime)
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ipa"
+)
+
+// SweepOptions configures the N×M scheme sweep ablation (experiment E6):
+// how the delta-record-area size trades off against the fraction of
+// evictions that IPA can serve in place, and the resulting GC work.
+type SweepOptions struct {
+	// Workload to sweep (default "tpcb"; "tatp" is also interesting since
+	// its updates are even smaller).
+	Workload string
+	Scale    int
+	Ops      int
+	Profile  DeviceProfile
+	// Ns and Ms are the parameter grids (defaults: N ∈ {1,2,4,8},
+	// M ∈ {2,4,8,16}).
+	Ns []int
+	Ms []int
+	// Flash is the MLC mode used for the IPA runs.
+	Flash ipa.FlashMode
+	Seed  int64
+}
+
+// DefaultSweepOptions returns the configuration used by cmd/ipabench.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{
+		Workload: "tpcb",
+		Scale:    2,
+		Ops:      6000,
+		Profile:  DefaultProfile,
+		Ns:       []int{1, 2, 4, 8},
+		Ms:       []int{2, 4, 8, 16},
+		Flash:    flashPSLC,
+		Seed:     1,
+	}
+}
+
+// SweepRow is the outcome of one N×M configuration.
+type SweepRow struct {
+	Scheme          ipa.Scheme
+	AreaBytes       int     // delta-record area per page
+	SpaceOverhead   float64 // area / page size
+	InPlaceShare    float64 // host writes served in place
+	AppendFallbacks uint64
+	MigPerWrite     float64
+	ErasePerWrite   float64
+	Throughput      float64
+}
+
+// SweepResult is the grid of results, plus the baseline for reference.
+type SweepResult struct {
+	Workload string
+	Baseline SweepRow // 0×0
+	Rows     []SweepRow
+	PageSize int
+}
+
+// Sweep runs the N×M grid.
+func Sweep(o SweepOptions) (SweepResult, error) {
+	if o.Workload == "" {
+		o.Workload = "tpcb"
+	}
+	if o.Scale <= 0 {
+		o.Scale = 2
+	}
+	if o.Ops <= 0 {
+		o.Ops = 6000
+	}
+	if len(o.Ns) == 0 {
+		o.Ns = []int{1, 2, 4, 8}
+	}
+	if len(o.Ms) == 0 {
+		o.Ms = []int{2, 4, 8, 16}
+	}
+	if o.Flash == flashMLC {
+		o.Flash = flashPSLC
+	}
+	profile := o.Profile
+	if profile == (DeviceProfile{}) {
+		profile = DefaultProfile
+	}
+	out := SweepResult{Workload: o.Workload, PageSize: profile.PageSize}
+
+	baseExp := Experiment{
+		Name: "sweep-baseline", Workload: o.Workload, Scale: o.Scale,
+		Mode: modeTraditional, Flash: flashMLC, Ops: o.Ops, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(profile)
+	baseRes, err := Run(baseExp)
+	if err != nil {
+		return out, err
+	}
+	out.Baseline = makeSweepRow(ipa.Scheme{}, baseRes, profile.PageSize)
+
+	for _, n := range o.Ns {
+		for _, m := range o.Ms {
+			scheme := ipaScheme(n, m)
+			exp := Experiment{
+				Name:     fmt.Sprintf("sweep-%s", scheme),
+				Workload: o.Workload, Scale: o.Scale,
+				Mode: modeNative, Scheme: scheme, Flash: o.Flash,
+				Ops: o.Ops, Seed: o.Seed, Analytic: true,
+			}.ApplyProfile(profile)
+			res, err := Run(exp)
+			if err != nil {
+				return out, err
+			}
+			out.Rows = append(out.Rows, makeSweepRow(scheme, res, profile.PageSize))
+		}
+	}
+	return out, nil
+}
+
+func makeSweepRow(scheme ipa.Scheme, res Result, pageSize int) SweepRow {
+	s := res.Stats
+	area := 0
+	if scheme.Enabled() {
+		// Mirror core.Scheme.AreaSize: N × (1 + 3·M + Δmetadata) with the
+		// 48-byte header+footer Δmetadata of the page layout.
+		area = scheme.N * (1 + 3*scheme.M + 48)
+	}
+	row := SweepRow{
+		Scheme:          scheme,
+		AreaBytes:       area,
+		InPlaceShare:    s.InPlaceShare(),
+		AppendFallbacks: s.AppendFallbacks,
+		MigPerWrite:     s.MigrationsPerHostWrite(),
+		ErasePerWrite:   s.ErasesPerHostWrite(),
+		Throughput:      s.Throughput(),
+	}
+	if pageSize > 0 {
+		row.SpaceOverhead = float64(area) / float64(pageSize)
+	}
+	return row
+}
+
+// Write renders the sweep.
+func (r SweepResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "N×M scheme sweep (%s), page size %d bytes\n", r.Workload, r.PageSize)
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %12s %14s %14s %12s\n",
+		"scheme", "area [B]", "overhead", "in-place", "fallbacks", "migr/write", "erases/write", "tps")
+	rows := append([]SweepRow{r.Baseline}, r.Rows...)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8s %10d %9.1f%% %11.1f%% %12d %14.4f %14.4f %12.1f\n",
+			row.Scheme, row.AreaBytes, 100*row.SpaceOverhead, 100*row.InPlaceShare,
+			row.AppendFallbacks, row.MigPerWrite, row.ErasePerWrite, row.Throughput)
+	}
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Table1Options configures the Table 1 reproduction: TPC-B under the
+// traditional approach [0×0] and under IPA [2×4] in pSLC and odd-MLC modes,
+// all running for the same amount of (virtual) time, exactly like the
+// two-hour runs of the paper.
+type Table1Options struct {
+	// Scale is the TPC-B scale factor (branches).
+	Scale int
+	// Duration is the virtual run time per configuration. The paper used
+	// two hours on real hardware; the demo used 5-10 minutes.
+	Duration time.Duration
+	// Ops optionally bounds the run by committed transactions instead.
+	Ops int
+	// Profile sizes the simulated device.
+	Profile DeviceProfile
+	// Scheme is the IPA configuration (the paper uses 2×4).
+	Scheme struct{ N, M int }
+	Seed   int64
+}
+
+// DefaultTable1Options returns the configuration used by cmd/ipabench.
+func DefaultTable1Options() Table1Options {
+	o := Table1Options{
+		Scale:    4,
+		Duration: 12 * time.Second,
+		Profile:  DefaultProfile,
+		Seed:     1,
+	}
+	o.Scheme.N, o.Scheme.M = 2, 4
+	return o
+}
+
+// Table1Row is one column of the paper's Table 1 (one configuration).
+type Table1Row struct {
+	Label      string
+	Result     Result
+	HostReads  uint64
+	HostWrites uint64
+	// OOPvsIPA is the percentage split of out-of-place writes vs in-place
+	// appends (the "33/67" style row).
+	OutOfPlacePct float64
+	InPlacePct    float64
+	GCMigrations  uint64
+	GCErases      uint64
+	MigPerWrite   float64
+	ErasePerWrite float64
+	Throughput    float64
+}
+
+// Table1Result bundles the three configurations.
+type Table1Result struct {
+	Baseline Table1Row // [0×0] traditional
+	PSLC     Table1Row // [2×4] pSLC
+	OddMLC   Table1Row // [2×4] odd-MLC
+}
+
+// Rows returns the rows in presentation order.
+func (t Table1Result) Rows() []Table1Row { return []Table1Row{t.Baseline, t.PSLC, t.OddMLC} }
+
+// Table1RowFromResult derives the Table 1 metrics from any experiment
+// result; the Go benchmarks in bench_test.go use it to report single
+// configurations.
+func Table1RowFromResult(res Result) Table1Row {
+	label := res.Experiment.Scheme.String()
+	if res.Experiment.Name != "" {
+		label = res.Experiment.Name
+	}
+	return makeTable1Row(label, res)
+}
+
+func makeTable1Row(label string, res Result) Table1Row {
+	s := res.Stats
+	total := s.InPlaceAppends + s.OutOfPlaceWrites
+	row := Table1Row{
+		Label:         label,
+		Result:        res,
+		HostReads:     s.HostReads,
+		HostWrites:    s.TotalHostWrites(),
+		GCMigrations:  s.GCMigrations,
+		GCErases:      s.GCErases,
+		MigPerWrite:   s.MigrationsPerHostWrite(),
+		ErasePerWrite: s.ErasesPerHostWrite(),
+		Throughput:    s.Throughput(),
+	}
+	if total > 0 {
+		row.OutOfPlacePct = 100 * float64(s.OutOfPlaceWrites) / float64(total)
+		row.InPlacePct = 100 * float64(s.InPlaceAppends) / float64(total)
+	}
+	return row
+}
+
+// Table1 runs the three configurations of the paper's Table 1 and returns
+// the comparison.
+func Table1(o Table1Options) (Table1Result, error) {
+	if o.Scale <= 0 {
+		o.Scale = 4
+	}
+	if o.Duration <= 0 && o.Ops <= 0 {
+		o.Duration = 4 * time.Second
+	}
+	if o.Scheme.N == 0 && o.Scheme.M == 0 {
+		o.Scheme.N, o.Scheme.M = 2, 4
+	}
+	scheme := ipaScheme(o.Scheme.N, o.Scheme.M)
+
+	base := Experiment{
+		Name: "table1-0x0", Workload: "tpcb", Scale: o.Scale,
+		Mode: modeTraditional, Flash: flashMLC,
+		Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(o.Profile)
+	pslc := Experiment{
+		Name: "table1-2x4-pslc", Workload: "tpcb", Scale: o.Scale,
+		Mode: modeNative, Scheme: scheme, Flash: flashPSLC,
+		Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(o.Profile)
+	odd := Experiment{
+		Name: "table1-2x4-oddmlc", Workload: "tpcb", Scale: o.Scale,
+		Mode: modeNative, Scheme: scheme, Flash: flashOddMLC,
+		Ops: o.Ops, Duration: o.Duration, Seed: o.Seed, Analytic: true,
+	}.ApplyProfile(o.Profile)
+
+	var out Table1Result
+	baseRes, err := Run(base)
+	if err != nil {
+		return out, err
+	}
+	out.Baseline = makeTable1Row("0x0", baseRes)
+	pslcRes, err := Run(pslc)
+	if err != nil {
+		return out, err
+	}
+	out.PSLC = makeTable1Row(fmt.Sprintf("%s pSLC", scheme), pslcRes)
+	oddRes, err := Run(odd)
+	if err != nil {
+		return out, err
+	}
+	out.OddMLC = makeTable1Row(fmt.Sprintf("%s odd-MLC", scheme), oddRes)
+	return out, nil
+}
+
+// Write renders the result in the layout of the paper's Table 1: absolute
+// values per configuration plus the change relative to the baseline.
+func (t Table1Result) Write(w io.Writer) {
+	b, p, o := t.Baseline, t.PSLC, t.OddMLC
+	rel := func(v, base float64) string {
+		if base == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.0f%%", 100*(v-base)/base)
+	}
+	fmt.Fprintf(w, "TPC-B: traditional [0x0] vs IPA [%s]\n", p.Result.Experiment.Scheme)
+	fmt.Fprintf(w, "%-34s %14s %14s %9s %14s %9s\n", "", "0x0", "pSLC", "rel", "odd-MLC", "rel")
+	row := func(name string, bv, pv, ov float64, format string) {
+		fmt.Fprintf(w, "%-34s "+format+" "+format+" %9s "+format+" %9s\n",
+			name, bv, pv, rel(pv, bv), ov, rel(ov, bv))
+	}
+	row("Host Reads (pages)", float64(b.HostReads), float64(p.HostReads), float64(o.HostReads), "%14.0f")
+	row("Host Writes (pages+deltas)", float64(b.HostWrites), float64(p.HostWrites), float64(o.HostWrites), "%14.0f")
+	fmt.Fprintf(w, "%-34s %10.0f/%.0f %10.0f/%.0f %9s %10.0f/%.0f %9s\n",
+		"Out-of-Place vs In-Place [%]",
+		b.OutOfPlacePct, b.InPlacePct, p.OutOfPlacePct, p.InPlacePct, "",
+		o.OutOfPlacePct, o.InPlacePct, "")
+	row("GC Page Migrations", float64(b.GCMigrations), float64(p.GCMigrations), float64(o.GCMigrations), "%14.0f")
+	row("GC Erases", float64(b.GCErases), float64(p.GCErases), float64(o.GCErases), "%14.0f")
+	row("Page Migrations per Host Write", b.MigPerWrite, p.MigPerWrite, o.MigPerWrite, "%14.4f")
+	row("GC Erases per Host Write", b.ErasePerWrite, p.ErasePerWrite, o.ErasePerWrite, "%14.4f")
+	row("Transactional Throughput (tps)", b.Throughput, p.Throughput, o.Throughput, "%14.1f")
+}

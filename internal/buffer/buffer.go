@@ -1,0 +1,302 @@
+// Package buffer implements the database buffer pool.
+//
+// The pool caches fixed-size database pages, pins them for access, and
+// evicts victims with a clock (second-chance) policy. Its interaction with
+// In-Place Appends is deliberately thin, exactly as the paper argues: the
+// buffer always holds the up-to-date page image and all updates happen
+// in place as usual; the only addition is that every frame carries a
+// core.Tracker fed by the page layer, and that dirty evictions hand both
+// the page image and the tracker to the storage manager, which decides
+// between an in-place append and a traditional out-of-place write.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipa/internal/core"
+)
+
+// Errors returned by the pool.
+var (
+	// ErrNoFrames is returned when every frame is pinned and no victim can
+	// be evicted.
+	ErrNoFrames = errors.New("buffer: all frames pinned")
+	// ErrNotCached is returned by FlushPage for pages not in the pool.
+	ErrNotCached = errors.New("buffer: page not cached")
+)
+
+// PageIO is implemented by the storage manager. LoadPage fills buf with the
+// up-to-date page image (delta records already applied) and returns the
+// change tracker for the new buffer residency. StorePage persists a dirty
+// page; it must reset the tracker for the page's next residency before
+// returning.
+type PageIO interface {
+	PageSize() int
+	LoadPage(pid uint64, buf []byte) (*core.Tracker, error)
+	StorePage(pid uint64, buf []byte, t *core.Tracker) error
+}
+
+// Stats counts buffer pool events.
+type Stats struct {
+	Hits           uint64
+	Misses         uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+	Flushes        uint64
+}
+
+type frame struct {
+	pid     uint64
+	data    []byte
+	tracker *core.Tracker
+	pin     int
+	dirty   bool
+	ref     bool
+	valid   bool
+}
+
+// Pool is a fixed-capacity page cache.
+type Pool struct {
+	mu     sync.Mutex
+	io     PageIO
+	frames []frame
+	table  map[uint64]int
+	hand   int
+	stats  Stats
+}
+
+// New creates a pool with nframes frames.
+func New(io PageIO, nframes int) (*Pool, error) {
+	if nframes <= 0 {
+		return nil, fmt.Errorf("buffer: pool needs at least one frame, got %d", nframes)
+	}
+	p := &Pool{
+		io:     io,
+		frames: make([]frame, nframes),
+		table:  make(map[uint64]int, nframes),
+	}
+	size := io.PageSize()
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, size)
+	}
+	return p, nil
+}
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Handle is a pinned reference to a buffered page. It must be released
+// exactly once.
+type Handle struct {
+	pool *Pool
+	idx  int
+	pid  uint64
+}
+
+// PID returns the page identifier.
+func (h *Handle) PID() uint64 { return h.pid }
+
+// Data returns the buffered page image. It remains valid until Release.
+func (h *Handle) Data() []byte { return h.pool.frames[h.idx].data }
+
+// Tracker returns the change tracker of the current residency.
+func (h *Handle) Tracker() *core.Tracker { return h.pool.frames[h.idx].tracker }
+
+// MarkDirty flags the page as modified.
+func (h *Handle) MarkDirty() {
+	h.pool.mu.Lock()
+	h.pool.frames[h.idx].dirty = true
+	h.pool.mu.Unlock()
+}
+
+// Release unpins the page.
+func (h *Handle) Release() {
+	h.pool.mu.Lock()
+	f := &h.pool.frames[h.idx]
+	if f.pin > 0 {
+		f.pin--
+	}
+	h.pool.mu.Unlock()
+}
+
+// Fetch pins the page with identifier pid, loading it through the PageIO if
+// necessary.
+func (p *Pool) Fetch(pid uint64) (*Handle, error) {
+	p.mu.Lock()
+	if idx, ok := p.table[pid]; ok {
+		f := &p.frames[idx]
+		f.pin++
+		f.ref = true
+		p.stats.Hits++
+		p.mu.Unlock()
+		return &Handle{pool: p, idx: idx, pid: pid}, nil
+	}
+	p.stats.Misses++
+	idx, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &p.frames[idx]
+	f.pid = pid
+	f.pin = 1
+	f.ref = true
+	f.dirty = false
+	f.valid = true
+	f.tracker = nil
+	p.table[pid] = idx
+	// The load happens under the pool lock. The pool is not a concurrency
+	// hot spot in the simulation, and holding the lock keeps the
+	// miss-then-load path atomic with respect to concurrent fetches.
+	tracker, err := p.io.LoadPage(pid, f.data)
+	if err != nil {
+		delete(p.table, pid)
+		f.valid = false
+		f.pin = 0
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.tracker = tracker
+	p.mu.Unlock()
+	return &Handle{pool: p, idx: idx, pid: pid}, nil
+}
+
+// Create pins a frame for a brand-new page that does not exist on storage
+// yet. init formats the frame contents and returns the page's tracker
+// (typically one marked out-of-place, since the first write of a new page
+// cannot be an append).
+func (p *Pool) Create(pid uint64, init func(buf []byte) (*core.Tracker, error)) (*Handle, error) {
+	p.mu.Lock()
+	if _, ok := p.table[pid]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("buffer: page %d already cached", pid)
+	}
+	idx, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &p.frames[idx]
+	f.pid = pid
+	f.pin = 1
+	f.ref = true
+	f.dirty = true
+	f.valid = true
+	f.tracker = nil
+	p.table[pid] = idx
+	tracker, err := init(f.data)
+	if err != nil {
+		delete(p.table, pid)
+		f.valid = false
+		f.pin = 0
+		f.dirty = false
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.tracker = tracker
+	p.mu.Unlock()
+	return &Handle{pool: p, idx: idx, pid: pid}, nil
+}
+
+// victimLocked returns the index of a free frame, evicting a victim with
+// the clock policy if necessary. The caller holds the pool lock.
+func (p *Pool) victimLocked() (int, error) {
+	// Prefer an unused frame.
+	for i := range p.frames {
+		if !p.frames[i].valid {
+			return i, nil
+		}
+	}
+	// Clock sweep: two full passes guarantee a victim if one exists.
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		f := &p.frames[idx]
+		if f.pin > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if err := p.evictLocked(idx); err != nil {
+			return 0, err
+		}
+		return idx, nil
+	}
+	return 0, ErrNoFrames
+}
+
+// evictLocked writes back a dirty victim and removes it from the table.
+func (p *Pool) evictLocked(idx int) error {
+	f := &p.frames[idx]
+	p.stats.Evictions++
+	if f.dirty {
+		p.stats.DirtyEvictions++
+		if err := p.io.StorePage(f.pid, f.data, f.tracker); err != nil {
+			return fmt.Errorf("buffer: evicting page %d: %w", f.pid, err)
+		}
+	}
+	delete(p.table, f.pid)
+	f.valid = false
+	f.dirty = false
+	f.tracker = nil
+	return nil
+}
+
+// FlushPage writes a cached page back to storage if it is dirty. The page
+// stays cached.
+func (p *Pool) FlushPage(pid uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.table[pid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotCached, pid)
+	}
+	return p.flushFrameLocked(idx)
+}
+
+func (p *Pool) flushFrameLocked(idx int) error {
+	f := &p.frames[idx]
+	if !f.dirty {
+		return nil
+	}
+	if err := p.io.StorePage(f.pid, f.data, f.tracker); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.stats.Flushes++
+	return nil
+}
+
+// FlushAll writes every dirty cached page back to storage.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if !p.frames[i].valid {
+			continue
+		}
+		if err := p.flushFrameLocked(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cached reports whether pid currently resides in the pool.
+func (p *Pool) Cached(pid uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[pid]
+	return ok
+}

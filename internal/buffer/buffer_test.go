@@ -1,0 +1,256 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ipa/internal/core"
+)
+
+// memIO is an in-memory PageIO used to test the pool in isolation.
+type memIO struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[uint64][]byte
+	loads    int
+	stores   int
+	failLoad bool
+}
+
+func newMemIO(pageSize int) *memIO {
+	return &memIO{pageSize: pageSize, pages: make(map[uint64][]byte)}
+}
+
+func (m *memIO) PageSize() int { return m.pageSize }
+
+func (m *memIO) LoadPage(pid uint64, buf []byte) (*core.Tracker, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failLoad {
+		return nil, errors.New("injected load failure")
+	}
+	m.loads++
+	img, ok := m.pages[pid]
+	if !ok {
+		return nil, fmt.Errorf("page %d missing", pid)
+	}
+	copy(buf, img)
+	return core.NewTracker(core.Scheme{N: 2, M: 4}, 4, m.pageSize, 0), nil
+}
+
+func (m *memIO) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores++
+	img := make([]byte, len(buf))
+	copy(img, buf)
+	m.pages[pid] = img
+	if t != nil {
+		t.Reset(0)
+	}
+	return nil
+}
+
+func (m *memIO) seed(pid uint64, val byte) {
+	img := make([]byte, m.pageSize)
+	for i := range img {
+		img[i] = val
+	}
+	m.pages[pid] = img
+}
+
+func TestFetchHitAndMiss(t *testing.T) {
+	io := newMemIO(256)
+	io.seed(1, 0xAA)
+	pool, err := New(io, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h, err := pool.Fetch(1)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if h.Data()[0] != 0xAA {
+		t.Fatalf("loaded data wrong")
+	}
+	h.Release()
+	h2, err := pool.Fetch(1)
+	if err != nil {
+		t.Fatalf("Fetch again: %v", err)
+	}
+	h2.Release()
+	s := pool.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if io.loads != 1 {
+		t.Fatalf("page loaded %d times", io.loads)
+	}
+	if !pool.Cached(1) || pool.Cached(2) {
+		t.Fatalf("Cached() wrong")
+	}
+}
+
+func TestEvictionWritesDirtyPages(t *testing.T) {
+	io := newMemIO(128)
+	for pid := uint64(0); pid < 10; pid++ {
+		io.seed(pid, byte(pid))
+	}
+	pool, err := New(io, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Dirty page 0, then touch enough other pages to force its eviction.
+	h, err := pool.Fetch(0)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	h.Data()[5] = 0x99
+	h.Tracker().RecordChange(5, 0, 0x99)
+	h.MarkDirty()
+	h.Release()
+	for pid := uint64(1); pid < 8; pid++ {
+		hh, err := pool.Fetch(pid)
+		if err != nil {
+			t.Fatalf("Fetch %d: %v", pid, err)
+		}
+		hh.Release()
+	}
+	if pool.Cached(0) {
+		t.Fatalf("page 0 should have been evicted")
+	}
+	if io.pages[0][5] != 0x99 {
+		t.Fatalf("dirty eviction did not persist the change")
+	}
+	s := pool.Stats()
+	if s.DirtyEvictions == 0 || s.Evictions == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	io := newMemIO(64)
+	for pid := uint64(0); pid < 4; pid++ {
+		io.seed(pid, byte(pid))
+	}
+	pool, _ := New(io, 2)
+	h0, err := pool.Fetch(0)
+	if err != nil {
+		t.Fatalf("Fetch 0: %v", err)
+	}
+	h1, err := pool.Fetch(1)
+	if err != nil {
+		t.Fatalf("Fetch 1: %v", err)
+	}
+	// Both frames pinned: the next fetch must fail.
+	if _, err := pool.Fetch(2); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("expected ErrNoFrames, got %v", err)
+	}
+	h0.Release()
+	if _, err := pool.Fetch(2); err != nil {
+		t.Fatalf("fetch after release: %v", err)
+	}
+	h1.Release()
+}
+
+func TestCreateNewPage(t *testing.T) {
+	io := newMemIO(64)
+	pool, _ := New(io, 2)
+	h, err := pool.Create(42, func(buf []byte) (*core.Tracker, error) {
+		for i := range buf {
+			buf[i] = 0x7F
+		}
+		tr := core.NewTracker(core.Scheme{}, 4, len(buf), 0)
+		return tr, nil
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	h.Release()
+	if _, err := pool.Create(42, nil); err == nil {
+		t.Fatalf("creating a cached page twice must fail")
+	}
+	// Force eviction; the created page must be stored.
+	io.seed(1, 1)
+	io.seed(2, 2)
+	for pid := uint64(1); pid <= 2; pid++ {
+		hh, err := pool.Fetch(pid)
+		if err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+		hh.Release()
+	}
+	if img, ok := io.pages[42]; !ok || img[0] != 0x7F {
+		t.Fatalf("created page was not persisted on eviction")
+	}
+}
+
+func TestFlushAllAndFlushPage(t *testing.T) {
+	io := newMemIO(64)
+	io.seed(1, 1)
+	io.seed(2, 2)
+	pool, _ := New(io, 4)
+	for pid := uint64(1); pid <= 2; pid++ {
+		h, err := pool.Fetch(pid)
+		if err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+		h.Data()[0] = 0xEE
+		h.MarkDirty()
+		h.Release()
+	}
+	if err := pool.FlushPage(1); err != nil {
+		t.Fatalf("FlushPage: %v", err)
+	}
+	if io.pages[1][0] != 0xEE {
+		t.Fatalf("FlushPage did not persist")
+	}
+	if err := pool.FlushPage(99); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("expected ErrNotCached, got %v", err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if io.pages[2][0] != 0xEE {
+		t.Fatalf("FlushAll did not persist")
+	}
+	// Flushing a clean pool is a no-op.
+	stores := io.stores
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll (clean): %v", err)
+	}
+	if io.stores != stores {
+		t.Fatalf("clean flush should not store pages")
+	}
+}
+
+func TestLoadFailureLeavesPoolConsistent(t *testing.T) {
+	io := newMemIO(64)
+	pool, _ := New(io, 2)
+	io.failLoad = true
+	if _, err := pool.Fetch(5); err == nil {
+		t.Fatalf("expected load failure")
+	}
+	io.failLoad = false
+	io.seed(5, 5)
+	h, err := pool.Fetch(5)
+	if err != nil {
+		t.Fatalf("Fetch after failed load: %v", err)
+	}
+	h.Release()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(newMemIO(64), 0); err == nil {
+		t.Fatalf("zero frames must be rejected")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	pool, _ := New(newMemIO(64), 7)
+	if pool.Capacity() != 7 {
+		t.Fatalf("Capacity = %d", pool.Capacity())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Patch is one byte-granular change: the byte at Offset (relative to the
+// start of the database page) takes the value Value.
+type Patch struct {
+	Offset uint16
+	Value  byte
+}
+
+// DeltaRecord is the unit appended to the delta-record area of a Flash page
+// on eviction. It coalesces the changes of one buffer-pool residency of the
+// page: up to M byte patches of the page body plus the up-to-date copy of
+// the page metadata (header and footer), called Δmetadata in the paper.
+type DeltaRecord struct {
+	Patches []Patch
+	Meta    []byte
+}
+
+// EncodedSize returns the number of bytes the record occupies on the page
+// under the given scheme.
+func (r DeltaRecord) EncodedSize(s Scheme) int { return s.RecordSize(len(r.Meta)) }
+
+// EncodeRecord serialises rec into dst using the layout of Figure 3:
+//
+//	[ctrl 1][off lo, off hi, value] × M [Δmetadata metaLen]
+//
+// Unused patch slots carry the offset 0xFFFF. dst must be at least
+// RecordSize(metaLen) bytes; the remainder is left untouched.
+func EncodeRecord(dst []byte, rec DeltaRecord, s Scheme, metaLen int) error {
+	if len(rec.Patches) > s.M {
+		return fmt.Errorf("%w: %d > M=%d", ErrTooManyPatches, len(rec.Patches), s.M)
+	}
+	if len(rec.Meta) != metaLen {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadMeta, len(rec.Meta), metaLen)
+	}
+	need := s.RecordSize(metaLen)
+	if len(dst) < need {
+		return fmt.Errorf("%w: %d < %d", ErrAreaTooSmall, len(dst), need)
+	}
+	dst[0] = ctrlPresent
+	pos := 1
+	for i := 0; i < s.M; i++ {
+		if i < len(rec.Patches) {
+			binary.LittleEndian.PutUint16(dst[pos:], rec.Patches[i].Offset)
+			dst[pos+2] = rec.Patches[i].Value
+		} else {
+			binary.LittleEndian.PutUint16(dst[pos:], unusedOffset)
+			dst[pos+2] = 0xFF
+		}
+		pos += patchSize
+	}
+	copy(dst[pos:pos+metaLen], rec.Meta)
+	return nil
+}
+
+// DecodeRecord parses one record slot. The second return value reports
+// whether the slot holds a programmed record; blank (erased) slots return
+// false.
+func DecodeRecord(src []byte, s Scheme, metaLen int) (DeltaRecord, bool) {
+	need := s.RecordSize(metaLen)
+	if len(src) < need || src[0] != ctrlPresent {
+		return DeltaRecord{}, false
+	}
+	rec := DeltaRecord{Meta: make([]byte, metaLen)}
+	pos := 1
+	for i := 0; i < s.M; i++ {
+		off := binary.LittleEndian.Uint16(src[pos:])
+		if off != unusedOffset {
+			rec.Patches = append(rec.Patches, Patch{Offset: off, Value: src[pos+2]})
+		}
+		pos += patchSize
+	}
+	copy(rec.Meta, src[pos:pos+metaLen])
+	return rec, true
+}
+
+// EncodeArea serialises records into a fresh delta-record area image of
+// AreaSize bytes, starting at record slot firstSlot. Slots before firstSlot
+// and after the encoded records are left in the erased state (0xFF) so the
+// image can be programmed over an existing area without violating the
+// bit-clear-only rule.
+func EncodeArea(records []DeltaRecord, s Scheme, metaLen, firstSlot int) ([]byte, error) {
+	area := make([]byte, s.AreaSize(metaLen))
+	for i := range area {
+		area[i] = 0xFF
+	}
+	if firstSlot < 0 || firstSlot+len(records) > s.N {
+		return nil, fmt.Errorf("%w: records [%d,%d) exceed N=%d", ErrAreaTooSmall, firstSlot, firstSlot+len(records), s.N)
+	}
+	size := s.RecordSize(metaLen)
+	for i, rec := range records {
+		off := (firstSlot + i) * size
+		if err := EncodeRecord(area[off:off+size], rec, s, metaLen); err != nil {
+			return nil, err
+		}
+	}
+	return area, nil
+}
+
+// DecodeArea parses every programmed record of a delta-record area, in
+// append order.
+func DecodeArea(area []byte, s Scheme, metaLen int) []DeltaRecord {
+	if !s.Enabled() {
+		return nil
+	}
+	size := s.RecordSize(metaLen)
+	var out []DeltaRecord
+	for slot := 0; slot < s.N && (slot+1)*size <= len(area); slot++ {
+		rec, ok := DecodeRecord(area[slot*size:(slot+1)*size], s, metaLen)
+		if !ok {
+			// Records are appended strictly in slot order, so the first
+			// blank slot terminates the scan.
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// CountRecords returns the number of programmed records in the area.
+func CountRecords(area []byte, s Scheme, metaLen int) int {
+	return len(DecodeArea(area, s, metaLen))
+}
+
+// ApplyRecords applies the body patches of every record (in append order)
+// to page and returns the Δmetadata of the newest record, or nil if records
+// is empty. The caller is responsible for installing the returned metadata
+// into the page header and footer.
+func ApplyRecords(page []byte, records []DeltaRecord) []byte {
+	var meta []byte
+	for _, rec := range records {
+		for _, p := range rec.Patches {
+			if int(p.Offset) < len(page) {
+				page[int(p.Offset)] = p.Value
+			}
+		}
+		if rec.Meta != nil {
+			meta = rec.Meta
+		}
+	}
+	return meta
+}
+
+// SplitPatches partitions patches into delta records of at most M patches
+// each, in ascending offset order. The metadata copy meta is attached to
+// every record so the newest record always carries a complete Δmetadata.
+func SplitPatches(patches []Patch, meta []byte, s Scheme) []DeltaRecord {
+	sorted := make([]Patch, len(patches))
+	copy(sorted, patches)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	var out []DeltaRecord
+	for len(sorted) > 0 {
+		n := s.M
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		rec := DeltaRecord{Patches: sorted[:n:n], Meta: meta}
+		out = append(out, rec)
+		sorted = sorted[n:]
+	}
+	if len(out) == 0 {
+		// A metadata-only change still needs one record to carry Δmetadata.
+		out = append(out, DeltaRecord{Meta: meta})
+	}
+	return out
+}

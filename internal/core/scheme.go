@@ -1,0 +1,104 @@
+// Package core implements In-Place Appends (IPA), the primary contribution
+// of the paper.
+//
+// IPA transforms small in-place updates of database pages into delta
+// records at page-eviction time and appends them to a reserved delta-record
+// area at the end of the very same physical Flash page. Because appending
+// only clears erased bits (1 -> 0), the Flash page can be re-programmed
+// without a preceding erase, which avoids page invalidation, out-of-place
+// writes and the garbage-collection work they cause.
+//
+// The package provides:
+//
+//   - the N×M configuration scheme and the sizing of the delta-record area,
+//   - the delta-record wire format (control byte, <new_value, offset> byte
+//     patches, Δmetadata) and its encoder/decoder,
+//   - page reconstruction (applying delta records on fetch), and
+//   - the change Tracker used by the buffer manager to decide, on eviction,
+//     whether a page can be written with an in-place append or must fall
+//     back to a traditional out-of-place write.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scheme is the N×M configuration of In-Place Appends for a database
+// object: at most N delta records may be appended to a page (one per
+// eviction cycle) and each record may carry at most M changed bytes.
+// The zero value (0×0) disables IPA, which is the traditional baseline.
+type Scheme struct {
+	// N is the maximum number of delta records per page.
+	N int
+	// M is the maximum number of changed bytes per delta record.
+	M int
+}
+
+// Errors returned by scheme validation and record encoding.
+var (
+	// ErrSchemeInvalid reports a negative or inconsistent N×M scheme.
+	ErrSchemeInvalid = errors.New("core: invalid N×M scheme")
+	// ErrTooManyPatches reports a delta record with more than M patches.
+	ErrTooManyPatches = errors.New("core: delta record exceeds M changed bytes")
+	// ErrBadMeta reports Δmetadata whose length does not match the layout.
+	ErrBadMeta = errors.New("core: Δmetadata length mismatch")
+	// ErrAreaTooSmall reports a delta-record area buffer smaller than the
+	// scheme requires.
+	ErrAreaTooSmall = errors.New("core: delta-record area too small")
+)
+
+// Disabled is the 0×0 scheme: no in-place appends (traditional behaviour).
+var Disabled = Scheme{}
+
+// Validate reports whether the scheme is usable.
+func (s Scheme) Validate() error {
+	if s.N < 0 || s.M < 0 {
+		return fmt.Errorf("%w: %s", ErrSchemeInvalid, s)
+	}
+	if (s.N == 0) != (s.M == 0) {
+		return fmt.Errorf("%w: %s (N and M must both be zero or both be positive)", ErrSchemeInvalid, s)
+	}
+	if s.M > maxPatchesPerRecord {
+		return fmt.Errorf("%w: M=%d exceeds %d", ErrSchemeInvalid, s.M, maxPatchesPerRecord)
+	}
+	return nil
+}
+
+// Enabled reports whether the scheme enables in-place appends.
+func (s Scheme) Enabled() bool { return s.N > 0 && s.M > 0 }
+
+// RecordSize returns the on-page size in bytes of one delta record under
+// this scheme: one control byte, M three-byte <offset, new_value> pairs and
+// metaLen bytes of Δmetadata.
+func (s Scheme) RecordSize(metaLen int) int {
+	return 1 + patchSize*s.M + metaLen
+}
+
+// AreaSize returns the size of the delta-record area reserved at the end of
+// every database page: N × (1 + 3·M + Δmetadata).
+func (s Scheme) AreaSize(metaLen int) int {
+	if !s.Enabled() {
+		return 0
+	}
+	return s.N * s.RecordSize(metaLen)
+}
+
+// String renders the scheme in the paper's [N×M] notation.
+func (s Scheme) String() string {
+	return fmt.Sprintf("%dx%d", s.N, s.M)
+}
+
+const (
+	// patchSize is the encoded size of one <offset, new_value> pair.
+	patchSize = 3
+	// maxPatchesPerRecord bounds M so offsets of unused pairs (0xFFFF)
+	// remain distinguishable and records stay small.
+	maxPatchesPerRecord = 256
+	// ctrlPresent marks a programmed (valid) delta record. It must differ
+	// from the erased byte 0xFF and contain enough zero bits that a
+	// partially programmed record cannot be mistaken for a valid one.
+	ctrlPresent byte = 0x5A
+	// unusedOffset marks an unused patch slot inside a record.
+	unusedOffset uint16 = 0xFFFF
+)

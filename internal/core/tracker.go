@@ -1,0 +1,264 @@
+package core
+
+// Tracker records the byte-granular changes applied to a buffered database
+// page between the moment it was faulted in (or last flushed) and its
+// eviction. The buffer manager feeds every in-place update into the
+// tracker; on eviction the storage manager asks the tracker whether the
+// page still conforms to the region's N×M scheme and, if so, obtains the
+// delta records to append.
+//
+// Following the paper, the tracker stops recording as soon as the scheme is
+// violated ("the out-of-place flag is set, and further updates are not
+// tracked until eviction"), which keeps the bookkeeping overhead minimal.
+type Tracker struct {
+	scheme   Scheme
+	metaLen  int
+	existing int // delta records already present on the Flash page
+	bodyLen  int // bytes of the page covered by patches (header..end of body)
+
+	outOfPlace  bool
+	metaChanged bool
+	changes     map[uint16]changedByte
+
+	// analytic keeps counting changed bytes even after the out-of-place
+	// flag is set. The paper's prototype stops tracking at that point to
+	// minimise overhead; the analytic mode exists so the experiments can
+	// report the net-modified-bytes distribution of *all* dirty evictions
+	// (Figure 1), not only the IPA-eligible ones.
+	analytic     bool
+	extraChanged int // changed bytes counted past the analytic map cap
+
+	// originalMeta is the header/footer image as it is physically stored
+	// on the Flash page. The storage manager needs it to rebuild the
+	// on-Flash image for the IPA-over-conventional-SSD write path, where
+	// the whole page (original content + appended delta records) travels
+	// over the block-device interface.
+	originalMeta []byte
+}
+
+// analyticCap bounds the memory used by analytic change counting.
+const analyticCap = 8192
+
+type changedByte struct {
+	old byte
+	new byte
+}
+
+// NewTracker creates a tracker for a page that already carries existing
+// delta records on Flash. bodyLen is the length of the page prefix that may
+// be patched byte-wise (everything before the delta-record area); changes
+// outside it are treated as metadata or force an out-of-place write.
+func NewTracker(scheme Scheme, metaLen, bodyLen, existing int) *Tracker {
+	t := &Tracker{
+		scheme:   scheme,
+		metaLen:  metaLen,
+		existing: existing,
+		bodyLen:  bodyLen,
+		// With IPA disabled, or with every record slot already used on
+		// Flash, the next eviction must go out-of-place.
+		outOfPlace: !scheme.Enabled() || existing >= scheme.N,
+	}
+	if scheme.Enabled() {
+		t.changes = make(map[uint16]changedByte, scheme.M)
+	}
+	return t
+}
+
+// Scheme returns the N×M scheme the tracker enforces.
+func (t *Tracker) Scheme() Scheme { return t.scheme }
+
+// Existing returns the number of delta records already on the Flash page.
+func (t *Tracker) Existing() int { return t.existing }
+
+// OutOfPlace reports whether the page must be written out-of-place on the
+// next eviction.
+func (t *Tracker) OutOfPlace() bool { return t.outOfPlace }
+
+// SetOriginalMeta records the header/footer image currently stored on the
+// Flash page (before any Δmetadata was applied during reconstruction).
+func (t *Tracker) SetOriginalMeta(meta []byte) {
+	t.originalMeta = append([]byte(nil), meta...)
+}
+
+// OriginalMeta returns the header/footer image stored on Flash, or nil if
+// it was never recorded.
+func (t *Tracker) OriginalMeta() []byte { return t.originalMeta }
+
+// SetAnalytic enables analytic change counting (see the analytic field).
+func (t *Tracker) SetAnalytic(on bool) {
+	t.analytic = on
+	if on && t.changes == nil {
+		t.changes = make(map[uint16]changedByte)
+	}
+}
+
+// MarkOutOfPlace forces the next eviction to use a traditional
+// out-of-place write and stops change tracking (unless analytic counting
+// is enabled).
+func (t *Tracker) MarkOutOfPlace() {
+	t.outOfPlace = true
+	if !t.analytic {
+		t.changes = nil
+	}
+}
+
+// MetaChanged reports whether page metadata (header/footer) changed.
+func (t *Tracker) MetaChanged() bool { return t.metaChanged }
+
+// RecordMetaChange notes that page metadata (header or footer bytes)
+// changed. Metadata changes do not count against M: they travel in the
+// Δmetadata portion of the delta record.
+func (t *Tracker) RecordMetaChange() { t.metaChanged = true }
+
+// RecordChange notes that the byte at offset changed from old to new.
+// Offsets must address the page body; the tracker transparently handles a
+// byte changing several times and a byte reverting to its original value.
+// Once the accumulated changes can no longer fit the remaining delta-record
+// slots, tracking stops and the page is marked for an out-of-place write.
+func (t *Tracker) RecordChange(offset int, old, new byte) {
+	if t.outOfPlace && !t.analytic {
+		return
+	}
+	if old == new {
+		return
+	}
+	if offset < 0 || offset >= t.bodyLen || offset > int(^uint16(0)) {
+		t.MarkOutOfPlace()
+		if !t.analytic {
+			return
+		}
+		// Analytic counting still wants the byte accounted for.
+		t.extraChanged += 1
+		return
+	}
+	if t.analytic && len(t.changes) >= analyticCap {
+		t.extraChanged++
+		if !t.outOfPlace && !t.fits() {
+			t.MarkOutOfPlace()
+		}
+		return
+	}
+	off := uint16(offset)
+	if prev, ok := t.changes[off]; ok {
+		if prev.old == new {
+			// The byte reverted to its on-Flash value; drop the change.
+			delete(t.changes, off)
+		} else {
+			t.changes[off] = changedByte{old: prev.old, new: new}
+		}
+	} else {
+		t.changes[off] = changedByte{old: old, new: new}
+	}
+	if !t.fits() {
+		t.MarkOutOfPlace()
+	}
+}
+
+// RecordWrite is a convenience wrapper recording a multi-byte in-place
+// update starting at offset, with old and new holding the previous and new
+// images of the updated range.
+func (t *Tracker) RecordWrite(offset int, old, new []byte) {
+	if t.outOfPlace && !t.analytic {
+		return
+	}
+	for i := range new {
+		var o byte
+		if i < len(old) {
+			o = old[i]
+		}
+		t.RecordChange(offset+i, o, new[i])
+		if t.outOfPlace && !t.analytic {
+			return
+		}
+	}
+}
+
+// fits reports whether the tracked changes still fit the remaining record
+// slots of the scheme.
+func (t *Tracker) fits() bool {
+	return t.recordsNeeded() <= t.scheme.N-t.existing
+}
+
+// recordsNeeded returns how many delta records the tracked changes require.
+func (t *Tracker) recordsNeeded() int {
+	if !t.scheme.Enabled() {
+		return t.scheme.N + 1 // never fits
+	}
+	if len(t.changes) == 0 {
+		if t.metaChanged {
+			return 1
+		}
+		return 0
+	}
+	return (len(t.changes) + t.scheme.M - 1) / t.scheme.M
+}
+
+// Dirty reports whether any change (body or metadata) was tracked. Pages
+// whose tracking stopped because the out-of-place flag was set rely on the
+// buffer manager's dirty bit instead.
+func (t *Tracker) Dirty() bool {
+	return t.metaChanged || len(t.changes) > 0
+}
+
+// NetChangedBytes returns the number of distinct body bytes whose value
+// differs from the on-Flash image. It is the quantity behind Figure 1 of
+// the paper (DBMS write-amplification analysis). Without analytic mode the
+// count is only meaningful while the page is still IPA-eligible.
+func (t *Tracker) NetChangedBytes() int { return len(t.changes) + t.extraChanged }
+
+// Eligible reports whether the page can be evicted using an in-place
+// append: IPA must be enabled, the out-of-place flag must not be set and
+// the changes must fit the remaining record slots.
+func (t *Tracker) Eligible() bool {
+	return t.scheme.Enabled() && !t.outOfPlace && t.fits()
+}
+
+// Patches returns the tracked changes as patches in unspecified order.
+func (t *Tracker) Patches() []Patch {
+	out := make([]Patch, 0, len(t.changes))
+	for off, ch := range t.changes {
+		out = append(out, Patch{Offset: off, Value: ch.new})
+	}
+	return out
+}
+
+// BuildRecords turns the tracked changes into delta records carrying the
+// supplied Δmetadata. It returns nil if the page is not eligible for an
+// in-place append or nothing changed.
+func (t *Tracker) BuildRecords(meta []byte) []DeltaRecord {
+	if !t.Eligible() || !t.Dirty() {
+		return nil
+	}
+	return SplitPatches(t.Patches(), meta, t.scheme)
+}
+
+// RestoreOriginal undoes the tracked body changes on a copy of the buffered
+// page, producing the image currently stored on Flash. The storage manager
+// uses it on the IPA-over-conventional-SSD path, where the whole page
+// (original body + appended delta records) is written over the block-device
+// interface.
+func (t *Tracker) RestoreOriginal(buffered []byte) []byte {
+	img := make([]byte, len(buffered))
+	copy(img, buffered)
+	for off, ch := range t.changes {
+		if int(off) < len(img) {
+			img[off] = ch.old
+		}
+	}
+	return img
+}
+
+// Reset prepares the tracker for the next residency of the page in the
+// buffer pool: the number of on-Flash records becomes existing and all
+// tracked state is discarded.
+func (t *Tracker) Reset(existing int) {
+	t.existing = existing
+	t.outOfPlace = !t.scheme.Enabled() || existing >= t.scheme.N
+	t.metaChanged = false
+	t.extraChanged = 0
+	if t.scheme.Enabled() || t.analytic {
+		t.changes = make(map[uint16]changedByte, t.scheme.M)
+	} else {
+		t.changes = nil
+	}
+}

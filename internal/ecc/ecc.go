@@ -1,0 +1,122 @@
+// Package ecc implements the error-correction codes used by the simulated
+// Flash device.
+//
+// Real NAND controllers protect every Flash page with an ECC stored in the
+// page's out-of-band (OOB) area. In-Place Appends complicates this because
+// the page content changes after the initial program: the appended delta
+// records would invalidate a whole-page code. The paper therefore stores
+// one ECC for the initially programmed content and one additional ECC per
+// appended delta record (Figure 3). This package provides the codec for
+// both: a single-error-correcting, double-error-detecting (SEC-DED) code
+// over arbitrary byte regions.
+//
+// The code stores, per protected region, the XOR of the bit positions of
+// all 1-bits plus an overall parity bit. A single flipped bit changes the
+// position-XOR by exactly its own index, which identifies and corrects it;
+// a double flip leaves the parity unchanged while disturbing the syndrome,
+// which is reported as uncorrectable.
+package ecc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// CodeSize is the number of ECC bytes produced per protected region:
+// a 32-bit position XOR, a 16-bit population-count check and a parity byte.
+const CodeSize = 7
+
+// Errors reported by Decode.
+var (
+	// ErrUncorrectable is returned when the protected region holds more
+	// bit errors than the code can correct.
+	ErrUncorrectable = errors.New("ecc: uncorrectable error")
+	// ErrBadCode is returned when the stored code bytes are malformed.
+	ErrBadCode = errors.New("ecc: malformed code")
+)
+
+// Encode computes the ECC for data and returns the CodeSize code bytes.
+// Regions up to 256 MiB are supported, far beyond any Flash page size.
+func Encode(data []byte) []byte {
+	code := make([]byte, CodeSize)
+	posXOR, ones := signature(data)
+	binary.LittleEndian.PutUint32(code[0:4], posXOR)
+	binary.LittleEndian.PutUint16(code[4:6], uint16(ones))
+	code[6] = byte(ones & 1)
+	return code
+}
+
+// signature returns the XOR of 1-based bit positions of all set bits and
+// the total number of set bits in data.
+func signature(data []byte) (posXOR uint32, ones uint64) {
+	for i, b := range data {
+		if b == 0 {
+			continue
+		}
+		ones += uint64(bits.OnesCount8(b))
+		base := uint32(i*8) + 1
+		for bit := uint32(0); bit < 8; bit++ {
+			if b&(1<<bit) != 0 {
+				posXOR ^= base + bit
+			}
+		}
+	}
+	return posXOR, ones
+}
+
+// Result describes the outcome of a Decode call.
+type Result struct {
+	// Corrected is the number of bit errors repaired in place (0 or 1).
+	Corrected int
+}
+
+// Decode verifies data against code and corrects a single bit error in
+// place. It returns the number of corrected bits. Double (or more) bit
+// errors are detected and reported as ErrUncorrectable.
+func Decode(data, code []byte) (Result, error) {
+	if len(code) < CodeSize {
+		return Result{}, fmt.Errorf("%w: got %d bytes, want %d", ErrBadCode, len(code), CodeSize)
+	}
+	wantXOR := binary.LittleEndian.Uint32(code[0:4])
+	wantOnes := binary.LittleEndian.Uint16(code[4:6])
+	wantParity := code[6] & 1
+
+	gotXOR, gotOnes := signature(data)
+	if gotXOR == wantXOR && uint16(gotOnes) == wantOnes {
+		return Result{}, nil
+	}
+	parityChanged := byte(gotOnes&1) != wantParity
+	if !parityChanged {
+		// An even number (>= 2) of bits flipped: detectable, not correctable.
+		return Result{}, fmt.Errorf("%w: even multi-bit error", ErrUncorrectable)
+	}
+	// A single flip: the syndrome equals the 1-based position of the bit.
+	syndrome := gotXOR ^ wantXOR
+	if syndrome == 0 || int(syndrome-1) >= len(data)*8 {
+		return Result{}, fmt.Errorf("%w: syndrome out of range", ErrUncorrectable)
+	}
+	pos := int(syndrome - 1)
+	data[pos/8] ^= 1 << uint(pos%8)
+	// Verify the correction actually restored the signature; if not, more
+	// than one bit differed.
+	fixedXOR, fixedOnes := signature(data)
+	if fixedXOR != wantXOR || uint16(fixedOnes) != wantOnes {
+		// Undo the speculative flip and report failure.
+		data[pos/8] ^= 1 << uint(pos%8)
+		return Result{}, fmt.Errorf("%w: multi-bit error", ErrUncorrectable)
+	}
+	return Result{Corrected: 1}, nil
+}
+
+// Blank reports whether code consists only of erased (0xFF) bytes, i.e. no
+// ECC has been programmed into that OOB slot yet.
+func Blank(code []byte) bool {
+	for _, b := range code {
+		if b != 0xFF {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	code := Encode(data)
+	if len(code) != CodeSize {
+		t.Fatalf("code size %d, want %d", len(code), CodeSize)
+	}
+	res, err := Decode(data, code)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if res.Corrected != 0 {
+		t.Fatalf("clean data should need no correction, got %d", res.Corrected)
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 1+r.Intn(512))
+		r.Read(data)
+		code := Encode(data)
+		orig := append([]byte(nil), data...)
+		// Flip one random bit.
+		pos := r.Intn(len(data) * 8)
+		data[pos/8] ^= 1 << uint(pos%8)
+		res, err := Decode(data, code)
+		if err != nil {
+			t.Fatalf("trial %d: Decode failed: %v", trial, err)
+		}
+		if res.Corrected != 1 {
+			t.Fatalf("trial %d: corrected %d bits, want 1", trial, res.Corrected)
+		}
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("trial %d: correction produced wrong data", trial)
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	detected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		data := make([]byte, 64+r.Intn(256))
+		r.Read(data)
+		code := Encode(data)
+		p1 := r.Intn(len(data) * 8)
+		p2 := r.Intn(len(data) * 8)
+		for p2 == p1 {
+			p2 = r.Intn(len(data) * 8)
+		}
+		data[p1/8] ^= 1 << uint(p1%8)
+		data[p2/8] ^= 1 << uint(p2%8)
+		if _, err := Decode(data, code); err != nil {
+			if !errors.Is(err, ErrUncorrectable) {
+				t.Fatalf("trial %d: unexpected error type %v", trial, err)
+			}
+			detected++
+		}
+	}
+	if detected != trials {
+		t.Fatalf("double-bit errors detected in %d/%d trials", detected, trials)
+	}
+}
+
+func TestDecodeBadCode(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}, []byte{0}); !errors.Is(err, ErrBadCode) {
+		t.Fatalf("expected ErrBadCode, got %v", err)
+	}
+}
+
+func TestBlank(t *testing.T) {
+	if !Blank([]byte{0xFF, 0xFF, 0xFF}) {
+		t.Errorf("all-FF must be blank")
+	}
+	if Blank([]byte{0xFF, 0x00}) {
+		t.Errorf("non-FF must not be blank")
+	}
+	// A real code is never all 0xFF for small regions.
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if Blank(Encode(data)) {
+		t.Errorf("encoded code collides with the blank marker")
+	}
+}
+
+func TestEncodeEmptyData(t *testing.T) {
+	code := Encode(nil)
+	if _, err := Decode(nil, code); err != nil {
+		t.Fatalf("empty region should verify: %v", err)
+	}
+}
+
+// TestRoundTripProperty: decoding unmodified data always succeeds with zero
+// corrections, for arbitrary content.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		code := Encode(data)
+		res, err := Decode(data, code)
+		return err == nil && res.Corrected == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("round-trip property: %v", err)
+	}
+}
+
+// TestSingleFlipProperty: any single bit flip in arbitrary data is corrected
+// back to the original.
+func TestSingleFlipProperty(t *testing.T) {
+	f := func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		bit := int(pos) % (len(data) * 8)
+		code := Encode(data)
+		orig := append([]byte(nil), data...)
+		data[bit/8] ^= 1 << uint(bit%8)
+		res, err := Decode(data, code)
+		return err == nil && res.Corrected == 1 && bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("single-flip property: %v", err)
+	}
+}
+
+func BenchmarkEncode8K(b *testing.B) {
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(data)
+	}
+}
+
+func BenchmarkDecodeClean8K(b *testing.B) {
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(1)).Read(data)
+	code := Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data, code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

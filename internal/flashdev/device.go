@@ -1,0 +1,518 @@
+// Package flashdev assembles one or more simulated NAND chips into a Flash
+// device with a command interface, an out-of-band (OOB) layout for ECC, and
+// a virtual clock.
+//
+// The device offers exactly the commands the paper's storage architecture
+// needs: whole-page read and program, block erase, and the partial-program
+// primitive used by write_delta to append a delta record to an already
+// programmed Flash page. All commands advance a deterministic virtual clock
+// according to a configurable latency model, so layers above can derive
+// throughput figures without depending on wall-clock time.
+package flashdev
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ipa/internal/ecc"
+	"ipa/internal/nand"
+)
+
+// OOB layout constants. The OOB area of every page holds, in order, the
+// cover length of the initial ECC, the initial ECC itself, and a number of
+// delta-record ECC slots (Figure 3 of the paper).
+const (
+	oobCoverLenSize = 2
+	oobInitialOff   = oobCoverLenSize
+	deltaSlotHeader = 4 // offset (2) + length (2)
+	// DeltaSlotSize is the OOB space consumed by one delta-record ECC slot.
+	DeltaSlotSize = deltaSlotHeader + ecc.CodeSize
+)
+
+// Errors returned by the device.
+var (
+	// ErrNoDeltaSlot is returned by ProgramDelta when all OOB delta ECC
+	// slots of the page are already in use.
+	ErrNoDeltaSlot = errors.New("flashdev: no free delta ECC slot in OOB")
+	// ErrCorrupted is returned when ECC verification fails beyond repair.
+	ErrCorrupted = errors.New("flashdev: uncorrectable data corruption")
+	// ErrOutOfRange mirrors nand.ErrOutOfRange at device granularity.
+	ErrOutOfRange = errors.New("flashdev: address out of range")
+)
+
+// Config configures a Flash device.
+type Config struct {
+	// Chips is the number of identical NAND chips; their blocks are
+	// concatenated into one linear block address space.
+	Chips int
+	// Chip is the per-chip configuration.
+	Chip nand.Config
+	// Latency is the timing model driving the virtual clock.
+	Latency LatencyModel
+	// DisableECC turns off ECC generation and verification (useful for
+	// micro-benchmarks isolating the ECC cost).
+	DisableECC bool
+}
+
+// DefaultConfig returns a single-chip device with default geometry and
+// timing.
+func DefaultConfig() Config {
+	return Config{
+		Chips:   1,
+		Chip:    nand.DefaultConfig(),
+		Latency: DefaultLatencyModel(),
+	}
+}
+
+// Stats aggregates device-level counters.
+type Stats struct {
+	PageReads       uint64
+	PagePrograms    uint64
+	DeltaPrograms   uint64
+	BlockErases     uint64
+	BytesToDevice   uint64 // bytes transferred host -> device
+	BytesFromDevice uint64 // bytes transferred device -> host
+	CorrectedBits   uint64
+	Uncorrectable   uint64
+}
+
+// Device is a simulated Flash storage device.
+type Device struct {
+	mu    sync.Mutex
+	cfg   Config
+	chips []*nand.Chip
+	clock time.Duration
+	stats Stats
+}
+
+// New creates a device with all blocks erased.
+func New(cfg Config) (*Device, error) {
+	if cfg.Chips <= 0 {
+		cfg.Chips = 1
+	}
+	if cfg.Latency == (LatencyModel{}) {
+		cfg.Latency = DefaultLatencyModel()
+	}
+	d := &Device{cfg: cfg}
+	for i := 0; i < cfg.Chips; i++ {
+		chipCfg := cfg.Chip
+		chipCfg.Seed = cfg.Chip.Seed + int64(i)
+		chip, err := nand.NewChip(chipCfg)
+		if err != nil {
+			return nil, fmt.Errorf("flashdev: chip %d: %w", i, err)
+		}
+		d.chips = append(d.chips, chip)
+	}
+	return d, nil
+}
+
+// Geometry describes the device-level geometry.
+type Geometry struct {
+	Blocks        int // total blocks across all chips
+	PagesPerBlock int
+	PageSize      int
+	OOBSize       int
+	DeltaSlots    int // delta ECC slots available per page
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry {
+	g := d.cfg.Chip.Geometry
+	slots := 0
+	if g.OOBSize > oobInitialOff+ecc.CodeSize {
+		slots = (g.OOBSize - oobInitialOff - ecc.CodeSize) / DeltaSlotSize
+	}
+	return Geometry{
+		Blocks:        g.Blocks * d.cfg.Chips,
+		PagesPerBlock: g.PagesPerBlock,
+		PageSize:      g.PageSize,
+		OOBSize:       g.OOBSize,
+		DeltaSlots:    slots,
+	}
+}
+
+// CellType returns the cell technology of the underlying chips.
+func (d *Device) CellType() nand.CellType { return d.cfg.Chip.Cell }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Now returns the current virtual time of the device.
+func (d *Device) Now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+// AdvanceClock adds extra virtual time, e.g. CPU cost charged by layers
+// above the device.
+func (d *Device) AdvanceClock(dt time.Duration) {
+	d.mu.Lock()
+	d.clock += dt
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the device counters. The virtual clock and the per-
+// block wear state are preserved.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.stats = Stats{}
+	d.mu.Unlock()
+}
+
+// ChipStats returns the summed raw chip counters.
+func (d *Device) ChipStats() nand.Stats {
+	var s nand.Stats
+	for _, c := range d.chips {
+		cs := c.Stats()
+		s.PageReads += cs.PageReads
+		s.PagePrograms += cs.PagePrograms
+		s.PartialPrograms += cs.PartialPrograms
+		s.BlockErases += cs.BlockErases
+		s.InterferenceBits += cs.InterferenceBits
+		s.OverwriteDenied += cs.OverwriteDenied
+	}
+	return s
+}
+
+// TotalErases returns the total number of block erases performed, a proxy
+// for device wear.
+func (d *Device) TotalErases() uint64 {
+	var sum uint64
+	for _, c := range d.chips {
+		sum += c.TotalErases()
+	}
+	return sum
+}
+
+// MaxEraseCount returns the highest per-block erase count on the device.
+func (d *Device) MaxEraseCount() int {
+	max := 0
+	for _, c := range d.chips {
+		if m := c.MaxEraseCount(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// EnduranceCycles returns the per-block endurance of the underlying chips.
+func (d *Device) EnduranceCycles() int {
+	return d.chips[0].Config().EnduranceCycles
+}
+
+// BlockEraseCount returns the erase count of a device block.
+func (d *Device) BlockEraseCount(block int) (int, error) {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return 0, err
+	}
+	return chip.EraseCount(b)
+}
+
+// CopyPage migrates a programmed page to another (erased) location, as done
+// by garbage collection (copy-back). Data and OOB are copied verbatim, so
+// the initial ECC and every per-delta-record ECC slot remain valid at the
+// destination and further appends can still use the remaining slots.
+func (d *Device) CopyPage(srcBlock, srcPage, dstBlock, dstPage int) error {
+	srcChip, sb, err := d.locate(srcBlock)
+	if err != nil {
+		return err
+	}
+	dstChip, db, err := d.locate(dstBlock)
+	if err != nil {
+		return err
+	}
+	g := d.cfg.Chip.Geometry
+	data := make([]byte, g.PageSize)
+	oob := make([]byte, g.OOBSize)
+	if err := srcChip.ReadPage(sb, srcPage, data, oob); err != nil {
+		return err
+	}
+	if err := dstChip.Program(db, dstPage, data, oob); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stats.PageReads++
+	d.stats.PagePrograms++
+	lsb := nand.IsLSBPage(d.cfg.Chip.Cell, dstPage)
+	// Copy-back stays on the device: no host bus transfer is charged.
+	d.clock += d.cfg.Latency.PageRead +
+		d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb)
+	d.mu.Unlock()
+	return nil
+}
+
+// locate translates a device block index into (chip, chip-local block).
+func (d *Device) locate(block int) (*nand.Chip, int, error) {
+	per := d.cfg.Chip.Geometry.Blocks
+	chip := block / per
+	if block < 0 || chip >= len(d.chips) {
+		return nil, 0, fmt.Errorf("%w: block %d", ErrOutOfRange, block)
+	}
+	return d.chips[chip], block % per, nil
+}
+
+// IsLSBPage reports whether the page index addresses an LSB page on the
+// device's cell technology.
+func (d *Device) IsLSBPage(pageInBlock int) bool {
+	return nand.IsLSBPage(d.cfg.Chip.Cell, pageInBlock)
+}
+
+// PageProgrammed reports whether the addressed page currently holds data.
+func (d *Device) PageProgrammed(block, page int) (bool, error) {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return false, err
+	}
+	info, err := chip.PageStatus(b, page)
+	if err != nil {
+		return false, err
+	}
+	return info.State == nand.PageProgrammed, nil
+}
+
+// PagePrograms returns the number of program operations the page has seen
+// since its block was last erased.
+func (d *Device) PagePrograms(block, page int) (int, error) {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return 0, err
+	}
+	info, err := chip.PageStatus(b, page)
+	if err != nil {
+		return 0, err
+	}
+	return info.Programs, nil
+}
+
+// ReadPage reads the full data area of a page into buf (which must be
+// PageSize bytes), verifies the ECC of the initially programmed region and
+// of every appended delta record, and corrects single-bit errors.
+func (d *Device) ReadPage(block, page int, buf []byte) error {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return err
+	}
+	g := d.cfg.Chip.Geometry
+	if len(buf) != g.PageSize {
+		return fmt.Errorf("flashdev: ReadPage buffer %d bytes, want %d", len(buf), g.PageSize)
+	}
+	oob := make([]byte, g.OOBSize)
+	if err := chip.ReadPage(b, page, buf, oob); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stats.PageReads++
+	d.stats.BytesFromDevice += uint64(len(buf))
+	d.clock += d.cfg.Latency.PageRead + d.cfg.Latency.transfer(len(buf))
+	d.mu.Unlock()
+	if d.cfg.DisableECC || g.OOBSize == 0 {
+		return nil
+	}
+	return d.verify(buf, oob)
+}
+
+// verify checks the initial-region ECC and all delta-record ECC slots,
+// correcting single-bit errors in buf.
+func (d *Device) verify(buf, oob []byte) error {
+	coverLen := binary.LittleEndian.Uint16(oob[0:oobCoverLenSize])
+	if coverLen != 0xFFFF && int(coverLen) <= len(buf) {
+		code := oob[oobInitialOff : oobInitialOff+ecc.CodeSize]
+		if !ecc.Blank(code) {
+			res, err := ecc.Decode(buf[:coverLen], code)
+			if err != nil {
+				d.countCorruption()
+				return fmt.Errorf("%w: initial region: %v", ErrCorrupted, err)
+			}
+			d.countCorrected(res.Corrected)
+		}
+	}
+	geo := d.Geometry()
+	for slot := 0; slot < geo.DeltaSlots; slot++ {
+		off := oobInitialOff + ecc.CodeSize + slot*DeltaSlotSize
+		hdr := oob[off : off+deltaSlotHeader]
+		if hdr[0] == 0xFF && hdr[1] == 0xFF && hdr[2] == 0xFF && hdr[3] == 0xFF {
+			continue // blank slot
+		}
+		dOff := int(binary.LittleEndian.Uint16(hdr[0:2]))
+		dLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
+		if dOff+dLen > len(buf) {
+			d.countCorruption()
+			return fmt.Errorf("%w: delta slot %d header out of range", ErrCorrupted, slot)
+		}
+		code := oob[off+deltaSlotHeader : off+DeltaSlotSize]
+		res, err := ecc.Decode(buf[dOff:dOff+dLen], code)
+		if err != nil {
+			d.countCorruption()
+			return fmt.Errorf("%w: delta slot %d: %v", ErrCorrupted, slot, err)
+		}
+		d.countCorrected(res.Corrected)
+	}
+	return nil
+}
+
+func (d *Device) countCorrected(n int) {
+	if n == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.stats.CorrectedBits += uint64(n)
+	d.mu.Unlock()
+}
+
+func (d *Device) countCorruption() {
+	d.mu.Lock()
+	d.stats.Uncorrectable++
+	d.mu.Unlock()
+}
+
+// ProgramPage programs the full data area of a page. eccCover is the number
+// of leading bytes protected by the initial ECC; layers using in-place
+// appends exclude the delta-record area from the cover so later appends do
+// not invalidate the code. A cover of len(data) protects the whole page.
+func (d *Device) ProgramPage(block, page int, data []byte, eccCover int) error {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return err
+	}
+	g := d.cfg.Chip.Geometry
+	if len(data) != g.PageSize {
+		return fmt.Errorf("flashdev: ProgramPage buffer %d bytes, want %d", len(data), g.PageSize)
+	}
+	if eccCover < 0 || eccCover > len(data) {
+		return fmt.Errorf("flashdev: ecc cover %d out of range", eccCover)
+	}
+	var oob []byte
+	if !d.cfg.DisableECC && g.OOBSize >= oobInitialOff+ecc.CodeSize {
+		oob = make([]byte, oobInitialOff+ecc.CodeSize)
+		binary.LittleEndian.PutUint16(oob[0:2], uint16(eccCover))
+		copy(oob[oobInitialOff:], ecc.Encode(data[:eccCover]))
+	}
+	if err := chip.Program(b, page, data, oob); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stats.PagePrograms++
+	d.stats.BytesToDevice += uint64(len(data))
+	lsb := nand.IsLSBPage(d.cfg.Chip.Cell, page)
+	d.clock += d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb) +
+		d.cfg.Latency.transfer(len(data))
+	d.mu.Unlock()
+	return nil
+}
+
+// ProgramDelta appends delta bytes to an already programmed page by
+// partially programming the byte range [offset, offset+len(delta)) of the
+// data area and recording a dedicated ECC for the delta in the next free
+// OOB slot. It returns the slot index used. This is the device half of the
+// write_delta command.
+func (d *Device) ProgramDelta(block, page, offset int, delta []byte) (int, error) {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return 0, err
+	}
+	g := d.cfg.Chip.Geometry
+	if offset < 0 || offset+len(delta) > g.PageSize {
+		return 0, fmt.Errorf("flashdev: delta [%d,%d) out of page", offset, offset+len(delta))
+	}
+	slot := -1
+	var oobOff int
+	var oobData []byte
+	if !d.cfg.DisableECC && g.OOBSize > 0 {
+		// Find the first blank delta slot.
+		oob := make([]byte, g.OOBSize)
+		if err := chip.ReadPage(b, page, nil, oob); err != nil {
+			return 0, err
+		}
+		geo := d.Geometry()
+		for s := 0; s < geo.DeltaSlots; s++ {
+			off := oobInitialOff + ecc.CodeSize + s*DeltaSlotSize
+			if ecc.Blank(oob[off : off+DeltaSlotSize]) {
+				slot = s
+				oobOff = off
+				break
+			}
+		}
+		if slot < 0 {
+			return 0, ErrNoDeltaSlot
+		}
+		oobData = make([]byte, DeltaSlotSize)
+		binary.LittleEndian.PutUint16(oobData[0:2], uint16(offset))
+		binary.LittleEndian.PutUint16(oobData[2:4], uint16(len(delta)))
+		copy(oobData[deltaSlotHeader:], ecc.Encode(delta))
+	}
+	if err := chip.ProgramPartial(b, page, offset, delta, oobOff, oobData); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.stats.DeltaPrograms++
+	d.stats.BytesToDevice += uint64(len(delta))
+	lsb := nand.IsLSBPage(d.cfg.Chip.Cell, page)
+	d.clock += d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb) +
+		d.cfg.Latency.transfer(len(delta))
+	d.mu.Unlock()
+	return slot, nil
+}
+
+// FreeDeltaSlots returns the number of unused delta ECC slots of a page.
+func (d *Device) FreeDeltaSlots(block, page int) (int, error) {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return 0, err
+	}
+	g := d.cfg.Chip.Geometry
+	geo := d.Geometry()
+	if d.cfg.DisableECC || g.OOBSize == 0 {
+		return geo.DeltaSlots, nil
+	}
+	oob := make([]byte, g.OOBSize)
+	if err := chip.ReadPage(b, page, nil, oob); err != nil {
+		return 0, err
+	}
+	free := 0
+	for s := 0; s < geo.DeltaSlots; s++ {
+		off := oobInitialOff + ecc.CodeSize + s*DeltaSlotSize
+		if ecc.Blank(oob[off : off+DeltaSlotSize]) {
+			free++
+		}
+	}
+	return free, nil
+}
+
+// EraseBlock erases a block.
+func (d *Device) EraseBlock(block int) error {
+	chip, b, err := d.locate(block)
+	if err != nil {
+		return err
+	}
+	if err := chip.Erase(b); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stats.BlockErases++
+	d.clock += d.cfg.Latency.BlockErase
+	d.mu.Unlock()
+	return nil
+}
+
+// EraseAll erases every block of the device (low-level format).
+func (d *Device) EraseAll() error {
+	geo := d.Geometry()
+	for blk := 0; blk < geo.Blocks; blk++ {
+		if err := d.EraseBlock(blk); err != nil {
+			return err
+		}
+	}
+	return nil
+}

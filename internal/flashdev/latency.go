@@ -1,0 +1,52 @@
+package flashdev
+
+import "time"
+
+// LatencyModel describes the timing of the simulated Flash device. The
+// device maintains a virtual clock that advances by these amounts for every
+// operation; transactional throughput in the experiments is derived from
+// that clock, which makes results deterministic and hardware independent.
+type LatencyModel struct {
+	// PageRead is the array-to-register sensing time of one Flash page.
+	PageRead time.Duration
+	// PageProgramSLC is the program time of an SLC page.
+	PageProgramSLC time.Duration
+	// PageProgramLSB is the program time of an MLC LSB page.
+	PageProgramLSB time.Duration
+	// PageProgramMSB is the program time of an MLC MSB page.
+	PageProgramMSB time.Duration
+	// BlockErase is the erase time of one block.
+	BlockErase time.Duration
+	// BusPerByte is the host-interface transfer time per byte.
+	BusPerByte time.Duration
+}
+
+// DefaultLatencyModel returns timings representative of the MLC NAND used
+// on the OpenSSD Jasmine board (order-of-magnitude values from datasheets).
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		PageRead:       70 * time.Microsecond,
+		PageProgramSLC: 250 * time.Microsecond,
+		PageProgramLSB: 400 * time.Microsecond,
+		PageProgramMSB: 1300 * time.Microsecond,
+		BlockErase:     3500 * time.Microsecond,
+		BusPerByte:     3 * time.Nanosecond,
+	}
+}
+
+// programTime returns the program latency of a page depending on the cell
+// technology and whether the page is an LSB page.
+func (m LatencyModel) programTime(slc, lsb bool) time.Duration {
+	if slc {
+		return m.PageProgramSLC
+	}
+	if lsb {
+		return m.PageProgramLSB
+	}
+	return m.PageProgramMSB
+}
+
+// transfer returns the bus time for n bytes.
+func (m LatencyModel) transfer(n int) time.Duration {
+	return time.Duration(n) * m.BusPerByte
+}

@@ -1,0 +1,632 @@
+// Package ftl implements the Flash management layer between the database
+// storage manager and the simulated Flash device.
+//
+// It provides the two architectures evaluated in the paper:
+//
+//   - a conventional SSD exposing a block-device style page interface with
+//     out-of-place updates, page-mapping address translation, greedy
+//     garbage collection and wear-aware block allocation; optionally with
+//     in-place write merging so that a host write whose only changes are
+//     appended delta-record bytes is programmed onto the existing physical
+//     page without invalidating it (IPA for conventional SSDs, demo
+//     scenario 2), and
+//
+//   - the native-Flash path used by the NoFTL architecture, where the host
+//     issues the write_delta command and only the delta bytes travel to the
+//     device (IPA for native Flash, demo scenario 3).
+//
+// All counters that the paper reports (host reads and writes, GC page
+// migrations, GC erases, in-place vs out-of-place writes) are collected
+// here.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipa/internal/flashdev"
+	"ipa/internal/nand"
+)
+
+// Errors returned by the FTL.
+var (
+	// ErrUnmapped is returned when reading a logical page that has never
+	// been written.
+	ErrUnmapped = errors.New("ftl: logical page not mapped")
+	// ErrNotAppendable is returned by WriteDelta (and by the in-place
+	// merge path) when the mapped physical page cannot accept an in-place
+	// append; the caller must fall back to a full out-of-place write.
+	ErrNotAppendable = errors.New("ftl: page cannot take an in-place append")
+	// ErrDeviceFull is returned when no free block can be reclaimed.
+	ErrDeviceFull = errors.New("ftl: device full (no reclaimable blocks)")
+	// ErrBadLBA is returned for logical addresses outside the exported
+	// capacity.
+	ErrBadLBA = errors.New("ftl: logical page address out of range")
+)
+
+// Config tunes the FTL.
+type Config struct {
+	// FlashMode selects how MLC Flash is operated (pSLC, odd-MLC, ...).
+	// It controls which physical pages are usable and which accept
+	// in-place appends.
+	FlashMode nand.Mode
+	// OverprovisionPct is the fraction of usable pages withheld from the
+	// exported capacity to give the garbage collector headroom.
+	OverprovisionPct float64
+	// GCLowWater triggers garbage collection when the number of free
+	// blocks drops to this value.
+	GCLowWater int
+	// GCHighWater is the number of free blocks garbage collection tries
+	// to reach before it stops.
+	GCHighWater int
+	// MaxAppendsPerPage caps the number of in-place appends to one
+	// physical page (bounded by the device NOP budget and the OOB delta
+	// ECC slots).
+	MaxAppendsPerPage int
+	// InPlaceMerge enables detection of host page writes that can be
+	// programmed onto the already mapped physical page (IPA over the
+	// block-device interface).
+	InPlaceMerge bool
+	// EccCoverBytes is the number of leading page bytes protected by the
+	// initial ECC; the remainder is the delta-record area. Zero protects
+	// the whole page (no IPA). It is set during low-level formatting.
+	EccCoverBytes int
+}
+
+// DefaultConfig returns a conventional out-of-place FTL configuration.
+func DefaultConfig() Config {
+	return Config{
+		FlashMode:         nand.ModeMLCFull,
+		OverprovisionPct:  0.08,
+		GCLowWater:        2,
+		GCHighWater:       4,
+		MaxAppendsPerPage: 0,
+		InPlaceMerge:      false,
+		EccCoverBytes:     0,
+	}
+}
+
+// Stats are the counters the experiments report.
+type Stats struct {
+	HostReads        uint64 // host page reads
+	HostWrites       uint64 // host full-page writes
+	HostWriteDeltas  uint64 // host write_delta commands
+	HostBytesRead    uint64
+	HostBytesWritten uint64 // bytes transferred host -> FTL (full pages and deltas)
+
+	InPlaceAppends   uint64 // host writes served without page invalidation
+	OutOfPlaceWrites uint64 // host writes served by writing a new physical page
+	Invalidations    uint64 // physical pages invalidated by host writes
+
+	GCMigrations uint64 // valid pages copied by the garbage collector
+	GCErases     uint64 // blocks erased by the garbage collector
+	GCRuns       uint64
+}
+
+type blockState int
+
+const (
+	blockFree blockState = iota
+	blockActive
+	blockUsed
+)
+
+type blockInfo struct {
+	state      blockState
+	validCount int
+	nextPage   int // next unwritten usable page index (for the active block)
+}
+
+// FTL is a page-mapping Flash translation layer.
+type FTL struct {
+	mu  sync.Mutex
+	dev *flashdev.Device
+	cfg Config
+	geo flashdev.Geometry
+
+	usablePerBlock int
+	exportedPages  int
+
+	l2p     []int32 // logical page -> physical page address (-1 unmapped)
+	p2l     []int32 // physical page address -> logical page (-1 invalid/free)
+	appends []uint8 // in-place appends performed on each physical page
+	blocks  []blockInfo
+	free    []int // free block stack
+	active  int   // index of the active block, -1 if none
+
+	stats Stats
+}
+
+// New creates an FTL on top of an erased device.
+func New(dev *flashdev.Device, cfg Config) (*FTL, error) {
+	geo := dev.Geometry()
+	if cfg.GCLowWater <= 0 {
+		cfg.GCLowWater = 2
+	}
+	if cfg.GCHighWater <= cfg.GCLowWater {
+		cfg.GCHighWater = cfg.GCLowWater + 2
+	}
+	if cfg.OverprovisionPct <= 0 {
+		cfg.OverprovisionPct = 0.08
+	}
+	if cfg.MaxAppendsPerPage <= 0 {
+		cfg.MaxAppendsPerPage = geo.DeltaSlots
+	}
+	if cfg.MaxAppendsPerPage > geo.DeltaSlots && geo.DeltaSlots > 0 {
+		cfg.MaxAppendsPerPage = geo.DeltaSlots
+	}
+	if cfg.EccCoverBytes <= 0 || cfg.EccCoverBytes > geo.PageSize {
+		cfg.EccCoverBytes = geo.PageSize
+	}
+
+	usable := 0
+	for p := 0; p < geo.PagesPerBlock; p++ {
+		if nand.PageUsable(dev.CellType(), cfg.FlashMode, p) {
+			usable++
+		}
+	}
+	if usable == 0 {
+		return nil, fmt.Errorf("ftl: flash mode %v leaves no usable pages", cfg.FlashMode)
+	}
+	totalUsable := usable * geo.Blocks
+	reserve := int(float64(totalUsable) * cfg.OverprovisionPct)
+	minReserve := (cfg.GCHighWater + 1) * usable
+	if reserve < minReserve {
+		reserve = minReserve
+	}
+	exported := totalUsable - reserve
+	if exported <= 0 {
+		return nil, fmt.Errorf("ftl: device too small: %d usable pages, %d reserved", totalUsable, reserve)
+	}
+
+	f := &FTL{
+		dev:            dev,
+		cfg:            cfg,
+		geo:            geo,
+		usablePerBlock: usable,
+		exportedPages:  exported,
+		l2p:            make([]int32, exported),
+		p2l:            make([]int32, geo.Blocks*geo.PagesPerBlock),
+		appends:        make([]uint8, geo.Blocks*geo.PagesPerBlock),
+		blocks:         make([]blockInfo, geo.Blocks),
+		active:         -1,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
+	}
+	for b := geo.Blocks - 1; b >= 0; b-- {
+		f.free = append(f.free, b)
+	}
+	return f, nil
+}
+
+// Capacity returns the number of logical pages exported to the host.
+func (f *FTL) Capacity() int { return f.exportedPages }
+
+// PageSize returns the logical and physical page size in bytes.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+// Config returns the effective configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// Device returns the underlying Flash device.
+func (f *FTL) Device() *flashdev.Device { return f.dev }
+
+// Stats returns a snapshot of the FTL counters.
+func (f *FTL) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ResetStats clears all counters (used after benchmark load phases).
+func (f *FTL) ResetStats() {
+	f.mu.Lock()
+	f.stats = Stats{}
+	f.mu.Unlock()
+}
+
+// ppa helpers.
+func (f *FTL) ppaOf(block, page int) int32 { return int32(block*f.geo.PagesPerBlock + page) }
+func (f *FTL) blockOf(ppa int32) int       { return int(ppa) / f.geo.PagesPerBlock }
+func (f *FTL) pageOf(ppa int32) int        { return int(ppa) % f.geo.PagesPerBlock }
+
+// Mapped reports whether the logical page has been written.
+func (f *FTL) Mapped(lba int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return lba >= 0 && lba < len(f.l2p) && f.l2p[lba] >= 0
+}
+
+// IsAppendTarget reports whether the physical page currently backing lba
+// may accept further in-place appends (flash-mode safety and budget); it
+// does not consider the content about to be appended.
+func (f *FTL) IsAppendTarget(lba int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ppa, err := f.mappedPPA(lba)
+	if err != nil {
+		return false
+	}
+	return f.appendableLocked(ppa)
+}
+
+func (f *FTL) appendableLocked(ppa int32) bool {
+	if !nand.AppendSafe(f.dev.CellType(), f.cfg.FlashMode, f.pageOf(ppa)) {
+		return false
+	}
+	return int(f.appends[ppa]) < f.cfg.MaxAppendsPerPage
+}
+
+func (f *FTL) mappedPPA(lba int) (int32, error) {
+	if lba < 0 || lba >= len(f.l2p) {
+		return -1, fmt.Errorf("%w: %d", ErrBadLBA, lba)
+	}
+	ppa := f.l2p[lba]
+	if ppa < 0 {
+		return -1, fmt.Errorf("%w: %d", ErrUnmapped, lba)
+	}
+	return ppa, nil
+}
+
+// ReadPage reads the logical page into buf (PageSize bytes).
+func (f *FTL) ReadPage(lba int, buf []byte) error {
+	f.mu.Lock()
+	ppa, err := f.mappedPPA(lba)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.stats.HostReads++
+	f.stats.HostBytesRead += uint64(len(buf))
+	block, page := f.blockOf(ppa), f.pageOf(ppa)
+	f.mu.Unlock()
+	return f.dev.ReadPage(block, page, buf)
+}
+
+// WritePage writes a full logical page. With InPlaceMerge enabled the FTL
+// first attempts to program the new image onto the currently mapped
+// physical page (possible when the only changed bits are 1->0, i.e. the
+// image only gained appended delta records); otherwise the page is written
+// out-of-place and the old physical page is invalidated. The first return
+// value reports whether the write was served in place.
+func (f *FTL) WritePage(lba int, data []byte) (bool, error) {
+	if len(data) != f.geo.PageSize {
+		return false, fmt.Errorf("ftl: WritePage buffer %d bytes, want %d", len(data), f.geo.PageSize)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if lba < 0 || lba >= len(f.l2p) {
+		return false, fmt.Errorf("%w: %d", ErrBadLBA, lba)
+	}
+	f.stats.HostWrites++
+	f.stats.HostBytesWritten += uint64(len(data))
+
+	if f.cfg.InPlaceMerge {
+		if ppa := f.l2p[lba]; ppa >= 0 && f.appendableLocked(ppa) {
+			if err := f.tryInPlaceLocked(ppa, data); err == nil {
+				f.appends[ppa]++
+				f.stats.InPlaceAppends++
+				return true, nil
+			}
+		}
+	}
+	return false, f.writeOutOfPlaceLocked(lba, data)
+}
+
+// tryInPlaceLocked attempts to program data over the existing physical
+// page. The device enforces the bit-clear-only rule, so an image that
+// changed anything besides appended (previously erased) bytes fails and the
+// caller falls back to an out-of-place write.
+func (f *FTL) tryInPlaceLocked(ppa int32, data []byte) error {
+	block, page := f.blockOf(ppa), f.pageOf(ppa)
+	err := f.dev.ProgramPage(block, page, data, f.cfg.EccCoverBytes)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, nand.ErrOverwriteViolation) || errors.Is(err, nand.ErrNOPExceeded) {
+		return ErrNotAppendable
+	}
+	return err
+}
+
+// WriteDelta appends delta bytes at the given page offset to the physical
+// page currently backing lba (the write_delta command of the native-Flash
+// architecture). It fails with ErrNotAppendable when the mapped page cannot
+// take the append, in which case the caller must issue a full WritePage.
+func (f *FTL) WriteDelta(lba, offset int, delta []byte) error {
+	f.mu.Lock()
+	ppa, err := f.mappedPPA(lba)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if !f.appendableLocked(ppa) {
+		f.mu.Unlock()
+		return ErrNotAppendable
+	}
+	f.stats.HostWriteDeltas++
+	f.stats.HostBytesWritten += uint64(len(delta))
+	block, page := f.blockOf(ppa), f.pageOf(ppa)
+	f.mu.Unlock()
+
+	_, err = f.dev.ProgramDelta(block, page, offset, delta)
+	if err != nil {
+		if errors.Is(err, nand.ErrOverwriteViolation) || errors.Is(err, nand.ErrNOPExceeded) ||
+			errors.Is(err, flashdev.ErrNoDeltaSlot) {
+			return ErrNotAppendable
+		}
+		return err
+	}
+	f.mu.Lock()
+	f.appends[ppa]++
+	f.stats.InPlaceAppends++
+	f.mu.Unlock()
+	return nil
+}
+
+// Trim invalidates the mapping of a logical page (e.g. when a database
+// object is dropped).
+func (f *FTL) Trim(lba int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if lba < 0 || lba >= len(f.l2p) {
+		return fmt.Errorf("%w: %d", ErrBadLBA, lba)
+	}
+	if ppa := f.l2p[lba]; ppa >= 0 {
+		f.invalidateLocked(ppa)
+		f.l2p[lba] = -1
+	}
+	return nil
+}
+
+// writeOutOfPlaceLocked performs a traditional out-of-place update.
+func (f *FTL) writeOutOfPlaceLocked(lba int, data []byte) error {
+	ppa, err := f.allocatePageLocked()
+	if err != nil {
+		return err
+	}
+	block, page := f.blockOf(ppa), f.pageOf(ppa)
+	if err := f.dev.ProgramPage(block, page, data, f.cfg.EccCoverBytes); err != nil {
+		return err
+	}
+	if old := f.l2p[lba]; old >= 0 {
+		f.invalidateLocked(old)
+		f.stats.Invalidations++
+	}
+	f.l2p[lba] = ppa
+	f.p2l[ppa] = int32(lba)
+	f.appends[ppa] = 0
+	f.blocks[f.blockOf(ppa)].validCount++
+	f.stats.OutOfPlaceWrites++
+	return nil
+}
+
+func (f *FTL) invalidateLocked(ppa int32) {
+	if f.p2l[ppa] >= 0 {
+		f.p2l[ppa] = -1
+		f.blocks[f.blockOf(ppa)].validCount--
+	}
+}
+
+// allocatePageLocked returns the next writable physical page, running the
+// garbage collector when free blocks run low.
+func (f *FTL) allocatePageLocked() (int32, error) {
+	for {
+		if f.active >= 0 {
+			blk := &f.blocks[f.active]
+			for blk.nextPage < f.geo.PagesPerBlock {
+				p := blk.nextPage
+				blk.nextPage++
+				if nand.PageUsable(f.dev.CellType(), f.cfg.FlashMode, p) {
+					return f.ppaOf(f.active, p), nil
+				}
+			}
+			// Active block is full.
+			blk.state = blockUsed
+			f.active = -1
+		}
+		if err := f.ensureFreeLocked(); err != nil {
+			return -1, err
+		}
+		// Garbage collection may have installed (and partially filled) a
+		// new active block for its migrations; keep using it instead of
+		// leaking it.
+		if f.active >= 0 {
+			continue
+		}
+		f.active = f.popFreeLocked()
+		f.blocks[f.active].state = blockActive
+		f.blocks[f.active].nextPage = 0
+	}
+}
+
+// popFreeLocked removes and returns the free block with the lowest erase
+// count (simple wear levelling).
+func (f *FTL) popFreeLocked() int {
+	best, bestIdx, bestWear := -1, -1, int(^uint(0)>>1)
+	for i, b := range f.free {
+		wear, err := f.dev.BlockEraseCount(b)
+		if err != nil {
+			wear = 0
+		}
+		if wear < bestWear {
+			best, bestIdx, bestWear = b, i, wear
+		}
+	}
+	f.free = append(f.free[:bestIdx], f.free[bestIdx+1:]...)
+	return best
+}
+
+// ensureFreeLocked runs garbage collection until the free-block pool is
+// above the low-water mark.
+func (f *FTL) ensureFreeLocked() error {
+	if len(f.free) > f.cfg.GCLowWater {
+		return nil
+	}
+	f.stats.GCRuns++
+	for len(f.free) < f.cfg.GCHighWater {
+		victim := f.pickVictimLocked()
+		if victim < 0 {
+			if len(f.free) > 0 {
+				return nil
+			}
+			return ErrDeviceFull
+		}
+		if err := f.collectBlockLocked(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictimLocked selects the used block with the fewest valid pages
+// (greedy policy). It returns -1 when no block can be reclaimed.
+func (f *FTL) pickVictimLocked() int {
+	best, bestValid := -1, int(^uint(0)>>1)
+	for b := range f.blocks {
+		blk := &f.blocks[b]
+		if blk.state != blockUsed {
+			continue
+		}
+		if blk.validCount < bestValid {
+			best, bestValid = b, blk.validCount
+		}
+	}
+	if best >= 0 && bestValid >= f.usablePerBlock {
+		// Every page of every candidate is valid: reclaiming would only
+		// move data without freeing space.
+		return -1
+	}
+	return best
+}
+
+// collectBlockLocked migrates the valid pages of the victim block and
+// erases it.
+func (f *FTL) collectBlockLocked(victim int) error {
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		ppa := f.ppaOf(victim, p)
+		lba := f.p2l[ppa]
+		if lba < 0 {
+			continue
+		}
+		dst, err := f.allocateForGCLocked(victim)
+		if err != nil {
+			return err
+		}
+		if err := f.dev.CopyPage(victim, p, f.blockOf(dst), f.pageOf(dst)); err != nil {
+			return err
+		}
+		f.stats.GCMigrations++
+		f.p2l[ppa] = -1
+		f.blocks[victim].validCount--
+		f.l2p[lba] = dst
+		f.p2l[dst] = lba
+		f.appends[dst] = f.appends[ppa]
+		f.appends[ppa] = 0
+		f.blocks[f.blockOf(dst)].validCount++
+	}
+	if err := f.dev.EraseBlock(victim); err != nil {
+		return err
+	}
+	f.stats.GCErases++
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		f.appends[f.ppaOf(victim, p)] = 0
+	}
+	f.blocks[victim].state = blockFree
+	f.blocks[victim].validCount = 0
+	f.blocks[victim].nextPage = 0
+	f.free = append(f.free, victim)
+	return nil
+}
+
+// allocateForGCLocked allocates a destination page for a GC migration. It
+// must never trigger recursive garbage collection, so it only consumes the
+// active block and the free pool.
+func (f *FTL) allocateForGCLocked(victim int) (int32, error) {
+	for {
+		if f.active >= 0 && f.active != victim {
+			blk := &f.blocks[f.active]
+			for blk.nextPage < f.geo.PagesPerBlock {
+				p := blk.nextPage
+				blk.nextPage++
+				if nand.PageUsable(f.dev.CellType(), f.cfg.FlashMode, p) {
+					return f.ppaOf(f.active, p), nil
+				}
+			}
+			blk.state = blockUsed
+			f.active = -1
+		}
+		if f.active == victim {
+			f.blocks[f.active].state = blockUsed
+			f.active = -1
+		}
+		if len(f.free) == 0 {
+			return -1, ErrDeviceFull
+		}
+		f.active = f.popFreeLocked()
+		f.blocks[f.active].state = blockActive
+		f.blocks[f.active].nextPage = 0
+	}
+}
+
+// Utilization returns the fraction of exported logical pages currently
+// mapped.
+func (f *FTL) Utilization() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mapped := 0
+	for _, ppa := range f.l2p {
+		if ppa >= 0 {
+			mapped++
+		}
+	}
+	return float64(mapped) / float64(len(f.l2p))
+}
+
+// FreeBlocks returns the current number of free blocks.
+func (f *FTL) FreeBlocks() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.free)
+}
+
+// DebugSummary reports the internal occupancy state of the FTL; it exists
+// for tests and troubleshooting.
+func (f *FTL) DebugSummary() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mapped := 0
+	for _, ppa := range f.l2p {
+		if ppa >= 0 {
+			mapped++
+		}
+	}
+	validP2L := 0
+	for _, lba := range f.p2l {
+		if lba >= 0 {
+			validP2L++
+		}
+	}
+	sumValid, freeBlocks, usedBlocks, activeBlocks, fullyValid := 0, 0, 0, 0, 0
+	for b := range f.blocks {
+		sumValid += f.blocks[b].validCount
+		switch f.blocks[b].state {
+		case blockFree:
+			freeBlocks++
+		case blockActive:
+			activeBlocks++
+		case blockUsed:
+			usedBlocks++
+			if f.blocks[b].validCount >= f.usablePerBlock {
+				fullyValid++
+			}
+		}
+	}
+	return fmt.Sprintf("mapped=%d validP2L=%d sumValidCount=%d blocks[free=%d active=%d used=%d fullyValid=%d] freeList=%d usablePerBlock=%d exported=%d",
+		mapped, validP2L, sumValid, freeBlocks, activeBlocks, usedBlocks, fullyValid, len(f.free), f.usablePerBlock, f.exportedPages)
+}

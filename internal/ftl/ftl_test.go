@@ -1,0 +1,377 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ipa/internal/flashdev"
+	"ipa/internal/nand"
+)
+
+func testDevice(t *testing.T, cell nand.CellType) *flashdev.Device {
+	t.Helper()
+	dev, err := flashdev.New(flashdev.Config{
+		Chips: 1,
+		Chip: nand.Config{
+			Geometry: nand.Geometry{
+				Blocks:        32,
+				PagesPerBlock: 16,
+				PageSize:      2048,
+				OOBSize:       128,
+			},
+			Cell:            cell,
+			StrictOverwrite: true,
+			Seed:            5,
+		},
+		Latency: flashdev.DefaultLatencyModel(),
+	})
+	if err != nil {
+		t.Fatalf("flashdev.New: %v", err)
+	}
+	return dev
+}
+
+func testFTL(t *testing.T, cfg Config) *FTL {
+	t.Helper()
+	dev := testDevice(t, nand.MLC)
+	f, err := New(dev, cfg)
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	return f
+}
+
+func pageImage(size int, seed byte) []byte {
+	img := make([]byte, size)
+	for i := range img {
+		img[i] = byte(i)*3 + seed
+	}
+	return img
+}
+
+// pageWithErasedTail returns a page image whose last tail bytes are erased
+// (0xFF), mimicking a database page with an empty delta-record area.
+func pageWithErasedTail(size, tail int, seed byte) []byte {
+	img := pageImage(size, seed)
+	for i := size - tail; i < size; i++ {
+		img[i] = 0xFF
+	}
+	return img
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	img := pageImage(f.PageSize(), 1)
+	if _, err := f.WritePage(3, img); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, f.PageSize())
+	if err := f.ReadPage(3, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatalf("round trip mismatch")
+	}
+	if !f.Mapped(3) || f.Mapped(4) {
+		t.Fatalf("Mapped() wrong")
+	}
+	s := f.Stats()
+	if s.HostWrites != 1 || s.HostReads != 1 || s.OutOfPlaceWrites != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestReadUnmapped(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	if err := f.ReadPage(0, make([]byte, f.PageSize())); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("expected ErrUnmapped, got %v", err)
+	}
+	if err := f.ReadPage(f.Capacity()+1, make([]byte, f.PageSize())); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("expected ErrBadLBA, got %v", err)
+	}
+}
+
+func TestOutOfPlaceUpdateInvalidates(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	img := pageImage(f.PageSize(), 2)
+	if _, err := f.WritePage(0, img); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	img[0] ^= 0xFF
+	if _, err := f.WritePage(0, img); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	s := f.Stats()
+	if s.Invalidations != 1 || s.OutOfPlaceWrites != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	got := make([]byte, f.PageSize())
+	if err := f.ReadPage(0, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatalf("latest version not returned")
+	}
+}
+
+func TestWriteDeltaNative(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlashMode = nand.ModePSLC
+	cfg.EccCoverBytes = 1024
+	f := testFTL(t, cfg)
+	img := pageWithErasedTail(f.PageSize(), 1024, 3)
+	if _, err := f.WritePage(5, img); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if !f.IsAppendTarget(5) {
+		t.Fatalf("freshly written pSLC page must accept appends")
+	}
+	delta := []byte{0xDE, 0xAD}
+	if err := f.WriteDelta(5, 1024, delta); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+	got := make([]byte, f.PageSize())
+	if err := f.ReadPage(5, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if got[1024] != 0xDE || got[1025] != 0xAD {
+		t.Fatalf("delta not appended")
+	}
+	if !bytes.Equal(got[:1024], img[:1024]) {
+		t.Fatalf("original content disturbed")
+	}
+	s := f.Stats()
+	if s.HostWriteDeltas != 1 || s.InPlaceAppends != 1 || s.Invalidations != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The delta write must not change the physical mapping: no GC work.
+	if s.GCErases != 0 || s.GCMigrations != 0 {
+		t.Fatalf("append must not cause GC work")
+	}
+}
+
+func TestWriteDeltaUnmappedAndBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlashMode = nand.ModePSLC
+	cfg.MaxAppendsPerPage = 1
+	cfg.EccCoverBytes = 1024
+	f := testFTL(t, cfg)
+	if err := f.WriteDelta(9, 0, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("expected ErrUnmapped, got %v", err)
+	}
+	img := pageWithErasedTail(f.PageSize(), 1024, 4)
+	if _, err := f.WritePage(9, img); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if err := f.WriteDelta(9, 1024, []byte{1}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := f.WriteDelta(9, 1025, []byte{2}); !errors.Is(err, ErrNotAppendable) {
+		t.Fatalf("append budget not enforced: %v", err)
+	}
+}
+
+func TestOddMLCAppendsOnlyOnLSBPages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlashMode = nand.ModeOddMLC
+	cfg.EccCoverBytes = 1024
+	f := testFTL(t, cfg)
+	// Write several pages; they land on consecutive physical pages, so some
+	// are MSB (even index) and some LSB (odd index).
+	appendable := 0
+	total := 8
+	for lba := 0; lba < total; lba++ {
+		img := pageWithErasedTail(f.PageSize(), 1024, byte(lba))
+		if _, err := f.WritePage(lba, img); err != nil {
+			t.Fatalf("WritePage %d: %v", lba, err)
+		}
+		if f.IsAppendTarget(lba) {
+			appendable++
+			if err := f.WriteDelta(lba, 1024, []byte{byte(lba)}); err != nil {
+				t.Fatalf("WriteDelta on LSB page: %v", err)
+			}
+		} else if err := f.WriteDelta(lba, 1024, []byte{byte(lba)}); !errors.Is(err, ErrNotAppendable) {
+			t.Fatalf("append on MSB page must be refused, got %v", err)
+		}
+	}
+	if appendable == 0 || appendable == total {
+		t.Fatalf("odd-MLC should make some (not all) pages appendable: %d/%d", appendable, total)
+	}
+}
+
+func TestInPlaceMergeSSDMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlashMode = nand.ModePSLC
+	cfg.InPlaceMerge = true
+	cfg.EccCoverBytes = 1024
+	f := testFTL(t, cfg)
+	img := pageWithErasedTail(f.PageSize(), 1024, 7)
+	if _, err := f.WritePage(2, img); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	// Add bytes only in the previously erased tail: in-place merge possible.
+	img2 := append([]byte(nil), img...)
+	img2[1024] = 0x11
+	inPlace, err := f.WritePage(2, img2)
+	if err != nil {
+		t.Fatalf("merge write: %v", err)
+	}
+	if !inPlace {
+		t.Fatalf("expected an in-place merge")
+	}
+	// Changing already programmed bytes forces an out-of-place write.
+	img3 := append([]byte(nil), img2...)
+	img3[0] ^= 0xFF
+	inPlace, err = f.WritePage(2, img3)
+	if err != nil {
+		t.Fatalf("out-of-place write: %v", err)
+	}
+	if inPlace {
+		t.Fatalf("incompatible image must not be merged in place")
+	}
+	s := f.Stats()
+	if s.InPlaceAppends != 1 || s.OutOfPlaceWrites != 2 || s.Invalidations != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	got := make([]byte, f.PageSize())
+	if err := f.ReadPage(2, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, img3) {
+		t.Fatalf("latest image not returned")
+	}
+}
+
+func TestGarbageCollectionReclaimsSpace(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	// Use a small hot set and overwrite it many times: far more writes than
+	// physical pages, so GC must reclaim invalidated space for the run to
+	// finish.
+	hot := 20
+	writes := f.Capacity() * 3
+	for i := 0; i < writes; i++ {
+		lba := i % hot
+		img := pageImage(f.PageSize(), byte(i))
+		if _, err := f.WritePage(lba, img); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	s := f.Stats()
+	if s.GCErases == 0 {
+		t.Fatalf("garbage collection never ran: %+v", s)
+	}
+	// All hot pages must still hold their latest content.
+	for lba := 0; lba < hot; lba++ {
+		got := make([]byte, f.PageSize())
+		if err := f.ReadPage(lba, got); err != nil {
+			t.Fatalf("ReadPage %d: %v", lba, err)
+		}
+	}
+	if f.FreeBlocks() == 0 {
+		t.Fatalf("GC left no free blocks")
+	}
+}
+
+func TestGCPreservesDataUnderMigration(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	// A working set close to the exported capacity: GC victims then always
+	// contain valid pages, so migrations must happen and must preserve the
+	// latest version of every page.
+	working := f.Capacity() * 7 / 10
+	latest := make(map[int]byte, working)
+	// Populate, then rewrite pages in a pseudo-random order: randomness
+	// spreads invalid pages across blocks, so victims carry valid pages.
+	for lba := 0; lba < working; lba++ {
+		if _, err := f.WritePage(lba, pageImage(f.PageSize(), byte(lba))); err != nil {
+			t.Fatalf("populate %d: %v", lba, err)
+		}
+		latest[lba] = byte(lba)
+	}
+	x := uint32(12345)
+	for i := 0; i < working*4; i++ {
+		x = x*1664525 + 1013904223
+		lba := int(x>>8) % working
+		seed := byte(i)
+		if _, err := f.WritePage(lba, pageImage(f.PageSize(), seed)); err != nil {
+			t.Fatalf("rewrite %d: %v", i, err)
+		}
+		latest[lba] = seed
+	}
+	if f.Stats().GCMigrations == 0 {
+		t.Fatalf("expected GC migrations under high utilisation: %+v", f.Stats())
+	}
+	got := make([]byte, f.PageSize())
+	for lba := 0; lba < working; lba++ {
+		if err := f.ReadPage(lba, got); err != nil {
+			t.Fatalf("ReadPage %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, pageImage(f.PageSize(), latest[lba])) {
+			t.Fatalf("page %d lost its latest version after GC", lba)
+		}
+	}
+}
+
+func TestPSLCHalvesCapacity(t *testing.T) {
+	full := testFTL(t, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.FlashMode = nand.ModePSLC
+	half := testFTL(t, cfg)
+	if half.Capacity() >= full.Capacity() {
+		t.Fatalf("pSLC capacity (%d) must be below MLC capacity (%d)", half.Capacity(), full.Capacity())
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	if _, err := f.WritePage(1, pageImage(f.PageSize(), 9)); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if err := f.Trim(1); err != nil {
+		t.Fatalf("Trim: %v", err)
+	}
+	if f.Mapped(1) {
+		t.Fatalf("Trim must unmap the page")
+	}
+	if err := f.ReadPage(1, make([]byte, f.PageSize())); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("expected ErrUnmapped after Trim, got %v", err)
+	}
+	if err := f.Trim(1); err != nil {
+		t.Fatalf("Trim of unmapped page must be a no-op: %v", err)
+	}
+}
+
+func TestUtilizationAndDebugSummary(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	if f.Utilization() != 0 {
+		t.Fatalf("fresh FTL utilization should be 0")
+	}
+	for lba := 0; lba < 10; lba++ {
+		if _, err := f.WritePage(lba, pageImage(f.PageSize(), byte(lba))); err != nil {
+			t.Fatalf("WritePage: %v", err)
+		}
+	}
+	if f.Utilization() <= 0 {
+		t.Fatalf("utilization should grow")
+	}
+	if f.DebugSummary() == "" {
+		t.Fatalf("DebugSummary empty")
+	}
+	f.ResetStats()
+	if f.Stats().HostWrites != 0 {
+		t.Fatalf("ResetStats failed")
+	}
+}
+
+func TestWritePageValidation(t *testing.T) {
+	f := testFTL(t, DefaultConfig())
+	if _, err := f.WritePage(0, make([]byte, 10)); err == nil {
+		t.Fatalf("short buffer must be rejected")
+	}
+	if _, err := f.WritePage(-1, make([]byte, f.PageSize())); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("negative LBA must be rejected")
+	}
+	if _, err := f.WritePage(f.Capacity(), make([]byte, f.PageSize())); !errors.Is(err, ErrBadLBA) {
+		t.Fatalf("LBA beyond capacity must be rejected")
+	}
+}

@@ -1,0 +1,261 @@
+// Package heap implements heap files: RID-addressed collections of
+// fixed-size tuples stored in NSM slotted pages.
+//
+// Heap files are the storage substrate the OLTP benchmark tables live in.
+// Every mutating operation goes through the buffer pool and attaches the
+// frame's change tracker to the page, so the byte-level effects of tuple
+// updates are visible to the In-Place Appends machinery without the heap
+// layer knowing anything about Flash.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipa/internal/buffer"
+	"ipa/internal/core"
+	"ipa/internal/page"
+	"ipa/internal/storage"
+)
+
+// RID identifies a tuple: page identifier and slot within the page.
+type RID struct {
+	PageID uint64
+	Slot   uint16
+}
+
+// Pack encodes the RID into a single uint64 (48-bit page, 16-bit slot) for
+// use as an index value.
+func (r RID) Pack() uint64 { return r.PageID<<16 | uint64(r.Slot) }
+
+// Unpack decodes a packed RID.
+func Unpack(v uint64) RID { return RID{PageID: v >> 16, Slot: uint16(v & 0xFFFF)} }
+
+// String renders the RID.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.PageID, r.Slot) }
+
+// ErrNotFound is returned when a RID does not address a live tuple.
+var ErrNotFound = errors.New("heap: tuple not found")
+
+// File is one heap file (one table's tuple storage).
+type File struct {
+	mu        sync.Mutex
+	objectID  uint32
+	tupleSize int
+	store     *storage.Manager
+	pool      *buffer.Pool
+	pages     []uint64 // all pages of the file, in allocation order
+	count     uint64   // live tuples
+}
+
+// New creates an empty heap file for the given object.
+func New(store *storage.Manager, pool *buffer.Pool, objectID uint32, tupleSize int) *File {
+	return &File{
+		objectID:  objectID,
+		tupleSize: tupleSize,
+		store:     store,
+		pool:      pool,
+	}
+}
+
+// ObjectID returns the owning object identifier.
+func (f *File) ObjectID() uint32 { return f.objectID }
+
+// TupleSize returns the fixed tuple size of the file.
+func (f *File) TupleSize() int { return f.tupleSize }
+
+// PageIDs returns the identifiers of all pages of the file.
+func (f *File) PageIDs() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint64, len(f.pages))
+	copy(out, f.pages)
+	return out
+}
+
+// Count returns the number of live tuples.
+func (f *File) Count() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// withPage pins a page, wraps it and attaches the frame's tracker as the
+// change recorder, then runs fn.
+func (f *File) withPage(pid uint64, fn func(h *buffer.Handle, pg *page.Page) error) error {
+	h, err := f.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	return fn(h, pg)
+}
+
+// Insert stores a tuple and returns its RID. Tuples must have the file's
+// fixed size.
+func (f *File) Insert(tuple []byte) (RID, error) {
+	if len(tuple) != f.tupleSize {
+		return RID{}, fmt.Errorf("heap: tuple size %d, want %d", len(tuple), f.tupleSize)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	// Try the most recently allocated page first.
+	if n := len(f.pages); n > 0 {
+		rid, ok, err := f.tryInsertLocked(f.pages[n-1], tuple)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			f.count++
+			return rid, nil
+		}
+	}
+	// Allocate a fresh page.
+	pid, err := f.store.AllocatePage(f.objectID)
+	if err != nil {
+		return RID{}, err
+	}
+	h, err := f.pool.Create(pid, func(buf []byte) (*core.Tracker, error) {
+		return f.store.InitPage(buf, pid, f.objectID)
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return RID{}, err
+	}
+	pg.SetRecorder(h.Tracker())
+	slot, err := pg.InsertTuple(tuple)
+	if err != nil {
+		return RID{}, err
+	}
+	h.MarkDirty()
+	f.pages = append(f.pages, pid)
+	f.count++
+	return RID{PageID: pid, Slot: uint16(slot)}, nil
+}
+
+// tryInsertLocked attempts to insert into an existing page; ok is false if
+// the page is full.
+func (f *File) tryInsertLocked(pid uint64, tuple []byte) (RID, bool, error) {
+	var rid RID
+	var ok bool
+	err := f.withPage(pid, func(h *buffer.Handle, pg *page.Page) error {
+		if pg.FreeSpace() < len(tuple)+page.SlotSize {
+			return nil
+		}
+		slot, err := pg.InsertTuple(tuple)
+		if err != nil {
+			return err
+		}
+		h.MarkDirty()
+		rid = RID{PageID: pid, Slot: uint16(slot)}
+		ok = true
+		return nil
+	})
+	return rid, ok, err
+}
+
+// Get returns a copy of the tuple at rid.
+func (f *File) Get(rid RID) ([]byte, error) {
+	var out []byte
+	err := f.withPage(rid.PageID, func(h *buffer.Handle, pg *page.Page) error {
+		t, err := pg.Tuple(int(rid.Slot))
+		if err != nil {
+			if errors.Is(err, page.ErrDeleted) || errors.Is(err, page.ErrBadSlot) {
+				return fmt.Errorf("%w: %s", ErrNotFound, rid)
+			}
+			return err
+		}
+		out = t
+		return nil
+	})
+	return out, err
+}
+
+// UpdateAt overwrites len(data) bytes of the tuple at rid starting at the
+// tuple-relative offset. This is the small in-place update IPA targets.
+func (f *File) UpdateAt(rid RID, offset int, data []byte) error {
+	return f.withPage(rid.PageID, func(h *buffer.Handle, pg *page.Page) error {
+		if err := pg.UpdateTupleAt(int(rid.Slot), offset, data); err != nil {
+			if errors.Is(err, page.ErrDeleted) || errors.Is(err, page.ErrBadSlot) {
+				return fmt.Errorf("%w: %s", ErrNotFound, rid)
+			}
+			return err
+		}
+		h.MarkDirty()
+		return nil
+	})
+}
+
+// Update replaces the whole tuple at rid (same size).
+func (f *File) Update(rid RID, tuple []byte) error {
+	if len(tuple) != f.tupleSize {
+		return fmt.Errorf("heap: tuple size %d, want %d", len(tuple), f.tupleSize)
+	}
+	return f.UpdateAt(rid, 0, tuple)
+}
+
+// Delete removes the tuple at rid.
+func (f *File) Delete(rid RID) error {
+	err := f.withPage(rid.PageID, func(h *buffer.Handle, pg *page.Page) error {
+		if err := pg.DeleteTuple(int(rid.Slot)); err != nil {
+			if errors.Is(err, page.ErrDeleted) || errors.Is(err, page.ErrBadSlot) {
+				return fmt.Errorf("%w: %s", ErrNotFound, rid)
+			}
+			return err
+		}
+		h.MarkDirty()
+		return nil
+	})
+	if err == nil {
+		f.mu.Lock()
+		f.count--
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Scan calls fn for every live tuple of the file, in page/slot order, until
+// fn returns false or the file is exhausted.
+func (f *File) Scan(fn func(rid RID, tuple []byte) bool) error {
+	for _, pid := range f.PageIDs() {
+		stop := false
+		err := f.withPage(pid, func(h *buffer.Handle, pg *page.Page) error {
+			for s := 0; s < pg.SlotCount(); s++ {
+				deleted, err := pg.Deleted(s)
+				if err != nil {
+					return err
+				}
+				if deleted {
+					continue
+				}
+				t, err := pg.Tuple(s)
+				if err != nil {
+					return err
+				}
+				if !fn(RID{PageID: pid, Slot: uint16(s)}, t) {
+					stop = true
+					return nil
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

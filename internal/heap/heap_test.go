@@ -1,0 +1,198 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ipa/internal/buffer"
+	"ipa/internal/core"
+	"ipa/internal/flashdev"
+	"ipa/internal/ftl"
+	"ipa/internal/nand"
+	"ipa/internal/region"
+	"ipa/internal/storage"
+)
+
+// testFile builds the full stack (device, FTL, storage, pool) and returns a
+// heap file plus the pool for flushing.
+func testFile(t *testing.T, tupleSize, poolFrames int) (*File, *buffer.Pool) {
+	t.Helper()
+	dev, err := flashdev.New(flashdev.Config{
+		Chips: 1,
+		Chip: nand.Config{
+			Geometry:        nand.Geometry{Blocks: 32, PagesPerBlock: 16, PageSize: 2048, OOBSize: 128},
+			Cell:            nand.MLC,
+			StrictOverwrite: true,
+			Seed:            4,
+		},
+		Latency: flashdev.DefaultLatencyModel(),
+	})
+	if err != nil {
+		t.Fatalf("flashdev.New: %v", err)
+	}
+	scheme := core.Scheme{N: 2, M: 4}
+	f, err := ftl.New(dev, ftl.Config{
+		FlashMode:     nand.ModePSLC,
+		EccCoverBytes: 2048 - 16 - scheme.AreaSize(48),
+	})
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	regions := region.NewManager(region.Region{Name: "default", Scheme: scheme, FlashMode: nand.ModePSLC})
+	store, err := storage.New(f, storage.Config{Mode: storage.WriteIPANative, Regions: regions, Analytic: true})
+	if err != nil {
+		t.Fatalf("storage.New: %v", err)
+	}
+	pool, err := buffer.New(store, poolFrames)
+	if err != nil {
+		t.Fatalf("buffer.New: %v", err)
+	}
+	return New(store, pool, 1, tupleSize), pool
+}
+
+func tuple(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestInsertGet(t *testing.T) {
+	f, _ := testFile(t, 80, 8)
+	var rids []RID
+	for i := 0; i < 200; i++ {
+		rid, err := f.Insert(tuple(80, byte(i)))
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		rids = append(rids, rid)
+	}
+	if f.Count() != 200 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	if len(f.PageIDs()) < 2 {
+		t.Fatalf("200 tuples of 80 bytes must span several pages")
+	}
+	for i, rid := range rids {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("Get %v: %v", rid, err)
+		}
+		if !bytes.Equal(got, tuple(80, byte(i))) {
+			t.Fatalf("tuple %d content wrong", i)
+		}
+	}
+}
+
+func TestInsertWrongSize(t *testing.T) {
+	f, _ := testFile(t, 80, 8)
+	if _, err := f.Insert(make([]byte, 10)); err == nil {
+		t.Fatalf("wrong tuple size must be rejected")
+	}
+	rid, _ := f.Insert(tuple(80, 1))
+	if err := f.Update(rid, make([]byte, 10)); err == nil {
+		t.Fatalf("wrong update size must be rejected")
+	}
+}
+
+func TestUpdateAtSurvivesEviction(t *testing.T) {
+	// A pool of only 4 frames forces constant evictions.
+	f, pool := testFile(t, 100, 4)
+	var rids []RID
+	for i := 0; i < 150; i++ {
+		rid, err := f.Insert(tuple(100, byte(i)))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		rids = append(rids, rid)
+	}
+	for i, rid := range rids {
+		if err := f.UpdateAt(rid, 20, []byte{byte(i), 0xFE}); err != nil {
+			t.Fatalf("UpdateAt %v: %v", rid, err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	for i, rid := range rids {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if got[20] != byte(i) || got[21] != 0xFE {
+			t.Fatalf("update of %v lost: % x", rid, got[18:24])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f, _ := testFile(t, 60, 8)
+	rid, err := f.Insert(tuple(60, 9))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := f.Delete(rid); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := f.Get(rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted tuple still found: %v", err)
+	}
+	if err := f.Delete(rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete must report not found: %v", err)
+	}
+	if err := f.UpdateAt(rid, 0, []byte{1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update of deleted tuple must fail: %v", err)
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestScan(t *testing.T) {
+	f, _ := testFile(t, 64, 8)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if _, err := f.Insert(tuple(64, byte(i))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	seen := 0
+	err := f.Scan(func(rid RID, tup []byte) bool {
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if seen != n {
+		t.Fatalf("Scan visited %d tuples, want %d", seen, n)
+	}
+	// Early termination.
+	seen = 0
+	_ = f.Scan(func(rid RID, tup []byte) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("Scan did not stop early: %d", seen)
+	}
+}
+
+func TestRIDPackUnpack(t *testing.T) {
+	r := RID{PageID: 123456, Slot: 789}
+	if got := Unpack(r.Pack()); got != r {
+		t.Fatalf("pack/unpack mismatch: %v vs %v", got, r)
+	}
+	if r.String() == "" {
+		t.Fatalf("RID.String empty")
+	}
+}
+
+func TestObjectIDAndTupleSize(t *testing.T) {
+	f, _ := testFile(t, 77, 8)
+	if f.ObjectID() != 1 || f.TupleSize() != 77 {
+		t.Fatalf("accessors wrong: %d %d", f.ObjectID(), f.TupleSize())
+	}
+}

@@ -1,0 +1,301 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// recorder captures change notifications for assertions.
+type recorder struct {
+	writes []struct {
+		off      int
+		old, new []byte
+	}
+	metaChanges int
+}
+
+func (r *recorder) RecordWrite(offset int, old, new []byte) {
+	r.writes = append(r.writes, struct {
+		off      int
+		old, new []byte
+	}{offset, append([]byte(nil), old...), append([]byte(nil), new...)})
+}
+
+func (r *recorder) RecordMetaChange() { r.metaChanges++ }
+
+func newTestPage(t *testing.T, size, deltaArea int) *Page {
+	t.Helper()
+	buf := make([]byte, size)
+	p, err := Init(buf, 42, 7, deltaArea)
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	return p
+}
+
+func TestInitAndWrap(t *testing.T) {
+	buf := make([]byte, 4096)
+	p, err := Init(buf, 12345, 9, 122)
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if p.ID() != 12345 || p.ObjectID() != 9 || p.DeltaAreaSize() != 122 {
+		t.Fatalf("header fields wrong: id=%d obj=%d delta=%d", p.ID(), p.ObjectID(), p.DeltaAreaSize())
+	}
+	if p.SlotCount() != 0 || p.LSN() != 0 {
+		t.Fatalf("fresh page not empty")
+	}
+	w, err := Wrap(buf)
+	if err != nil {
+		t.Fatalf("Wrap: %v", err)
+	}
+	if w.ID() != 12345 {
+		t.Fatalf("Wrap lost the header")
+	}
+	if _, err := Wrap(make([]byte, 4096)); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("Wrap of zero buffer must fail, got %v", err)
+	}
+	if _, err := Wrap(make([]byte, 8)); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("Wrap of tiny buffer must fail, got %v", err)
+	}
+	if _, err := Init(make([]byte, 32), 1, 1, 0); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("Init of tiny buffer must fail, got %v", err)
+	}
+}
+
+func TestLayoutBoundaries(t *testing.T) {
+	p := newTestPage(t, 4096, 100)
+	if p.Size() != 4096 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.DeltaAreaStart() != 4096-FooterSize-100 {
+		t.Fatalf("DeltaAreaStart = %d", p.DeltaAreaStart())
+	}
+	if p.BodyEnd() != p.DeltaAreaStart() {
+		t.Fatalf("BodyEnd must equal DeltaAreaStart")
+	}
+	if len(p.DeltaArea()) != 100 {
+		t.Fatalf("DeltaArea length = %d", len(p.DeltaArea()))
+	}
+}
+
+func TestInsertAndReadTuples(t *testing.T) {
+	p := newTestPage(t, 2048, 0)
+	var slots []int
+	for i := 0; i < 10; i++ {
+		tuple := bytes.Repeat([]byte{byte(i + 1)}, 50)
+		slot, err := p.InsertTuple(tuple)
+		if err != nil {
+			t.Fatalf("InsertTuple %d: %v", i, err)
+		}
+		slots = append(slots, slot)
+	}
+	if p.SlotCount() != 10 {
+		t.Fatalf("SlotCount = %d", p.SlotCount())
+	}
+	for i, s := range slots {
+		got, err := p.Tuple(s)
+		if err != nil {
+			t.Fatalf("Tuple %d: %v", s, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 50)) {
+			t.Fatalf("tuple %d content wrong", s)
+		}
+		if n, err := p.TupleLen(s); err != nil || n != 50 {
+			t.Fatalf("TupleLen = %d, %v", n, err)
+		}
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := newTestPage(t, 512, 0)
+	tuple := make([]byte, 100)
+	inserted := 0
+	for {
+		if _, err := p.InsertTuple(tuple); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		inserted++
+	}
+	if inserted == 0 || inserted > 5 {
+		t.Fatalf("unexpected number of tuples in a 512-byte page: %d", inserted)
+	}
+	if p.FreeSpace() >= 100+SlotSize {
+		t.Fatalf("FreeSpace inconsistent with the failed insert")
+	}
+}
+
+func TestUpdateTupleAt(t *testing.T) {
+	p := newTestPage(t, 2048, 0)
+	slot, err := p.InsertTuple(make([]byte, 64))
+	if err != nil {
+		t.Fatalf("InsertTuple: %v", err)
+	}
+	if err := p.UpdateTupleAt(slot, 10, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("UpdateTupleAt: %v", err)
+	}
+	got, _ := p.Tuple(slot)
+	if got[10] != 1 || got[11] != 2 || got[12] != 3 {
+		t.Fatalf("update not applied: %v", got[8:14])
+	}
+	if err := p.UpdateTupleAt(slot, 62, []byte{1, 2, 3}); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("out-of-bounds update not rejected: %v", err)
+	}
+	if err := p.UpdateTupleAt(99, 0, []byte{1}); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("bad slot not rejected: %v", err)
+	}
+	if err := p.UpdateTuple(slot, make([]byte, 64)); err != nil {
+		t.Fatalf("whole-tuple update: %v", err)
+	}
+	if err := p.UpdateTuple(slot, make([]byte, 63)); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("size-changing update not rejected: %v", err)
+	}
+}
+
+func TestDeleteTuple(t *testing.T) {
+	p := newTestPage(t, 2048, 0)
+	slot, _ := p.InsertTuple(make([]byte, 32))
+	if err := p.DeleteTuple(slot); err != nil {
+		t.Fatalf("DeleteTuple: %v", err)
+	}
+	if _, err := p.Tuple(slot); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("deleted tuple still readable: %v", err)
+	}
+	if err := p.DeleteTuple(slot); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("double delete not detected: %v", err)
+	}
+	deleted, err := p.Deleted(slot)
+	if err != nil || !deleted {
+		t.Fatalf("Deleted() wrong: %v %v", deleted, err)
+	}
+}
+
+func TestChangeRecording(t *testing.T) {
+	p := newTestPage(t, 2048, 64)
+	rec := &recorder{}
+	p.SetRecorder(rec)
+
+	slot, err := p.InsertTuple(make([]byte, 40))
+	if err != nil {
+		t.Fatalf("InsertTuple: %v", err)
+	}
+	if len(rec.writes) == 0 || rec.metaChanges == 0 {
+		t.Fatalf("insert must report body and metadata changes: %d writes, %d meta", len(rec.writes), rec.metaChanges)
+	}
+	before := len(rec.writes)
+	if err := p.UpdateTupleAt(slot, 5, []byte{0xAA}); err != nil {
+		t.Fatalf("UpdateTupleAt: %v", err)
+	}
+	if len(rec.writes) != before+1 {
+		t.Fatalf("update must report exactly one write")
+	}
+	w := rec.writes[len(rec.writes)-1]
+	if len(w.new) != 1 || w.new[0] != 0xAA {
+		t.Fatalf("recorded write wrong: %+v", w)
+	}
+	metaBefore := rec.metaChanges
+	p.SetLSN(77)
+	if rec.metaChanges != metaBefore+1 {
+		t.Fatalf("SetLSN must report a metadata change")
+	}
+	if p.LSN() != 77 {
+		t.Fatalf("LSN = %d", p.LSN())
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	p := newTestPage(t, 2048, 64)
+	p.SetLSN(123)
+	p.SetFlags(FlagOutOfPlace)
+	meta := p.Meta()
+	if len(meta) != MetaSize {
+		t.Fatalf("Meta length = %d", len(meta))
+	}
+	// Build a second page and install the metadata.
+	q := newTestPage(t, 2048, 64)
+	if err := q.ApplyMeta(meta); err != nil {
+		t.Fatalf("ApplyMeta: %v", err)
+	}
+	if q.LSN() != 123 || q.Flags() != FlagOutOfPlace || q.ID() != 42 {
+		t.Fatalf("metadata not installed: lsn=%d flags=%d id=%d", q.LSN(), q.Flags(), q.ID())
+	}
+	if err := q.ApplyMeta(meta[:10]); err == nil {
+		t.Fatalf("short metadata must be rejected")
+	}
+	// ApplyMeta must not let corrupted metadata change the delta-area size.
+	bad := append([]byte(nil), meta...)
+	bad[offDeltaSize] = 0xFF
+	bad[offDeltaSize+1] = 0xFF
+	if err := q.ApplyMeta(bad); err != nil {
+		t.Fatalf("ApplyMeta: %v", err)
+	}
+	if q.DeltaAreaSize() != 64 {
+		t.Fatalf("delta area size must be preserved, got %d", q.DeltaAreaSize())
+	}
+}
+
+func TestDeltaAreaHelpers(t *testing.T) {
+	p := newTestPage(t, 1024, 32)
+	p.ResetDeltaArea()
+	for _, b := range p.DeltaArea() {
+		if b != 0xFF {
+			t.Fatalf("ResetDeltaArea must fill with 0xFF")
+		}
+	}
+	p.ZeroDeltaArea()
+	for _, b := range p.DeltaArea() {
+		if b != 0 {
+			t.Fatalf("ZeroDeltaArea must fill with zeroes")
+		}
+	}
+}
+
+// TestInsertReadProperty: tuples of arbitrary content survive insertion and
+// retrieval unchanged, and never overlap the delta area or footer.
+func TestInsertReadProperty(t *testing.T) {
+	f := func(tuples [][]byte) bool {
+		buf := make([]byte, 4096)
+		p, err := Init(buf, 1, 1, 128)
+		if err != nil {
+			return false
+		}
+		var stored [][]byte
+		for _, tup := range tuples {
+			if len(tup) == 0 || len(tup) > 200 {
+				continue
+			}
+			slot, err := p.InsertTuple(tup)
+			if err != nil {
+				if errors.Is(err, ErrPageFull) {
+					break
+				}
+				return false
+			}
+			if slot != len(stored) {
+				return false
+			}
+			stored = append(stored, tup)
+		}
+		for i, want := range stored {
+			got, err := p.Tuple(i)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		// The delta area and footer must stay untouched by inserts.
+		for _, b := range p.DeltaArea() {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatalf("insert/read property: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package region implements NoFTL-style regions: named groups of database
+// objects that share a Flash-management configuration.
+//
+// The paper applies In-Place Appends selectively, only to database objects
+// dominated by small updates, by configuring the corresponding NoFTL
+// region. A region carries the N×M scheme and the MLC operation mode used
+// for the objects assigned to it; objects without an explicit assignment
+// fall back to the default region.
+package region
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ipa/internal/core"
+	"ipa/internal/nand"
+)
+
+// Region describes the Flash-management configuration of a group of
+// database objects.
+type Region struct {
+	// Name identifies the region (for reporting).
+	Name string
+	// Scheme is the N×M In-Place Appends configuration; the zero scheme
+	// disables IPA for the region's objects.
+	Scheme core.Scheme
+	// FlashMode is the MLC operation mode (pSLC, odd-MLC, ...) requested
+	// for the region's objects.
+	FlashMode nand.Mode
+}
+
+// String renders the region for logs and reports.
+func (r Region) String() string {
+	return fmt.Sprintf("%s[%s,%s]", r.Name, r.Scheme, r.FlashMode)
+}
+
+// Manager maps database object identifiers to regions.
+type Manager struct {
+	mu       sync.RWMutex
+	def      Region
+	byObject map[uint32]Region
+}
+
+// NewManager creates a manager with the given default region.
+func NewManager(def Region) *Manager {
+	if def.Name == "" {
+		def.Name = "default"
+	}
+	return &Manager{def: def, byObject: make(map[uint32]Region)}
+}
+
+// Default returns the default region.
+func (m *Manager) Default() Region {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.def
+}
+
+// SetDefault replaces the default region.
+func (m *Manager) SetDefault(r Region) {
+	m.mu.Lock()
+	m.def = r
+	m.mu.Unlock()
+}
+
+// Assign places a database object into a region.
+func (m *Manager) Assign(objectID uint32, r Region) {
+	m.mu.Lock()
+	m.byObject[objectID] = r
+	m.mu.Unlock()
+}
+
+// Unassign removes an object's explicit region assignment; it falls back to
+// the default region.
+func (m *Manager) Unassign(objectID uint32) {
+	m.mu.Lock()
+	delete(m.byObject, objectID)
+	m.mu.Unlock()
+}
+
+// For returns the region governing the given object.
+func (m *Manager) For(objectID uint32) Region {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if r, ok := m.byObject[objectID]; ok {
+		return r
+	}
+	return m.def
+}
+
+// Assignments returns the explicit object-to-region assignments sorted by
+// object ID (for reporting).
+func (m *Manager) Assignments() []struct {
+	ObjectID uint32
+	Region   Region
+} {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]struct {
+		ObjectID uint32
+		Region   Region
+	}, 0, len(m.byObject))
+	for id, r := range m.byObject {
+		out = append(out, struct {
+			ObjectID uint32
+			Region   Region
+		}{id, r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ObjectID < out[j].ObjectID })
+	return out
+}

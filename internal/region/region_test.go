@@ -1,0 +1,66 @@
+package region
+
+import (
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/nand"
+)
+
+func TestDefaultRegion(t *testing.T) {
+	m := NewManager(Region{})
+	def := m.Default()
+	if def.Name != "default" {
+		t.Fatalf("unnamed default region should be called 'default', got %q", def.Name)
+	}
+	if got := m.For(42); got.Name != "default" {
+		t.Fatalf("unassigned object must fall back to the default region, got %+v", got)
+	}
+}
+
+func TestAssignAndUnassign(t *testing.T) {
+	m := NewManager(Region{Name: "base", Scheme: core.Scheme{}})
+	hot := Region{Name: "hot", Scheme: core.Scheme{N: 2, M: 4}, FlashMode: nand.ModePSLC}
+	m.Assign(7, hot)
+	if got := m.For(7); got.Name != "hot" || !got.Scheme.Enabled() {
+		t.Fatalf("assignment not effective: %+v", got)
+	}
+	if got := m.For(8); got.Name != "base" {
+		t.Fatalf("other objects must keep the default region")
+	}
+	m.Unassign(7)
+	if got := m.For(7); got.Name != "base" {
+		t.Fatalf("unassign not effective: %+v", got)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	m := NewManager(Region{Name: "a"})
+	m.SetDefault(Region{Name: "b", Scheme: core.Scheme{N: 1, M: 8}})
+	if got := m.For(1); got.Name != "b" || got.Scheme.N != 1 {
+		t.Fatalf("SetDefault not effective: %+v", got)
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	m := NewManager(Region{Name: "base"})
+	m.Assign(3, Region{Name: "c"})
+	m.Assign(1, Region{Name: "a"})
+	m.Assign(2, Region{Name: "b"})
+	got := m.Assignments()
+	if len(got) != 3 {
+		t.Fatalf("expected 3 assignments, got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ObjectID > got[i].ObjectID {
+			t.Fatalf("assignments not sorted: %+v", got)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Name: "accounts", Scheme: core.Scheme{N: 2, M: 4}, FlashMode: nand.ModePSLC}
+	if s := r.String(); s != "accounts[2x4,pSLC]" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,487 @@
+// Package storage implements the storage manager: the layer between the
+// buffer pool and the Flash translation layer that realises the three
+// write paths demonstrated in the paper.
+//
+//   - Traditional: every dirty page eviction writes the whole page
+//     out-of-place (demo scenario 1, the baseline).
+//   - IPA for conventional SSDs: the page image (original body plus the
+//     appended delta records) is written over the block-device interface;
+//     the FTL detects that the image is programmable onto the existing
+//     physical page and performs an in-place append (demo scenario 2).
+//   - IPA for native Flash: only the delta records travel to the device
+//     via the write_delta command (demo scenario 3).
+//
+// The storage manager also performs page reconstruction on fetch (applying
+// delta records and Δmetadata) and collects the per-eviction statistics
+// behind Figure 1 (net modified bytes, DBMS write amplification) and the
+// eviction trace replayed against the In-Page Logging baseline.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipa/internal/core"
+	"ipa/internal/ftl"
+	"ipa/internal/page"
+	"ipa/internal/region"
+)
+
+// WriteMode selects the eviction write path.
+type WriteMode int
+
+const (
+	// WriteTraditional always writes whole pages out-of-place.
+	WriteTraditional WriteMode = iota
+	// WriteIPASSD writes whole pages (body + delta-record area) over the
+	// block-device interface; in-place appends happen inside the FTL.
+	WriteIPASSD
+	// WriteIPANative transfers only delta records using write_delta.
+	WriteIPANative
+)
+
+// String names the write mode as used in the demo scenarios.
+func (m WriteMode) String() string {
+	switch m {
+	case WriteTraditional:
+		return "traditional"
+	case WriteIPASSD:
+		return "ipa-ssd"
+	case WriteIPANative:
+		return "ipa-native"
+	default:
+		return fmt.Sprintf("WriteMode(%d)", int(m))
+	}
+}
+
+// SmallEvictionThreshold is the "less than 100 bytes of net data" bound the
+// paper uses when characterising OLTP eviction behaviour (Figure 1).
+const SmallEvictionThreshold = 100
+
+// ErrCapacity is returned when the database outgrows the Flash device.
+var ErrCapacity = errors.New("storage: out of logical page capacity")
+
+// Config configures the storage manager.
+type Config struct {
+	// Mode selects the eviction write path.
+	Mode WriteMode
+	// Regions maps database objects to their IPA configuration.
+	Regions *region.Manager
+	// Analytic enables net-changed-bytes accounting for every dirty
+	// eviction (needed by the Figure 1 experiment); it slightly increases
+	// tracking overhead, mirroring an instrumented build.
+	Analytic bool
+	// TraceEvictions records a fetch/eviction trace that can be replayed
+	// against the In-Page Logging baseline.
+	TraceEvictions bool
+}
+
+// Stats aggregates storage-manager counters.
+type Stats struct {
+	PageLoads      uint64
+	DirtyEvictions uint64
+	CleanEvictions uint64 // dirty flag set but nothing actually changed
+
+	IPAAppends       uint64 // evictions persisted as in-place appends
+	OutOfPlaceWrites uint64 // evictions persisted as whole-page writes
+	AppendFallbacks  uint64 // IPA attempted but refused by the FTL/device
+
+	DeltaRecordsWritten uint64
+	DeltaBytesWritten   uint64
+
+	// Figure 1 accounting.
+	NetChangedBytes uint64 // sum of net modified bytes over dirty evictions
+	SmallEvictions  uint64 // dirty evictions with < SmallEvictionThreshold net modified bytes
+	EvictedBytes    uint64 // page bytes a traditional DBMS would have written
+
+	// EvictionSizeHistogram buckets dirty evictions by their net modified
+	// bytes; HistogramBucketBounds gives the upper bound of each bucket.
+	// It is the distribution behind Figure 1.
+	EvictionSizeHistogram [len(histogramBounds) + 1]uint64
+}
+
+// histogramBounds are the upper bounds (inclusive) of the eviction-size
+// histogram buckets in bytes; the final implicit bucket is "larger".
+var histogramBounds = [...]int{10, 25, 50, 100, 250, 1000, 4000}
+
+// HistogramBucketBounds returns the upper bounds of the eviction-size
+// histogram buckets; the last bucket of EvictionSizeHistogram counts
+// evictions larger than the final bound.
+func HistogramBucketBounds() []int {
+	out := make([]int, len(histogramBounds))
+	copy(out, histogramBounds[:])
+	return out
+}
+
+// histogramBucket returns the bucket index for a net modified byte count.
+func histogramBucket(n int) int {
+	for i, b := range histogramBounds {
+		if n <= b {
+			return i
+		}
+	}
+	return len(histogramBounds)
+}
+
+// TraceEventType distinguishes trace entries.
+type TraceEventType int
+
+const (
+	// TraceFetch records a page read into the buffer pool.
+	TraceFetch TraceEventType = iota
+	// TraceEvict records a dirty page eviction.
+	TraceEvict
+)
+
+// TraceEvent is one entry of the fetch/eviction trace.
+type TraceEvent struct {
+	Type         TraceEventType
+	PID          uint64
+	ChangedBytes int  // net modified bytes at eviction (0 for fetches)
+	MetaChanged  bool // page metadata changed
+	FullWrite    bool // the eviction was (or had to be) a whole-page write
+}
+
+// Manager is the storage manager.
+type Manager struct {
+	mu       sync.Mutex
+	ftl      *ftl.FTL
+	cfg      Config
+	pageSize int
+	nextPID  uint64
+	stats    Stats
+	trace    []TraceEvent
+}
+
+// New creates a storage manager on top of an FTL.
+func New(f *ftl.FTL, cfg Config) (*Manager, error) {
+	if cfg.Regions == nil {
+		cfg.Regions = region.NewManager(region.Region{Name: "default"})
+	}
+	return &Manager{
+		ftl:      f,
+		cfg:      cfg,
+		pageSize: f.PageSize(),
+	}, nil
+}
+
+// PageSize returns the database page size (equal to the Flash page size).
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// Mode returns the configured write mode.
+func (m *Manager) Mode() WriteMode { return m.cfg.Mode }
+
+// FTL returns the underlying Flash translation layer.
+func (m *Manager) FTL() *ftl.FTL { return m.ftl }
+
+// Regions returns the region manager.
+func (m *Manager) Regions() *region.Manager { return m.cfg.Regions }
+
+// Stats returns a snapshot of the storage counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats clears the counters and the trace (used after load phases).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	m.stats = Stats{}
+	m.trace = nil
+	m.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded fetch/eviction trace.
+func (m *Manager) Trace() []TraceEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TraceEvent, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+// effectiveScheme returns the N×M scheme in force for an object under the
+// configured write mode.
+func (m *Manager) effectiveScheme(objectID uint32) core.Scheme {
+	if m.cfg.Mode == WriteTraditional {
+		return core.Disabled
+	}
+	return m.cfg.Regions.For(objectID).Scheme
+}
+
+// AllocatePage reserves a new page identifier for the given object.
+func (m *Manager) AllocatePage(objectID uint32) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(m.nextPID) >= m.ftl.Capacity() {
+		return 0, fmt.Errorf("%w: %d pages", ErrCapacity, m.ftl.Capacity())
+	}
+	pid := m.nextPID
+	m.nextPID++
+	return pid, nil
+}
+
+// AllocatedPages returns the number of allocated page identifiers.
+func (m *Manager) AllocatedPages() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextPID
+}
+
+// InitPage formats buf as a fresh page for the given object and returns its
+// change tracker. The first eviction of a new page is always a whole-page
+// write (there is nothing on Flash to append to).
+func (m *Manager) InitPage(buf []byte, pid uint64, objectID uint32) (*core.Tracker, error) {
+	scheme := m.effectiveScheme(objectID)
+	deltaSize := 0
+	if scheme.Enabled() {
+		deltaSize = scheme.AreaSize(page.MetaSize)
+	}
+	pg, err := page.Init(buf, pid, objectID, deltaSize)
+	if err != nil {
+		return nil, err
+	}
+	t := core.NewTracker(scheme, page.MetaSize, pg.BodyEnd(), 0)
+	t.SetAnalytic(m.cfg.Analytic)
+	t.SetOriginalMeta(pg.Meta())
+	t.MarkOutOfPlace()
+	return t, nil
+}
+
+// LoadPage implements buffer.PageIO: it reads the page image from Flash,
+// applies any delta records (page reconstruction) and returns the tracker
+// for the new buffer residency.
+func (m *Manager) LoadPage(pid uint64, buf []byte) (*core.Tracker, error) {
+	if err := m.ftl.ReadPage(int(pid), buf); err != nil {
+		return nil, err
+	}
+	pg, err := page.Wrap(buf)
+	if err != nil {
+		return nil, fmt.Errorf("storage: page %d: %w", pid, err)
+	}
+	scheme := m.effectiveScheme(pg.ObjectID())
+	// Remember the header/footer exactly as stored on Flash: the
+	// conventional-SSD write path must reproduce that image when it
+	// appends further delta records.
+	rawMeta := pg.Meta()
+	existing := 0
+	if scheme.Enabled() && pg.DeltaAreaSize() >= scheme.AreaSize(page.MetaSize) {
+		records := core.DecodeArea(pg.DeltaArea(), scheme, page.MetaSize)
+		if len(records) > 0 {
+			meta := core.ApplyRecords(buf, records)
+			if meta != nil {
+				if err := pg.ApplyMeta(meta); err != nil {
+					return nil, fmt.Errorf("storage: page %d: %w", pid, err)
+				}
+			}
+			existing = len(records)
+		}
+	}
+	t := core.NewTracker(scheme, page.MetaSize, pg.BodyEnd(), existing)
+	t.SetAnalytic(m.cfg.Analytic)
+	t.SetOriginalMeta(rawMeta)
+
+	m.mu.Lock()
+	m.stats.PageLoads++
+	if m.cfg.TraceEvictions {
+		m.trace = append(m.trace, TraceEvent{Type: TraceFetch, PID: pid})
+	}
+	m.mu.Unlock()
+	return t, nil
+}
+
+// StorePage implements buffer.PageIO: it persists a dirty page using the
+// configured write path and resets the tracker for the page's next buffer
+// residency.
+func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
+	pg, err := page.Wrap(buf)
+	if err != nil {
+		return fmt.Errorf("storage: page %d: %w", pid, err)
+	}
+	scheme := core.Disabled
+	if t != nil {
+		scheme = t.Scheme()
+	}
+
+	// A page whose tracked changes all reverted needs no write at all.
+	if t != nil && !t.OutOfPlace() && !t.Dirty() {
+		m.mu.Lock()
+		m.stats.CleanEvictions++
+		m.mu.Unlock()
+		return nil
+	}
+
+	net := 0
+	metaChanged := false
+	if t != nil {
+		net = t.NetChangedBytes()
+		metaChanged = t.MetaChanged()
+	}
+	m.mu.Lock()
+	m.stats.DirtyEvictions++
+	m.stats.EvictedBytes += uint64(len(buf))
+	m.stats.NetChangedBytes += uint64(net)
+	if net > 0 && net < SmallEvictionThreshold {
+		m.stats.SmallEvictions++
+	}
+	m.stats.EvictionSizeHistogram[histogramBucket(net)]++
+	m.mu.Unlock()
+
+	eligible := t != nil && scheme.Enabled() && t.Eligible() && t.Dirty() &&
+		m.cfg.Mode != WriteTraditional && m.ftl.Mapped(int(pid)) && m.ftl.IsAppendTarget(int(pid))
+
+	if eligible {
+		outcome, err := m.storeAppend(pid, buf, pg, t, scheme)
+		if err != nil {
+			return err
+		}
+		switch outcome {
+		case appendDone:
+			m.recordEvictTrace(pid, net, metaChanged, false)
+			return nil
+		case appendFellBack:
+			// The FTL already persisted the page out-of-place.
+			m.recordEvictTrace(pid, net, metaChanged, true)
+			return nil
+		case appendRefused:
+			m.mu.Lock()
+			m.stats.AppendFallbacks++
+			m.mu.Unlock()
+		}
+	}
+	if err := m.storeOutOfPlace(pid, buf, pg, t, scheme); err != nil {
+		return err
+	}
+	m.recordEvictTrace(pid, net, metaChanged, true)
+	return nil
+}
+
+func (m *Manager) recordEvictTrace(pid uint64, net int, metaChanged, fullWrite bool) {
+	if !m.cfg.TraceEvictions {
+		return
+	}
+	m.mu.Lock()
+	m.trace = append(m.trace, TraceEvent{
+		Type:         TraceEvict,
+		PID:          pid,
+		ChangedBytes: net,
+		MetaChanged:  metaChanged,
+		FullWrite:    fullWrite,
+	})
+	m.mu.Unlock()
+}
+
+// appendOutcome describes how storeAppend persisted (or did not persist)
+// the page.
+type appendOutcome int
+
+const (
+	// appendDone: the delta records were appended in place.
+	appendDone appendOutcome = iota
+	// appendFellBack: the FTL refused the in-place program but already
+	// wrote the page out-of-place; nothing more to do.
+	appendFellBack
+	// appendRefused: no write happened; the caller must write the page
+	// out-of-place itself.
+	appendRefused
+)
+
+// storeAppend persists the tracked changes as appended delta records.
+func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tracker, scheme core.Scheme) (appendOutcome, error) {
+	records := t.BuildRecords(pg.Meta())
+	if len(records) == 0 {
+		// Nothing to persist (should have been caught as a clean page).
+		t.Reset(t.Existing())
+		return appendDone, nil
+	}
+	firstSlot := t.Existing()
+	recordSize := scheme.RecordSize(page.MetaSize)
+	encoded := make([]byte, recordSize*len(records))
+	for i := range encoded {
+		encoded[i] = 0xFF
+	}
+	for i, rec := range records {
+		if err := core.EncodeRecord(encoded[i*recordSize:(i+1)*recordSize], rec, scheme, page.MetaSize); err != nil {
+			return appendRefused, fmt.Errorf("storage: page %d: %w", pid, err)
+		}
+	}
+	areaOffset := pg.DeltaAreaStart() + firstSlot*recordSize
+
+	switch m.cfg.Mode {
+	case WriteIPANative:
+		err := m.ftl.WriteDelta(int(pid), areaOffset, encoded)
+		if errors.Is(err, ftl.ErrNotAppendable) {
+			return appendRefused, nil
+		}
+		if err != nil {
+			return appendRefused, fmt.Errorf("storage: write_delta page %d: %w", pid, err)
+		}
+	case WriteIPASSD:
+		// Build the block-device image: the body and metadata exactly as
+		// they are stored on Flash plus the delta-record area extended
+		// with the new records. Only previously erased bytes change, so
+		// the FTL can program the image onto the existing physical page.
+		image := t.RestoreOriginal(buf)
+		if meta := t.OriginalMeta(); len(meta) == page.MetaSize {
+			copy(image[:page.HeaderSize], meta[:page.HeaderSize])
+			copy(image[len(image)-page.FooterSize:], meta[page.HeaderSize:])
+		}
+		copy(image[areaOffset:], encoded)
+		inPlace, err := m.ftl.WritePage(int(pid), image)
+		if err != nil {
+			return appendRefused, fmt.Errorf("storage: page %d: %w", pid, err)
+		}
+		if !inPlace {
+			// The FTL wrote the image out-of-place (e.g. append budget
+			// exhausted). The image is still correct; account it as a
+			// fallback so the statistics reflect reality.
+			m.syncBufferedArea(buf, pg, encoded, areaOffset)
+			t.Reset(firstSlot + len(records))
+			m.mu.Lock()
+			m.stats.AppendFallbacks++
+			m.stats.OutOfPlaceWrites++
+			m.mu.Unlock()
+			return appendFellBack, nil
+		}
+	default:
+		return appendRefused, nil
+	}
+
+	m.syncBufferedArea(buf, pg, encoded, areaOffset)
+	m.mu.Lock()
+	m.stats.IPAAppends++
+	m.stats.DeltaRecordsWritten += uint64(len(records))
+	m.stats.DeltaBytesWritten += uint64(len(encoded))
+	m.mu.Unlock()
+	t.Reset(firstSlot + len(records))
+	return appendDone, nil
+}
+
+// syncBufferedArea mirrors the freshly appended delta records into the
+// buffered page image so the in-memory copy matches the Flash page.
+func (m *Manager) syncBufferedArea(buf []byte, pg *page.Page, encoded []byte, areaOffset int) {
+	copy(buf[areaOffset:areaOffset+len(encoded)], encoded)
+}
+
+// storeOutOfPlace writes the whole up-to-date page image out-of-place.
+func (m *Manager) storeOutOfPlace(pid uint64, buf []byte, pg *page.Page, t *core.Tracker, scheme core.Scheme) error {
+	if scheme.Enabled() {
+		// The freshly written copy starts with an empty (erased)
+		// delta-record area so it can take future in-place appends.
+		pg.ResetDeltaArea()
+	}
+	if _, err := m.ftl.WritePage(int(pid), buf); err != nil {
+		return fmt.Errorf("storage: page %d: %w", pid, err)
+	}
+	m.mu.Lock()
+	m.stats.OutOfPlaceWrites++
+	m.mu.Unlock()
+	if t != nil {
+		t.Reset(0)
+		// The freshly written page now carries the current metadata.
+		t.SetOriginalMeta(pg.Meta())
+	}
+	return nil
+}

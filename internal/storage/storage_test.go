@@ -1,0 +1,385 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/flashdev"
+	"ipa/internal/ftl"
+	"ipa/internal/nand"
+	"ipa/internal/page"
+	"ipa/internal/region"
+)
+
+// testStack builds a device, FTL and storage manager for one write mode.
+func testStack(t *testing.T, mode WriteMode, scheme core.Scheme, flashMode nand.Mode) *Manager {
+	t.Helper()
+	dev, err := flashdev.New(flashdev.Config{
+		Chips: 1,
+		Chip: nand.Config{
+			Geometry:        nand.Geometry{Blocks: 32, PagesPerBlock: 16, PageSize: 2048, OOBSize: 128},
+			Cell:            nand.MLC,
+			StrictOverwrite: true,
+			Seed:            2,
+		},
+		Latency: flashdev.DefaultLatencyModel(),
+	})
+	if err != nil {
+		t.Fatalf("flashdev.New: %v", err)
+	}
+	eccCover := 2048
+	if scheme.Enabled() {
+		eccCover = 2048 - page.FooterSize - scheme.AreaSize(page.MetaSize)
+	}
+	f, err := ftl.New(dev, ftl.Config{
+		FlashMode:     flashMode,
+		InPlaceMerge:  mode == WriteIPASSD,
+		EccCoverBytes: eccCover,
+	})
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	regions := region.NewManager(region.Region{Name: "default", Scheme: scheme, FlashMode: flashMode})
+	m, err := New(f, Config{Mode: mode, Regions: regions, Analytic: true, TraceEvictions: true})
+	if err != nil {
+		t.Fatalf("storage.New: %v", err)
+	}
+	return m
+}
+
+// newPage allocates, initialises and persists a fresh page with some tuples
+// and returns its pid, buffer and tracker.
+func newPage(t *testing.T, m *Manager, tuples int) (uint64, []byte, *core.Tracker) {
+	t.Helper()
+	pid, err := m.AllocatePage(1)
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	buf := make([]byte, m.PageSize())
+	tracker, err := m.InitPage(buf, pid, 1)
+	if err != nil {
+		t.Fatalf("InitPage: %v", err)
+	}
+	pg, err := page.Wrap(buf)
+	if err != nil {
+		t.Fatalf("Wrap: %v", err)
+	}
+	pg.SetRecorder(tracker)
+	for i := 0; i < tuples; i++ {
+		tuple := bytes.Repeat([]byte{byte(i + 1)}, 100)
+		if _, err := pg.InsertTuple(tuple); err != nil {
+			t.Fatalf("InsertTuple: %v", err)
+		}
+	}
+	if err := m.StorePage(pid, buf, tracker); err != nil {
+		t.Fatalf("StorePage: %v", err)
+	}
+	return pid, buf, tracker
+}
+
+// reload loads the page fresh from Flash.
+func reload(t *testing.T, m *Manager, pid uint64) ([]byte, *core.Tracker) {
+	t.Helper()
+	buf := make([]byte, m.PageSize())
+	tracker, err := m.LoadPage(pid, buf)
+	if err != nil {
+		t.Fatalf("LoadPage: %v", err)
+	}
+	return buf, tracker
+}
+
+func modesUnderTest() []struct {
+	name   string
+	mode   WriteMode
+	scheme core.Scheme
+	flash  nand.Mode
+} {
+	return []struct {
+		name   string
+		mode   WriteMode
+		scheme core.Scheme
+		flash  nand.Mode
+	}{
+		{"traditional", WriteTraditional, core.Disabled, nand.ModeMLCFull},
+		{"ipa-ssd", WriteIPASSD, core.Scheme{N: 2, M: 4}, nand.ModePSLC},
+		{"ipa-native", WriteIPANative, core.Scheme{N: 2, M: 4}, nand.ModePSLC},
+	}
+}
+
+// TestSmallUpdateRoundTrip exercises the full fetch / modify / evict /
+// reconstruct cycle for every write mode.
+func TestSmallUpdateRoundTrip(t *testing.T) {
+	for _, tc := range modesUnderTest() {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testStack(t, tc.mode, tc.scheme, tc.flash)
+			pid, _, _ := newPage(t, m, 5)
+
+			// First residency: small update.
+			buf, tracker := reload(t, m, pid)
+			pg, _ := page.Wrap(buf)
+			pg.SetRecorder(tracker)
+			if err := pg.UpdateTupleAt(2, 10, []byte{0xAB, 0xCD}); err != nil {
+				t.Fatalf("UpdateTupleAt: %v", err)
+			}
+			pg.SetLSN(101)
+			if err := m.StorePage(pid, buf, tracker); err != nil {
+				t.Fatalf("StorePage: %v", err)
+			}
+
+			// Second residency: the update must be visible after
+			// reconstruction, and another small update must work.
+			buf2, tracker2 := reload(t, m, pid)
+			pg2, _ := page.Wrap(buf2)
+			got, err := pg2.Tuple(2)
+			if err != nil {
+				t.Fatalf("Tuple: %v", err)
+			}
+			if got[10] != 0xAB || got[11] != 0xCD {
+				t.Fatalf("first update lost after reload: % x", got[8:14])
+			}
+			if pg2.LSN() != 101 {
+				t.Fatalf("Δmetadata not applied: LSN=%d", pg2.LSN())
+			}
+			pg2.SetRecorder(tracker2)
+			if err := pg2.UpdateTupleAt(3, 0, []byte{0x77}); err != nil {
+				t.Fatalf("UpdateTupleAt: %v", err)
+			}
+			if err := m.StorePage(pid, buf2, tracker2); err != nil {
+				t.Fatalf("StorePage: %v", err)
+			}
+
+			buf3, _ := reload(t, m, pid)
+			pg3, _ := page.Wrap(buf3)
+			got2, _ := pg3.Tuple(3)
+			got1, _ := pg3.Tuple(2)
+			if got2[0] != 0x77 || got1[10] != 0xAB {
+				t.Fatalf("updates lost after second reload")
+			}
+
+			stats := m.Stats()
+			if tc.mode == WriteTraditional {
+				if stats.IPAAppends != 0 {
+					t.Fatalf("traditional mode must not append: %+v", stats)
+				}
+			} else if stats.IPAAppends == 0 {
+				t.Fatalf("IPA mode performed no appends: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestAppendBudgetFallsBackToFullWrite verifies the N-record limit: after N
+// appended records the next eviction rewrites the page out-of-place and the
+// cycle starts over.
+func TestAppendBudgetFallsBackToFullWrite(t *testing.T) {
+	scheme := core.Scheme{N: 2, M: 4}
+	m := testStack(t, WriteIPANative, scheme, nand.ModePSLC)
+	pid, _, _ := newPage(t, m, 3)
+
+	for round := 0; round < 5; round++ {
+		buf, tracker := reload(t, m, pid)
+		pg, _ := page.Wrap(buf)
+		pg.SetRecorder(tracker)
+		if err := pg.UpdateTupleAt(0, round, []byte{byte(0x10 + round)}); err != nil {
+			t.Fatalf("UpdateTupleAt: %v", err)
+		}
+		if err := m.StorePage(pid, buf, tracker); err != nil {
+			t.Fatalf("StorePage round %d: %v", round, err)
+		}
+	}
+	stats := m.Stats()
+	if stats.IPAAppends == 0 || stats.OutOfPlaceWrites < 2 {
+		t.Fatalf("expected a mix of appends and full rewrites: %+v", stats)
+	}
+	// All five updates must be visible.
+	buf, _ := reload(t, m, pid)
+	pg, _ := page.Wrap(buf)
+	tuple, _ := pg.Tuple(0)
+	for round := 0; round < 5; round++ {
+		if tuple[round] != byte(0x10+round) {
+			t.Fatalf("round %d update lost: % x", round, tuple[:6])
+		}
+	}
+}
+
+// TestLargeUpdateGoesOutOfPlace: a change bigger than the N×M scheme is
+// written out-of-place and still read back correctly.
+func TestLargeUpdateGoesOutOfPlace(t *testing.T) {
+	m := testStack(t, WriteIPANative, core.Scheme{N: 2, M: 4}, nand.ModePSLC)
+	pid, _, _ := newPage(t, m, 3)
+	buf, tracker := reload(t, m, pid)
+	pg, _ := page.Wrap(buf)
+	pg.SetRecorder(tracker)
+	big := bytes.Repeat([]byte{0x5A}, 64)
+	if err := pg.UpdateTupleAt(1, 0, big); err != nil {
+		t.Fatalf("UpdateTupleAt: %v", err)
+	}
+	if err := m.StorePage(pid, buf, tracker); err != nil {
+		t.Fatalf("StorePage: %v", err)
+	}
+	s := m.Stats()
+	if s.IPAAppends != 0 || s.OutOfPlaceWrites == 0 {
+		t.Fatalf("large update must go out-of-place: %+v", s)
+	}
+	buf2, _ := reload(t, m, pid)
+	pg2, _ := page.Wrap(buf2)
+	got, _ := pg2.Tuple(1)
+	if !bytes.Equal(got[:64], big) {
+		t.Fatalf("large update lost")
+	}
+}
+
+// TestCleanEvictionSkipsWrite: a page whose changes reverted needs no write.
+func TestCleanEvictionSkipsWrite(t *testing.T) {
+	m := testStack(t, WriteIPANative, core.Scheme{N: 2, M: 4}, nand.ModePSLC)
+	pid, _, _ := newPage(t, m, 2)
+	buf, tracker := reload(t, m, pid)
+	pg, _ := page.Wrap(buf)
+	pg.SetRecorder(tracker)
+	orig, _ := pg.Tuple(0)
+	if err := pg.UpdateTupleAt(0, 0, []byte{0xEE}); err != nil {
+		t.Fatalf("UpdateTupleAt: %v", err)
+	}
+	if err := pg.UpdateTupleAt(0, 0, orig[:1]); err != nil {
+		t.Fatalf("UpdateTupleAt revert: %v", err)
+	}
+	before := m.FTL().Stats()
+	if err := m.StorePage(pid, buf, tracker); err != nil {
+		t.Fatalf("StorePage: %v", err)
+	}
+	after := m.FTL().Stats()
+	if after.HostWrites != before.HostWrites || after.HostWriteDeltas != before.HostWriteDeltas {
+		t.Fatalf("clean page must not be written")
+	}
+	if m.Stats().CleanEvictions == 0 {
+		t.Fatalf("clean eviction not counted")
+	}
+}
+
+// TestFigure1Accounting checks the statistics behind Figure 1.
+func TestFigure1Accounting(t *testing.T) {
+	m := testStack(t, WriteTraditional, core.Disabled, nand.ModeMLCFull)
+	pid, _, _ := newPage(t, m, 4)
+	// Measure only the small update below, not the initial page fill.
+	m.ResetStats()
+	buf, tracker := reload(t, m, pid)
+	pg, _ := page.Wrap(buf)
+	pg.SetRecorder(tracker)
+	if err := pg.UpdateTupleAt(0, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("UpdateTupleAt: %v", err)
+	}
+	if err := m.StorePage(pid, buf, tracker); err != nil {
+		t.Fatalf("StorePage: %v", err)
+	}
+	s := m.Stats()
+	if s.SmallEvictions != 1 {
+		t.Fatalf("a small change must count as a small eviction: %+v", s)
+	}
+	// Tuple 0 is filled with 0x01, so writing {1,2,3} nets two changed bytes.
+	if s.NetChangedBytes != 2 {
+		t.Fatalf("NetChangedBytes = %d, want 2", s.NetChangedBytes)
+	}
+	if s.EvictedBytes == 0 || s.EvictedBytes%uint64(m.PageSize()) != 0 {
+		t.Fatalf("EvictedBytes accounting wrong: %d", s.EvictedBytes)
+	}
+}
+
+// TestTraceRecording checks the fetch/eviction trace used for the IPL
+// comparison.
+func TestTraceRecording(t *testing.T) {
+	m := testStack(t, WriteTraditional, core.Disabled, nand.ModeMLCFull)
+	pid, _, _ := newPage(t, m, 2)
+	buf, tracker := reload(t, m, pid)
+	pg, _ := page.Wrap(buf)
+	pg.SetRecorder(tracker)
+	_ = pg.UpdateTupleAt(0, 0, []byte{9})
+	_ = m.StorePage(pid, buf, tracker)
+
+	trace := m.Trace()
+	var fetches, evicts int
+	for _, ev := range trace {
+		switch ev.Type {
+		case TraceFetch:
+			fetches++
+		case TraceEvict:
+			evicts++
+			if ev.PID != pid {
+				t.Fatalf("trace PID wrong")
+			}
+		}
+	}
+	if fetches == 0 || evicts < 2 {
+		t.Fatalf("trace incomplete: %d fetches, %d evicts", fetches, evicts)
+	}
+	m.ResetStats()
+	if len(m.Trace()) != 0 {
+		t.Fatalf("ResetStats must clear the trace")
+	}
+}
+
+// TestRegionSelectiveIPA: objects in a region without a scheme are always
+// written out-of-place even though the manager runs in an IPA mode.
+func TestRegionSelectiveIPA(t *testing.T) {
+	m := testStack(t, WriteIPANative, core.Scheme{N: 2, M: 4}, nand.ModePSLC)
+	// Object 2 lives in a region without IPA.
+	m.Regions().Assign(2, region.Region{Name: "no-ipa", Scheme: core.Disabled})
+
+	pid, err := m.AllocatePage(2)
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	buf := make([]byte, m.PageSize())
+	tracker, err := m.InitPage(buf, pid, 2)
+	if err != nil {
+		t.Fatalf("InitPage: %v", err)
+	}
+	pg, _ := page.Wrap(buf)
+	pg.SetRecorder(tracker)
+	if pg.DeltaAreaSize() != 0 {
+		t.Fatalf("no-IPA region pages must not reserve a delta area")
+	}
+	if _, err := pg.InsertTuple(make([]byte, 50)); err != nil {
+		t.Fatalf("InsertTuple: %v", err)
+	}
+	if err := m.StorePage(pid, buf, tracker); err != nil {
+		t.Fatalf("StorePage: %v", err)
+	}
+	buf2, tracker2 := reload(t, m, pid)
+	pg2, _ := page.Wrap(buf2)
+	pg2.SetRecorder(tracker2)
+	if err := pg2.UpdateTupleAt(0, 0, []byte{1}); err != nil {
+		t.Fatalf("UpdateTupleAt: %v", err)
+	}
+	if err := m.StorePage(pid, buf2, tracker2); err != nil {
+		t.Fatalf("StorePage: %v", err)
+	}
+	if s := m.Stats(); s.IPAAppends != 0 {
+		t.Fatalf("no-IPA region must never append: %+v", s)
+	}
+}
+
+// TestAllocatePageCapacity exhausts the logical capacity.
+func TestAllocatePageCapacity(t *testing.T) {
+	m := testStack(t, WriteTraditional, core.Disabled, nand.ModeMLCFull)
+	cap := m.FTL().Capacity()
+	for i := 0; i < cap; i++ {
+		if _, err := m.AllocatePage(1); err != nil {
+			t.Fatalf("AllocatePage %d: %v", i, err)
+		}
+	}
+	if _, err := m.AllocatePage(1); err == nil {
+		t.Fatalf("expected capacity error")
+	}
+	if m.AllocatedPages() != uint64(cap) {
+		t.Fatalf("AllocatedPages = %d", m.AllocatedPages())
+	}
+}
+
+func TestWriteModeString(t *testing.T) {
+	for _, m := range []WriteMode{WriteTraditional, WriteIPASSD, WriteIPANative, WriteMode(9)} {
+		if m.String() == "" {
+			t.Errorf("empty name for mode %d", m)
+		}
+	}
+}

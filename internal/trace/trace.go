@@ -1,0 +1,166 @@
+// Package trace persists and analyses fetch/eviction traces.
+//
+// The paper's IPA-vs-IPL comparison (footnote 1) is trace driven: a
+// benchmark run is recorded once and then replayed against different
+// storage managers. The storage package produces such traces in memory;
+// this package adds a stable on-disk representation (JSON lines), summary
+// statistics, and helpers to load a trace back for replay, so experiments
+// can be recorded once and analysed many times (cmd/ipatrace).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipa/internal/storage"
+)
+
+// Event is the serialised form of one trace entry.
+type Event struct {
+	// Kind is "fetch" or "evict".
+	Kind string `json:"kind"`
+	// PID is the logical page identifier.
+	PID uint64 `json:"pid"`
+	// ChangedBytes is the number of net modified bytes at eviction.
+	ChangedBytes int `json:"changed,omitempty"`
+	// MetaChanged reports whether page metadata changed.
+	MetaChanged bool `json:"meta,omitempty"`
+	// FullWrite reports whether the eviction was a whole-page write.
+	FullWrite bool `json:"full,omitempty"`
+}
+
+const (
+	kindFetch = "fetch"
+	kindEvict = "evict"
+)
+
+// FromStorage converts storage trace events into their serialised form.
+func FromStorage(events []storage.TraceEvent) []Event {
+	out := make([]Event, 0, len(events))
+	for _, ev := range events {
+		e := Event{PID: ev.PID}
+		switch ev.Type {
+		case storage.TraceFetch:
+			e.Kind = kindFetch
+		case storage.TraceEvict:
+			e.Kind = kindEvict
+			e.ChangedBytes = ev.ChangedBytes
+			e.MetaChanged = ev.MetaChanged
+			e.FullWrite = ev.FullWrite
+		default:
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ToStorage converts serialised events back into storage trace events,
+// ready to be replayed (e.g. against the In-Page Logging manager).
+func ToStorage(events []Event) ([]storage.TraceEvent, error) {
+	out := make([]storage.TraceEvent, 0, len(events))
+	for i, ev := range events {
+		switch ev.Kind {
+		case kindFetch:
+			out = append(out, storage.TraceEvent{Type: storage.TraceFetch, PID: ev.PID})
+		case kindEvict:
+			out = append(out, storage.TraceEvent{
+				Type:         storage.TraceEvict,
+				PID:          ev.PID,
+				ChangedBytes: ev.ChangedBytes,
+				MetaChanged:  ev.MetaChanged,
+				FullWrite:    ev.FullWrite,
+			})
+		default:
+			return nil, fmt.Errorf("trace: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return out, nil
+}
+
+// Write serialises events as JSON lines (one event per line).
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines trace.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: decoding event %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// Summary aggregates a trace the way Figure 1 looks at eviction behaviour.
+type Summary struct {
+	Fetches        int
+	Evictions      int
+	FullWrites     int
+	SmallEvictions int // evictions changing fewer than 100 bytes
+	ChangedBytes   int64
+	DistinctPages  int
+}
+
+// Summarize computes summary statistics for a trace.
+func Summarize(events []Event) Summary {
+	var s Summary
+	pages := make(map[uint64]struct{})
+	for _, ev := range events {
+		pages[ev.PID] = struct{}{}
+		switch ev.Kind {
+		case kindFetch:
+			s.Fetches++
+		case kindEvict:
+			s.Evictions++
+			s.ChangedBytes += int64(ev.ChangedBytes)
+			if ev.FullWrite {
+				s.FullWrites++
+			}
+			if ev.ChangedBytes > 0 && ev.ChangedBytes < storage.SmallEvictionThreshold {
+				s.SmallEvictions++
+			}
+		}
+	}
+	s.DistinctPages = len(pages)
+	return s
+}
+
+// AvgChangedBytes returns the average net modified bytes per eviction.
+func (s Summary) AvgChangedBytes() float64 {
+	if s.Evictions == 0 {
+		return 0
+	}
+	return float64(s.ChangedBytes) / float64(s.Evictions)
+}
+
+// SmallEvictionShare returns the fraction of evictions changing fewer than
+// 100 bytes.
+func (s Summary) SmallEvictionShare() float64 {
+	if s.Evictions == 0 {
+		return 0
+	}
+	return float64(s.SmallEvictions) / float64(s.Evictions)
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("fetches=%d evictions=%d fullWrites=%d distinctPages=%d avgChanged=%.1fB small=%.1f%%",
+		s.Fetches, s.Evictions, s.FullWrites, s.DistinctPages, s.AvgChangedBytes(), 100*s.SmallEvictionShare())
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ipa/internal/storage"
+)
+
+func sampleStorageTrace() []storage.TraceEvent {
+	return []storage.TraceEvent{
+		{Type: storage.TraceFetch, PID: 1},
+		{Type: storage.TraceEvict, PID: 1, ChangedBytes: 12, MetaChanged: true},
+		{Type: storage.TraceFetch, PID: 2},
+		{Type: storage.TraceEvict, PID: 2, ChangedBytes: 4096, FullWrite: true},
+		{Type: storage.TraceEvict, PID: 3, ChangedBytes: 2},
+	}
+}
+
+func TestFromToStorageRoundTrip(t *testing.T) {
+	orig := sampleStorageTrace()
+	events := FromStorage(orig)
+	if len(events) != len(orig) {
+		t.Fatalf("lost events: %d vs %d", len(events), len(orig))
+	}
+	back, err := ToStorage(events)
+	if err != nil {
+		t.Fatalf("ToStorage: %v", err)
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", back, orig)
+	}
+}
+
+func TestToStorageRejectsUnknownKind(t *testing.T) {
+	if _, err := ToStorage([]Event{{Kind: "bogus"}}); err == nil {
+		t.Fatalf("unknown kinds must be rejected")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := FromStorage(sampleStorageTrace())
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(events) {
+		t.Fatalf("expected one JSON line per event, got %d lines", got)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("file round trip mismatch")
+	}
+}
+
+func TestReadBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatalf("malformed input must be rejected")
+	}
+	events, err := Read(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("empty input must give an empty trace: %v %v", events, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(FromStorage(sampleStorageTrace()))
+	if s.Fetches != 2 || s.Evictions != 3 || s.FullWrites != 1 {
+		t.Fatalf("summary counts wrong: %+v", s)
+	}
+	if s.SmallEvictions != 2 {
+		t.Fatalf("SmallEvictions = %d", s.SmallEvictions)
+	}
+	if s.DistinctPages != 3 {
+		t.Fatalf("DistinctPages = %d", s.DistinctPages)
+	}
+	if s.AvgChangedBytes() <= 0 || s.SmallEvictionShare() <= 0 {
+		t.Fatalf("derived metrics wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatalf("String empty")
+	}
+	var empty Summary
+	if empty.AvgChangedBytes() != 0 || empty.SmallEvictionShare() != 0 {
+		t.Fatalf("empty summary must not divide by zero")
+	}
+}
+
+// TestSerialisationProperty: every storage trace survives the
+// storage -> Event -> JSON -> Event -> storage round trip unchanged.
+func TestSerialisationProperty(t *testing.T) {
+	f := func(pids []uint64, changed []uint16, evict []bool) bool {
+		var orig []storage.TraceEvent
+		for i, pid := range pids {
+			ev := storage.TraceEvent{PID: pid, Type: storage.TraceFetch}
+			if i < len(evict) && evict[i] {
+				ev.Type = storage.TraceEvict
+				if i < len(changed) {
+					ev.ChangedBytes = int(changed[i])
+				}
+				ev.FullWrite = i%2 == 0
+				ev.MetaChanged = i%3 == 0
+			}
+			orig = append(orig, ev)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, FromStorage(orig)); err != nil {
+			return false
+		}
+		events, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		back, err := ToStorage(events)
+		if err != nil {
+			return false
+		}
+		if len(orig) == 0 {
+			return len(back) == 0
+		}
+		return reflect.DeepEqual(back, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatalf("serialisation property: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package txn implements transactions with record-level locking and
+// WAL-based rollback.
+//
+// The transaction layer is part of the Shore-MT-like substrate the paper's
+// prototype runs on. In-Place Appends is transparent to it: transactions
+// update buffered pages in place exactly as before; only the eviction path
+// in the storage manager changes. The tests in this package and in the
+// engine verify that locking, commit and abort behave identically with and
+// without IPA.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipa/internal/wal"
+)
+
+// Errors returned by the transaction manager.
+var (
+	// ErrConflict is returned when a lock is held by another transaction
+	// and the manager is configured not to wait.
+	ErrConflict = errors.New("txn: lock conflict")
+	// ErrFinished is returned when operating on a committed or aborted
+	// transaction.
+	ErrFinished = errors.New("txn: transaction already finished")
+)
+
+// Status of a transaction.
+type Status int
+
+const (
+	// Active transactions may acquire locks and log updates.
+	Active Status = iota
+	// Committed transactions are durable.
+	Committed
+	// Aborted transactions have been rolled back.
+	Aborted
+)
+
+// LockKey identifies a lockable record (page, slot).
+type LockKey struct {
+	PageID uint64
+	Slot   uint16
+}
+
+// Manager coordinates transactions.
+type Manager struct {
+	mu     sync.Mutex
+	nextID uint64
+	locks  map[LockKey]uint64 // key -> owning transaction
+	log    *wal.Log
+}
+
+// NewManager creates a transaction manager writing to log.
+func NewManager(log *wal.Log) *Manager {
+	return &Manager{nextID: 1, locks: make(map[LockKey]uint64), log: log}
+}
+
+// Log returns the write-ahead log used by the manager.
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// Txn is one transaction.
+type Txn struct {
+	mgr    *Manager
+	id     uint64
+	status Status
+	locks  []LockKey
+	undo   []wal.Record
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.mu.Unlock()
+	return &Txn{mgr: m, id: id}
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Status returns the transaction status.
+func (t *Txn) Status() Status { return t.status }
+
+// Lock acquires an exclusive record lock. Locks are held until commit or
+// abort (strict two-phase locking). A conflict with another transaction
+// returns ErrConflict; the OLTP drivers retry the transaction.
+func (t *Txn) Lock(key LockKey) error {
+	if t.status != Active {
+		return ErrFinished
+	}
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	owner, held := m.locks[key]
+	if held && owner != t.id {
+		return fmt.Errorf("%w: page %d slot %d held by txn %d", ErrConflict, key.PageID, key.Slot, owner)
+	}
+	if !held {
+		m.locks[key] = t.id
+		t.locks = append(t.locks, key)
+	}
+	return nil
+}
+
+// LogUpdate appends an update record (before and after image) to the WAL
+// and remembers it for rollback.
+func (t *Txn) LogUpdate(pageID uint64, slot, offset uint16, old, new []byte) (uint64, error) {
+	if t.status != Active {
+		return 0, ErrFinished
+	}
+	rec := wal.Record{
+		TxnID:  t.id,
+		Type:   wal.RecUpdate,
+		PageID: pageID,
+		Slot:   slot,
+		Offset: offset,
+		Old:    append([]byte(nil), old...),
+		New:    append([]byte(nil), new...),
+	}
+	lsn := t.mgr.log.Append(rec)
+	rec.LSN = lsn
+	t.undo = append(t.undo, rec)
+	return lsn, nil
+}
+
+// LogInsert appends an insert record to the WAL.
+func (t *Txn) LogInsert(pageID uint64, slot uint16, tuple []byte) (uint64, error) {
+	if t.status != Active {
+		return 0, ErrFinished
+	}
+	rec := wal.Record{
+		TxnID:  t.id,
+		Type:   wal.RecInsert,
+		PageID: pageID,
+		Slot:   slot,
+		New:    append([]byte(nil), tuple...),
+	}
+	return t.mgr.log.Append(rec), nil
+}
+
+// Commit flushes the log up to the commit record and releases all locks.
+func (t *Txn) Commit() error {
+	if t.status != Active {
+		return ErrFinished
+	}
+	lsn := t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecCommit})
+	t.mgr.log.Flush(lsn)
+	t.status = Committed
+	t.releaseLocks()
+	return nil
+}
+
+// Undoer applies before images during rollback; the storage/heap layer
+// implements it.
+type Undoer interface {
+	ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error
+}
+
+// Abort rolls back the transaction by applying the before images of its
+// updates in reverse order, writes an abort record and releases all locks.
+func (t *Txn) Abort(u Undoer) error {
+	if t.status != Active {
+		return ErrFinished
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		r := t.undo[i]
+		if u != nil {
+			if err := u.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old); err != nil {
+				return fmt.Errorf("txn: rollback LSN %d: %w", r.LSN, err)
+			}
+		}
+	}
+	t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecAbort})
+	t.status = Aborted
+	t.releaseLocks()
+	return nil
+}
+
+func (t *Txn) releaseLocks() {
+	m := t.mgr
+	m.mu.Lock()
+	for _, k := range t.locks {
+		if m.locks[k] == t.id {
+			delete(m.locks, k)
+		}
+	}
+	m.mu.Unlock()
+	t.locks = nil
+}
+
+// HeldLocks returns the number of locks currently held (for tests).
+func (m *Manager) HeldLocks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}

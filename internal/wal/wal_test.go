@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	l := New()
+	var last uint64
+	for i := 0; i < 10; i++ {
+		lsn := l.Append(Record{TxnID: 1, Type: RecUpdate})
+		if lsn <= last {
+			t.Fatalf("LSNs must be strictly increasing: %d after %d", lsn, last)
+		}
+		last = lsn
+	}
+	if l.NextLSN() != last+1 {
+		t.Fatalf("NextLSN = %d, want %d", l.NextLSN(), last+1)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rec := Record{
+		LSN:    7,
+		TxnID:  3,
+		Type:   RecUpdate,
+		PageID: 99,
+		Slot:   4,
+		Offset: 16,
+		Old:    []byte{1, 2, 3},
+		New:    []byte{4, 5, 6, 7},
+	}
+	buf := rec.Encode()
+	if len(buf) != rec.EncodedSize() {
+		t.Fatalf("encoded size mismatch: %d vs %d", len(buf), rec.EncodedSize())
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if got.LSN != rec.LSN || got.TxnID != rec.TxnID || got.Type != rec.Type ||
+		got.PageID != rec.PageID || got.Slot != rec.Slot || got.Offset != rec.Offset ||
+		!bytes.Equal(got.Old, rec.Old) || !bytes.Equal(got.New, rec.New) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("expected ErrShortRecord, got %v", err)
+	}
+	rec := Record{Type: RecUpdate, Old: []byte{1, 2, 3, 4}}
+	buf := rec.Encode()
+	if _, _, err := Decode(buf[:len(buf)-2]); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("truncated image not detected: %v", err)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(txn uint64, pid uint64, slot, off uint16, old, new []byte) bool {
+		rec := Record{TxnID: txn, Type: RecUpdate, PageID: pid, Slot: slot, Offset: off, Old: old, New: new}
+		got, n, err := Decode(rec.Encode())
+		if err != nil || n != rec.EncodedSize() {
+			return false
+		}
+		return got.TxnID == txn && got.PageID == pid && got.Slot == slot && got.Offset == off &&
+			bytes.Equal(got.Old, old) && bytes.Equal(got.New, new)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("encode/decode property: %v", err)
+	}
+}
+
+func TestFlushAccountsBytes(t *testing.T) {
+	l := New()
+	r1 := Record{TxnID: 1, Type: RecUpdate, Old: []byte{1}, New: []byte{2}}
+	r2 := Record{TxnID: 1, Type: RecCommit}
+	l.Append(r1)
+	lsn2 := l.Append(r2)
+	if l.BytesWritten() != 0 {
+		t.Fatalf("nothing flushed yet")
+	}
+	l.Flush(lsn2)
+	want := uint64(r1.EncodedSize() + r2.EncodedSize())
+	if l.BytesWritten() != want {
+		t.Fatalf("BytesWritten = %d, want %d", l.BytesWritten(), want)
+	}
+	if l.FlushedLSN() != lsn2 {
+		t.Fatalf("FlushedLSN = %d", l.FlushedLSN())
+	}
+	// Flushing again must not double count.
+	l.Flush(0)
+	if l.BytesWritten() != want {
+		t.Fatalf("double flush double counted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	l := New()
+	l.Append(Record{TxnID: 1, Type: RecUpdate})
+	l.Append(Record{TxnID: 1, Type: RecCommit})
+	l.Append(Record{TxnID: 2, Type: RecUpdate})
+	l.Append(Record{TxnID: 3, Type: RecUpdate})
+	l.Append(Record{TxnID: 3, Type: RecAbort})
+	a := l.Analyze()
+	if !a.Committed[1] || a.Losers[1] {
+		t.Errorf("txn 1 must be committed")
+	}
+	if !a.Losers[2] {
+		t.Errorf("txn 2 must be a loser")
+	}
+	if !a.Aborted[3] || a.Losers[3] {
+		t.Errorf("txn 3 must be aborted and not a loser")
+	}
+}
+
+// applier records redo/undo applications in memory.
+type applier struct {
+	pages map[uint64][]byte
+}
+
+func newApplier() *applier { return &applier{pages: make(map[uint64][]byte)} }
+
+func (a *applier) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error {
+	p, ok := a.pages[pid]
+	if !ok {
+		p = make([]byte, 64)
+		a.pages[pid] = p
+	}
+	copy(p[int(offset):], image)
+	return nil
+}
+
+func TestRedoUndo(t *testing.T) {
+	l := New()
+	// Committed transaction writes 0xAA at offset 0 of page 1.
+	l.Append(Record{TxnID: 1, Type: RecUpdate, PageID: 1, Offset: 0, Old: []byte{0x00}, New: []byte{0xAA}})
+	l.Append(Record{TxnID: 1, Type: RecCommit})
+	// Loser transaction writes 0xBB at offset 1 of page 1.
+	l.Append(Record{TxnID: 2, Type: RecUpdate, PageID: 1, Offset: 1, Old: []byte{0x11}, New: []byte{0xBB}})
+
+	a := l.Analyze()
+	ap := newApplier()
+	if err := l.Redo(a, ap); err != nil {
+		t.Fatalf("Redo: %v", err)
+	}
+	if ap.pages[1][0] != 0xAA {
+		t.Fatalf("redo did not apply the committed update")
+	}
+	if ap.pages[1][1] == 0xBB {
+		t.Fatalf("redo must not apply loser updates")
+	}
+	if err := l.Undo(a, ap); err != nil {
+		t.Fatalf("Undo: %v", err)
+	}
+	if ap.pages[1][1] != 0x11 {
+		t.Fatalf("undo did not restore the before image")
+	}
+}
+
+func TestRecordsForAndTruncate(t *testing.T) {
+	l := New()
+	l.Append(Record{TxnID: 1, Type: RecUpdate})
+	l.Append(Record{TxnID: 2, Type: RecUpdate})
+	lsn := l.Append(Record{TxnID: 1, Type: RecCommit})
+	if got := l.RecordsFor(1); len(got) != 2 {
+		t.Fatalf("RecordsFor(1) = %d records", len(got))
+	}
+	l.Truncate(lsn)
+	if len(l.Records()) != 0 {
+		t.Fatalf("Truncate left %d records", len(l.Records()))
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	types := []RecordType{RecUpdate, RecInsert, RecDelete, RecCommit, RecAbort, RecCheckpoint, RecordType(99)}
+	for _, ty := range types {
+		if ty.String() == "" {
+			t.Errorf("empty name for %d", ty)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ipa"
+)
+
+// TPC-B tuple sizes (bytes). TPC-B prescribes 100-byte account, teller and
+// branch rows and ~50-byte history rows.
+const (
+	tpcbAccountSize = 100
+	tpcbTellerSize  = 100
+	tpcbBranchSize  = 100
+	tpcbHistorySize = 50
+
+	// Balance fields live at offset 8 of each row (after the key copy), so
+	// a balance update modifies 8 bytes of a 100-byte tuple — the small
+	// update pattern Figure 1 is about.
+	tpcbBalanceOffset = 8
+
+	// tpcbInitialBalance keeps balances far away from zero so the random
+	// walk of TPC-B deltas normally touches only the low-order bytes of
+	// the 8-byte balance (sign flips would rewrite all eight bytes and
+	// artificially inflate the per-update change size).
+	tpcbInitialBalance = int64(1234567890123)
+)
+
+// TPCBConfig scales the TPC-B database.
+type TPCBConfig struct {
+	// Branches is the scale factor (number of branches).
+	Branches int
+	// TellersPerBranch defaults to the TPC-B value of 10.
+	TellersPerBranch int
+	// AccountsPerBranch defaults to 10000 (scaled down from TPC-B's
+	// 100000 to fit the simulated device).
+	AccountsPerBranch int
+	// Seed drives the load-phase data generator.
+	Seed int64
+}
+
+// DefaultTPCBConfig returns the configuration used by the experiments.
+func DefaultTPCBConfig() TPCBConfig {
+	return TPCBConfig{Branches: 4, TellersPerBranch: 10, AccountsPerBranch: 10000, Seed: 7}
+}
+
+func (c TPCBConfig) withDefaults() TPCBConfig {
+	if c.Branches <= 0 {
+		c.Branches = 4
+	}
+	if c.TellersPerBranch <= 0 {
+		c.TellersPerBranch = 10
+	}
+	if c.AccountsPerBranch <= 0 {
+		c.AccountsPerBranch = 10000
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// TPCB is the TPC-B benchmark driver: every transaction updates an account,
+// its teller and its branch balance and appends a history row.
+type TPCB struct {
+	cfg TPCBConfig
+
+	accounts *ipa.Table
+	tellers  *ipa.Table
+	branches *ipa.Table
+	history  *ipa.Table
+
+	nextHistoryID int64
+}
+
+// NewTPCB creates a TPC-B driver.
+func NewTPCB(cfg TPCBConfig) *TPCB { return &TPCB{cfg: cfg.withDefaults()} }
+
+// Name implements Workload.
+func (w *TPCB) Name() string { return "tpcb" }
+
+// Config returns the effective configuration.
+func (w *TPCB) Config() TPCBConfig { return w.cfg }
+
+// Load implements Workload: it creates and populates the four TPC-B tables.
+func (w *TPCB) Load(db *ipa.DB) error {
+	var err error
+	if w.accounts, err = db.CreateTable("tpcb_accounts", tpcbAccountSize); err != nil {
+		return err
+	}
+	if w.tellers, err = db.CreateTable("tpcb_tellers", tpcbTellerSize); err != nil {
+		return err
+	}
+	if w.branches, err = db.CreateTable("tpcb_branches", tpcbBranchSize); err != nil {
+		return err
+	}
+	// History is append-only: large inserts never profit from IPA, so the
+	// table is placed in a region without in-place appends, exactly the
+	// selective use of NoFTL regions the paper describes.
+	if w.history, err = db.CreateTableWithScheme("tpcb_history", tpcbHistorySize, ipa.Scheme{}); err != nil {
+		return err
+	}
+
+	c := w.cfg
+	for b := 0; b < c.Branches; b++ {
+		row := make([]byte, tpcbBranchSize)
+		fill(row, int64(b)+1000)
+		putInt64(row, 0, int64(b))
+		putInt64(row, tpcbBalanceOffset, tpcbInitialBalance)
+		if err := w.branches.Insert(int64(b), row); err != nil {
+			return fmt.Errorf("tpcb load branches: %w", err)
+		}
+	}
+	for t := 0; t < c.Branches*c.TellersPerBranch; t++ {
+		row := make([]byte, tpcbTellerSize)
+		fill(row, int64(t)+2000)
+		putInt64(row, 0, int64(t))
+		putInt64(row, tpcbBalanceOffset, tpcbInitialBalance)
+		if err := w.tellers.Insert(int64(t), row); err != nil {
+			return fmt.Errorf("tpcb load tellers: %w", err)
+		}
+	}
+	for a := 0; a < c.Branches*c.AccountsPerBranch; a++ {
+		row := make([]byte, tpcbAccountSize)
+		fill(row, int64(a)+3000)
+		putInt64(row, 0, int64(a))
+		putInt64(row, tpcbBalanceOffset, tpcbInitialBalance)
+		if err := w.accounts.Insert(int64(a), row); err != nil {
+			return fmt.Errorf("tpcb load accounts: %w", err)
+		}
+	}
+	return db.FlushAll()
+}
+
+// RunOne implements Workload: one TPC-B transaction.
+func (w *TPCB) RunOne(db *ipa.DB, r *rand.Rand) (bool, error) {
+	c := w.cfg
+	branch := randInt64(r, int64(c.Branches))
+	teller := branch*int64(c.TellersPerBranch) + randInt64(r, int64(c.TellersPerBranch))
+	// 85% of accounts belong to the home branch, 15% are remote (TPC-B).
+	var account int64
+	if r.Intn(100) < 85 || c.Branches == 1 {
+		account = branch*int64(c.AccountsPerBranch) + randInt64(r, int64(c.AccountsPerBranch))
+	} else {
+		account = randInt64(r, int64(c.Branches*c.AccountsPerBranch))
+	}
+	delta := int64(r.Intn(1999999) - 999999)
+
+	tx := db.Begin()
+	abort := func(err error) (bool, error) {
+		if abortErr := tx.Abort(); abortErr != nil {
+			return false, abortErr
+		}
+		if err != nil && !errors.Is(err, ipa.ErrConflict) {
+			return false, err
+		}
+		return false, nil
+	}
+
+	// Account balance.
+	row, err := tx.Get(w.accounts, account)
+	if err != nil {
+		return abort(err)
+	}
+	newBal := getInt64(row, tpcbBalanceOffset) + delta
+	if err := tx.UpdateAt(w.accounts, account, tpcbBalanceOffset, int64Bytes(newBal)); err != nil {
+		return abort(err)
+	}
+	// Teller balance.
+	row, err = tx.Get(w.tellers, teller)
+	if err != nil {
+		return abort(err)
+	}
+	if err := tx.UpdateAt(w.tellers, teller, tpcbBalanceOffset, int64Bytes(getInt64(row, tpcbBalanceOffset)+delta)); err != nil {
+		return abort(err)
+	}
+	// Branch balance.
+	row, err = tx.Get(w.branches, branch)
+	if err != nil {
+		return abort(err)
+	}
+	if err := tx.UpdateAt(w.branches, branch, tpcbBalanceOffset, int64Bytes(getInt64(row, tpcbBalanceOffset)+delta)); err != nil {
+		return abort(err)
+	}
+	// History row.
+	w.nextHistoryID++
+	hrow := make([]byte, tpcbHistorySize)
+	fill(hrow, w.nextHistoryID)
+	putInt64(hrow, 0, w.nextHistoryID)
+	putInt64(hrow, 8, account)
+	putInt64(hrow, 16, delta)
+	if err := tx.Insert(w.history, w.nextHistoryID, hrow); err != nil {
+		return abort(err)
+	}
+	if err := tx.Commit(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// AccountBalance returns the current balance of an account (for invariant
+// checks in tests).
+func (w *TPCB) AccountBalance(key int64) (int64, error) {
+	row, err := w.accounts.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	return getInt64(row, tpcbBalanceOffset), nil
+}
+
+// BranchBalance returns the current balance of a branch.
+func (w *TPCB) BranchBalance(key int64) (int64, error) {
+	row, err := w.branches.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	return getInt64(row, tpcbBalanceOffset), nil
+}
+
+// TellerBalance returns the current balance of a teller.
+func (w *TPCB) TellerBalance(key int64) (int64, error) {
+	row, err := w.tellers.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	return getInt64(row, tpcbBalanceOffset), nil
+}
+
+// HistoryCount returns the number of history rows inserted so far.
+func (w *TPCB) HistoryCount() uint64 { return w.history.Count() }

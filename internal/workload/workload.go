@@ -1,0 +1,128 @@
+// Package workload implements the OLTP benchmark drivers used by the
+// paper's evaluation: TPC-B, a TPC-C subset (New-Order, Payment,
+// Order-Status), TATP and a LinkBench-like social-graph workload.
+//
+// The drivers are deterministic (seeded) generators that execute their
+// transactions against the ipa engine. They reproduce the property the
+// paper's analysis depends on: OLTP transactions mostly perform very small
+// in-place updates (a few bytes of balances, counters or timestamps) on
+// large database pages, plus a minority of inserts.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ipa"
+)
+
+// Workload is one OLTP benchmark driver.
+type Workload interface {
+	// Name returns the benchmark name (e.g. "tpcb").
+	Name() string
+	// Load populates the database (the load phase).
+	Load(db *ipa.DB) error
+	// RunOne executes a single transaction and reports whether it
+	// committed (false means it was aborted and should be retried).
+	RunOne(db *ipa.DB, r *rand.Rand) (bool, error)
+}
+
+// RunOptions bounds a measurement run. Either MaxOps or Duration (virtual
+// device time) must be set; if both are set the run stops at whichever
+// limit is reached first.
+type RunOptions struct {
+	MaxOps   int
+	Duration time.Duration
+	Seed     int64
+}
+
+// RunResult summarises a measurement run.
+type RunResult struct {
+	Committed int
+	Aborted   int
+	Elapsed   time.Duration // virtual time consumed by the run
+}
+
+// Run executes transactions of w against db until the limits in opts are
+// reached. Statistics windows are the caller's responsibility (call
+// db.ResetStats after Load).
+func Run(db *ipa.DB, w Workload, opts RunOptions) (RunResult, error) {
+	if opts.MaxOps <= 0 && opts.Duration <= 0 {
+		return RunResult{}, fmt.Errorf("workload: RunOptions needs MaxOps or Duration")
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	r := rand.New(rand.NewSource(seed))
+	start := db.Now()
+	var res RunResult
+	for {
+		if opts.MaxOps > 0 && res.Committed >= opts.MaxOps {
+			break
+		}
+		if opts.Duration > 0 && db.Now()-start >= opts.Duration {
+			break
+		}
+		ok, err := w.RunOne(db, r)
+		if err != nil {
+			return res, fmt.Errorf("workload %s: %w", w.Name(), err)
+		}
+		if ok {
+			res.Committed++
+		} else {
+			res.Aborted++
+		}
+	}
+	res.Elapsed = db.Now() - start
+	return res, nil
+}
+
+// randInt64 returns a uniform key in [0, n).
+func randInt64(r *rand.Rand, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return r.Int63n(n)
+}
+
+// nonUniform implements the TPC-C NURand non-uniform distribution.
+func nonUniform(r *rand.Rand, a, x, y int64) int64 {
+	return ((r.Int63n(a+1) | (x + r.Int63n(y-x+1))) % (y - x + 1)) + x
+}
+
+// putInt64 encodes v little-endian into b[off:off+8].
+func putInt64(b []byte, off int, v int64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// getInt64 decodes a little-endian int64 from b[off:off+8].
+func getInt64(b []byte, off int) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// int64Bytes returns the little-endian encoding of v.
+func int64Bytes(v int64) []byte {
+	b := make([]byte, 8)
+	putInt64(b, 0, v)
+	return b
+}
+
+// fill fills a tuple with a deterministic pattern so pages are not trivially
+// compressible/erased.
+func fill(b []byte, seed int64) {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range b {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		b[i] = byte(x * 0x2545F4914F6CDD1D >> 56)
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ipa"
+)
+
+// testDB opens a small database suitable for the scaled-down workloads.
+func testDB(t *testing.T, mode ipa.WriteMode) *ipa.DB {
+	t.Helper()
+	db, err := ipa.Open(ipa.Config{
+		PageSize:        4096,
+		Blocks:          96,
+		PagesPerBlock:   32,
+		BufferPoolPages: 64,
+		WriteMode:       mode,
+		Scheme:          ipa.Scheme{N: 2, M: 4},
+		FlashMode:       ipa.PSLC,
+		Analytic:        true,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestTPCBInvariants(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	cfg := TPCBConfig{Branches: 2, AccountsPerBranch: 2000, Seed: 3}
+	w := NewTPCB(cfg)
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := Run(db, w, RunOptions{MaxOps: 500, Seed: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 500 {
+		t.Fatalf("committed %d of 500", res.Committed)
+	}
+	if w.HistoryCount() != 500 {
+		t.Fatalf("history rows = %d, want 500", w.HistoryCount())
+	}
+	// Money conservation: the sum of all balance changes must be equal
+	// across accounts, tellers and branches.
+	var accounts, tellers, branches int64
+	c := w.Config()
+	for a := int64(0); a < int64(c.Branches*c.AccountsPerBranch); a++ {
+		bal, err := w.AccountBalance(a)
+		if err != nil {
+			t.Fatalf("AccountBalance: %v", err)
+		}
+		accounts += bal - tpcbInitialBalance
+	}
+	for tl := int64(0); tl < int64(c.Branches*c.TellersPerBranch); tl++ {
+		bal, err := w.TellerBalance(tl)
+		if err != nil {
+			t.Fatalf("TellerBalance: %v", err)
+		}
+		tellers += bal - tpcbInitialBalance
+	}
+	for b := int64(0); b < int64(c.Branches); b++ {
+		bal, err := w.BranchBalance(b)
+		if err != nil {
+			t.Fatalf("BranchBalance: %v", err)
+		}
+		branches += bal - tpcbInitialBalance
+	}
+	if accounts != tellers || tellers != branches {
+		t.Fatalf("money not conserved: accounts=%d tellers=%d branches=%d", accounts, tellers, branches)
+	}
+}
+
+func TestTPCBDeterministicWithSeed(t *testing.T) {
+	run := func() ipa.Stats {
+		db := testDB(t, ipa.IPANativeFlash)
+		defer db.Close()
+		w := NewTPCB(TPCBConfig{Branches: 1, AccountsPerBranch: 1000, Seed: 9})
+		if err := w.Load(db); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		db.ResetStats()
+		if _, err := Run(db, w, RunOptions{MaxOps: 300, Seed: 7}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := db.FlushAll(); err != nil {
+			t.Fatalf("FlushAll: %v", err)
+		}
+		return db.Stats()
+	}
+	a, b := run(), run()
+	if a.HostWrites != b.HostWrites || a.InPlaceAppends != b.InPlaceAppends || a.GCErases != b.GCErases {
+		t.Fatalf("same seed must give identical I/O: %+v vs %+v", a, b)
+	}
+}
+
+func TestTATPRuns(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	w := NewTATP(TATPConfig{Subscribers: 3000, Seed: 5})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	db.ResetStats()
+	res, err := Run(db, w, RunOptions{MaxOps: 800, Seed: 11})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 800 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	s := db.Stats()
+	// TATP is read dominated: reads must clearly outnumber writes.
+	if s.HostReads <= s.TotalHostWrites() {
+		t.Fatalf("TATP should be read-dominated: reads=%d writes=%d", s.HostReads, s.TotalHostWrites())
+	}
+}
+
+func TestTPCCRuns(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	w := NewTPCC(TPCCConfig{Warehouses: 1, CustomersPerDistrict: 100, Items: 500, Seed: 5})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := Run(db, w, RunOptions{MaxOps: 300, Seed: 13})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 300 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	// New-Order transactions must have inserted orders and order lines.
+	orders, _ := db.Table("tpcc_orders")
+	lines, _ := db.Table("tpcc_order_line")
+	if orders.Count() == 0 || lines.Count() <= orders.Count() {
+		t.Fatalf("order insertion wrong: %d orders, %d lines", orders.Count(), lines.Count())
+	}
+}
+
+func TestLinkBenchRuns(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	w := NewLinkBench(LinkBenchConfig{Nodes: 2000, LinksPerNode: 2, Seed: 5})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := Run(db, w, RunOptions{MaxOps: 500, Seed: 17})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 500 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+}
+
+func TestRunByVirtualDuration(t *testing.T) {
+	db := testDB(t, ipa.Traditional)
+	defer db.Close()
+	w := NewTPCB(TPCBConfig{Branches: 1, AccountsPerBranch: 1000, Seed: 3})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	db.ResetStats()
+	res, err := Run(db, w, RunOptions{Duration: 200 * time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Fatalf("no transactions committed within the virtual window")
+	}
+	if res.Elapsed < 200*time.Millisecond {
+		t.Fatalf("run stopped before the virtual deadline: %v", res.Elapsed)
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	db := testDB(t, ipa.Traditional)
+	defer db.Close()
+	w := NewTPCB(TPCBConfig{Branches: 1, AccountsPerBranch: 100})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := Run(db, w, RunOptions{}); err == nil {
+		t.Fatalf("missing limits must be rejected")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	if NewTPCB(TPCBConfig{}).Name() != "tpcb" ||
+		NewTPCC(TPCCConfig{}).Name() != "tpcc" ||
+		NewTATP(TATPConfig{}).Name() != "tatp" ||
+		NewLinkBench(LinkBenchConfig{}).Name() != "linkbench" {
+		t.Fatalf("workload names wrong")
+	}
+}
+
+func TestHelperEncoding(t *testing.T) {
+	b := make([]byte, 16)
+	putInt64(b, 4, -123456789)
+	if got := getInt64(b, 4); got != -123456789 {
+		t.Fatalf("putInt64/getInt64 round trip failed: %d", got)
+	}
+	if got := getInt64(int64Bytes(42), 0); got != 42 {
+		t.Fatalf("int64Bytes wrong: %d", got)
+	}
+	r := rand.New(rand.NewSource(1))
+	if v := randInt64(r, 0); v != 0 {
+		t.Fatalf("randInt64 with n<=0 must return 0")
+	}
+	for i := 0; i < 100; i++ {
+		v := nonUniform(r, 255, 10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("nonUniform out of range: %d", v)
+		}
+	}
+	buf := make([]byte, 32)
+	fill(buf, 7)
+	allZero := true
+	for _, x := range buf {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatalf("fill produced all zeroes")
+	}
+}

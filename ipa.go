@@ -1,0 +1,470 @@
+// Package ipa is a storage engine with In-Place Appends (IPA) on simulated
+// NAND Flash: a full reproduction of "In-Place Appends for Real: DBMS
+// Overwrites on Flash without Erase" (Hardock et al., EDBT 2017).
+//
+// The engine bundles a behavioural NAND Flash simulator, a page-mapping
+// FTL with garbage collection, an NSM slotted-page storage engine with a
+// buffer pool, write-ahead logging and transactions, and the three write
+// paths demonstrated in the paper:
+//
+//   - Traditional out-of-place page writes (the baseline),
+//   - IPA for conventional SSDs over a block-device interface, and
+//   - IPA for native Flash using the write_delta command.
+//
+// A minimal session looks like this:
+//
+//	db, _ := ipa.Open(ipa.Config{WriteMode: ipa.IPANativeFlash, Scheme: ipa.Scheme{N: 2, M: 4}})
+//	defer db.Close()
+//	accounts, _ := db.CreateTable("accounts", 64)
+//	_ = accounts.Insert(1, make([]byte, 64))
+//	tx := db.Begin()
+//	_ = tx.UpdateAt(accounts, 1, 0, []byte{42})
+//	_ = tx.Commit()
+//	fmt.Println(db.Stats().InPlaceAppends)
+package ipa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ipa/internal/buffer"
+	"ipa/internal/core"
+	"ipa/internal/flashdev"
+	"ipa/internal/ftl"
+	"ipa/internal/nand"
+	"ipa/internal/region"
+	"ipa/internal/storage"
+	"ipa/internal/txn"
+	"ipa/internal/wal"
+)
+
+// Scheme is the public N×M In-Place Appends configuration: at most N delta
+// records per page, at most M changed bytes per record. The zero value
+// disables IPA.
+type Scheme struct {
+	N int
+	M int
+}
+
+// String renders the scheme in the paper's [N×M] notation.
+func (s Scheme) String() string { return fmt.Sprintf("%dx%d", s.N, s.M) }
+
+// Enabled reports whether the scheme enables in-place appends.
+func (s Scheme) Enabled() bool { return s.N > 0 && s.M > 0 }
+
+func (s Scheme) internal() core.Scheme { return core.Scheme{N: s.N, M: s.M} }
+
+// WriteMode selects the write path used on dirty page evictions. The three
+// modes correspond to the paper's demonstration scenarios.
+type WriteMode int
+
+const (
+	// Traditional writes whole pages out-of-place (demo scenario 1).
+	Traditional WriteMode = iota
+	// IPAConventionalSSD writes whole pages (body + delta-record area)
+	// over a block-device interface; the FTL appends in place when
+	// possible (demo scenario 2).
+	IPAConventionalSSD
+	// IPANativeFlash transfers only delta records with the write_delta
+	// command (demo scenario 3, the NoFTL architecture).
+	IPANativeFlash
+)
+
+// String names the write mode.
+func (m WriteMode) String() string {
+	switch m {
+	case Traditional:
+		return "traditional"
+	case IPAConventionalSSD:
+		return "ipa-ssd"
+	case IPANativeFlash:
+		return "ipa-native"
+	default:
+		return fmt.Sprintf("WriteMode(%d)", int(m))
+	}
+}
+
+func (m WriteMode) internal() storage.WriteMode {
+	switch m {
+	case IPAConventionalSSD:
+		return storage.WriteIPASSD
+	case IPANativeFlash:
+		return storage.WriteIPANative
+	default:
+		return storage.WriteTraditional
+	}
+}
+
+// FlashMode selects how MLC Flash is operated (Section 3 of the paper).
+type FlashMode int
+
+const (
+	// MLCFull uses all MLC pages and allows appends everywhere (subject to
+	// program interference); mainly for ablation.
+	MLCFull FlashMode = iota
+	// PSLC (pseudo-SLC) uses only LSB pages: half the capacity, SLC-grade
+	// tolerance to program interference.
+	PSLC
+	// OddMLC uses the full capacity but appends only to LSB (odd) pages.
+	OddMLC
+	// SLCMode operates an SLC chip.
+	SLCMode
+)
+
+// String names the flash mode as in the paper.
+func (m FlashMode) String() string {
+	switch m {
+	case MLCFull:
+		return "MLC"
+	case PSLC:
+		return "pSLC"
+	case OddMLC:
+		return "odd-MLC"
+	case SLCMode:
+		return "SLC"
+	default:
+		return fmt.Sprintf("FlashMode(%d)", int(m))
+	}
+}
+
+func (m FlashMode) internal() nand.Mode {
+	switch m {
+	case PSLC:
+		return nand.ModePSLC
+	case OddMLC:
+		return nand.ModeOddMLC
+	case SLCMode:
+		return nand.ModeSLC
+	default:
+		return nand.ModeMLCFull
+	}
+}
+
+// Config configures a database instance.
+type Config struct {
+	// PageSize is the database and Flash page size in bytes (default 8 KiB).
+	PageSize int
+	// Blocks is the number of erase blocks per chip (default 256).
+	Blocks int
+	// PagesPerBlock is the number of pages per erase block (default 128).
+	PagesPerBlock int
+	// Chips is the number of NAND chips (default 1).
+	Chips int
+	// SLCCells selects SLC instead of MLC cells.
+	SLCCells bool
+	// FlashMode selects the MLC operation mode (default MLCFull; ignored
+	// for SLC cells).
+	FlashMode FlashMode
+	// WriteMode selects the eviction write path (default Traditional).
+	WriteMode WriteMode
+	// Scheme is the default N×M scheme applied to tables (default
+	// disabled). Individual tables can override it via
+	// CreateTableWithScheme (NoFTL regions).
+	Scheme Scheme
+	// BufferPoolPages is the buffer pool capacity in pages (default 256).
+	BufferPoolPages int
+	// OverprovisionPct is the FTL over-provisioning fraction (default 0.08).
+	OverprovisionPct float64
+	// InterferenceProb is the per-reprogram probability of a program
+	// interference bit flip on MLC Flash (default 0).
+	InterferenceProb float64
+	// TxnCPUCost is the virtual CPU time charged per committed
+	// transaction (default 50µs).
+	TxnCPUCost time.Duration
+	// Analytic enables per-eviction net-changed-byte accounting (Figure 1).
+	Analytic bool
+	// TraceEvictions records the fetch/eviction trace used for the IPL
+	// comparison.
+	TraceEvictions bool
+	// Seed drives deterministic fault injection.
+	Seed int64
+	// DisableECC turns off ECC simulation.
+	DisableECC bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = 8 * 1024
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 256
+	}
+	if c.PagesPerBlock <= 0 {
+		c.PagesPerBlock = 128
+	}
+	if c.Chips <= 0 {
+		c.Chips = 1
+	}
+	if c.BufferPoolPages <= 0 {
+		c.BufferPoolPages = 256
+	}
+	if c.OverprovisionPct <= 0 {
+		c.OverprovisionPct = 0.08
+	}
+	if c.TxnCPUCost <= 0 {
+		c.TxnCPUCost = 50 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("ipa: database closed")
+
+// DB is a database instance.
+type DB struct {
+	mu  sync.Mutex
+	cfg Config
+
+	dev     *flashdev.Device
+	ftl     *ftl.FTL
+	store   *storage.Manager
+	pool    *buffer.Pool
+	regions *region.Manager
+	log     *wal.Log
+	txns    *txn.Manager
+
+	tables     map[string]*Table
+	tablesByID map[uint32]*Table
+	nextObjID  uint32
+
+	committed uint64
+	aborted   uint64
+	timeBase  time.Duration
+	closed    bool
+}
+
+// Open creates a database on a freshly formatted simulated Flash device.
+func Open(cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+
+	cell := nand.MLC
+	if cfg.SLCCells {
+		cell = nand.SLC
+	}
+	devCfg := flashdev.Config{
+		Chips: cfg.Chips,
+		Chip: nand.Config{
+			Geometry: nand.Geometry{
+				Blocks:        cfg.Blocks,
+				PagesPerBlock: cfg.PagesPerBlock,
+				PageSize:      cfg.PageSize,
+				OOBSize:       128,
+			},
+			Cell:             cell,
+			InterferenceProb: cfg.InterferenceProb,
+			Seed:             cfg.Seed,
+			StrictOverwrite:  true,
+		},
+		Latency:    flashdev.DefaultLatencyModel(),
+		DisableECC: cfg.DisableECC,
+	}
+	dev, err := flashdev.New(devCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ipa: %w", err)
+	}
+
+	flashMode := cfg.FlashMode.internal()
+	if cfg.SLCCells {
+		flashMode = nand.ModeSLC
+	}
+	scheme := cfg.Scheme.internal()
+	if err := scheme.Validate(); err != nil {
+		return nil, fmt.Errorf("ipa: %w", err)
+	}
+	// The initial ECC of every Flash page covers everything in front of the
+	// delta-record area; appended delta records carry their own ECC slots
+	// (Figure 3). This is the "low-level format" parameter of demo
+	// scenario 2.
+	eccCover := cfg.PageSize
+	if scheme.Enabled() && cfg.WriteMode != Traditional {
+		eccCover = cfg.PageSize - pageFooterSize - scheme.AreaSize(pageMetaSize)
+	}
+	ftlCfg := ftl.Config{
+		FlashMode:        flashMode,
+		OverprovisionPct: cfg.OverprovisionPct,
+		InPlaceMerge:     cfg.WriteMode == IPAConventionalSSD,
+		EccCoverBytes:    eccCover,
+	}
+	f, err := ftl.New(dev, ftlCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ipa: %w", err)
+	}
+
+	regions := region.NewManager(region.Region{
+		Name:      "default",
+		Scheme:    scheme,
+		FlashMode: flashMode,
+	})
+	store, err := storage.New(f, storage.Config{
+		Mode:           cfg.WriteMode.internal(),
+		Regions:        regions,
+		Analytic:       cfg.Analytic,
+		TraceEvictions: cfg.TraceEvictions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ipa: %w", err)
+	}
+	pool, err := buffer.New(store, cfg.BufferPoolPages)
+	if err != nil {
+		return nil, fmt.Errorf("ipa: %w", err)
+	}
+	log := wal.New()
+	return &DB{
+		cfg:        cfg,
+		dev:        dev,
+		ftl:        f,
+		store:      store,
+		pool:       pool,
+		regions:    regions,
+		log:        log,
+		txns:       txn.NewManager(log),
+		tables:     make(map[string]*Table),
+		tablesByID: make(map[uint32]*Table),
+		nextObjID:  1,
+	}, nil
+}
+
+// Config returns the configuration the database was opened with (defaults
+// applied).
+func (db *DB) Config() Config { return db.cfg }
+
+// Now returns the current virtual time of the Flash device. Throughput
+// figures are derived from this clock.
+func (db *DB) Now() time.Duration { return db.dev.Now() }
+
+// WAL returns the write-ahead log (for recovery tests and inspection).
+func (db *DB) WAL() *wal.Log { return db.log }
+
+// CreateTable creates a table of fixed-size tuples using the database's
+// default N×M scheme.
+func (db *DB) CreateTable(name string, tupleSize int) (*Table, error) {
+	return db.CreateTableWithScheme(name, tupleSize, db.cfg.Scheme)
+}
+
+// CreateTableWithScheme creates a table assigned to its own NoFTL region
+// with the given N×M scheme, allowing IPA to be applied selectively to
+// update-dominated tables.
+func (db *DB) CreateTableWithScheme(name string, tupleSize int, scheme Scheme) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("ipa: table %q already exists", name)
+	}
+	if tupleSize <= 0 || tupleSize > db.cfg.PageSize/4 {
+		return nil, fmt.Errorf("ipa: unsupported tuple size %d", tupleSize)
+	}
+	internal := scheme.internal()
+	if err := internal.Validate(); err != nil {
+		return nil, fmt.Errorf("ipa: %w", err)
+	}
+	// Under the traditional write mode every table runs without IPA,
+	// regardless of the requested scheme (the baseline of the paper).
+	if db.cfg.WriteMode == Traditional {
+		internal = core.Disabled
+	}
+	// The low-level format fixes the ECC layout for the whole device, so a
+	// table's delta-record area may not exceed the one implied by the
+	// database default scheme (tables may always opt out of IPA).
+	if internal.Enabled() {
+		defaultArea := db.cfg.Scheme.internal().AreaSize(pageMetaSize)
+		if internal.AreaSize(pageMetaSize) > defaultArea {
+			return nil, fmt.Errorf("ipa: table %q scheme %s needs a %d-byte delta area, exceeding the %d bytes of the device format (default scheme %s)",
+				name, scheme, internal.AreaSize(pageMetaSize), defaultArea, db.cfg.Scheme)
+		}
+	}
+	id := db.nextObjID
+	db.nextObjID++
+	db.regions.Assign(id, region.Region{
+		Name:      name,
+		Scheme:    internal,
+		FlashMode: db.regions.Default().FlashMode,
+	})
+	t := newTable(db, name, id, tupleSize)
+	db.tables[name] = t
+	db.tablesByID[id] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Tables returns the names of all tables.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	return out
+}
+
+// FlushAll writes every dirty buffered page to Flash.
+func (db *DB) FlushAll() error { return db.pool.FlushAll() }
+
+// Close flushes all dirty pages and marks the database closed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	return db.pool.FlushAll()
+}
+
+// ResetStats zeroes all performance counters and restarts the virtual-time
+// window; it is typically called after a benchmark's load phase so the
+// measurement covers only the workload itself.
+func (db *DB) ResetStats() {
+	db.ftl.ResetStats()
+	db.store.ResetStats()
+	db.dev.ResetStats()
+	db.mu.Lock()
+	db.committed = 0
+	db.aborted = 0
+	db.timeBase = db.dev.Now()
+	db.mu.Unlock()
+}
+
+// Trace returns the recorded fetch/eviction trace (TraceEvictions must be
+// enabled).
+func (db *DB) Trace() []storage.TraceEvent { return db.store.Trace() }
+
+// DeviceGeometry describes the simulated Flash device.
+type DeviceGeometry struct {
+	Blocks        int
+	PagesPerBlock int
+	PageSize      int
+	LogicalPages  int // pages exported by the FTL
+}
+
+// Geometry returns the device and FTL geometry.
+func (db *DB) Geometry() DeviceGeometry {
+	g := db.dev.Geometry()
+	return DeviceGeometry{
+		Blocks:        g.Blocks,
+		PagesPerBlock: g.PagesPerBlock,
+		PageSize:      g.PageSize,
+		LogicalPages:  db.ftl.Capacity(),
+	}
+}
+
+// FTLDebug reports the internal occupancy state of the Flash translation
+// layer (for tests and troubleshooting).
+func (db *DB) FTLDebug() string { return db.ftl.DebugSummary() }

@@ -1,0 +1,239 @@
+package ipa
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ipa/internal/storage"
+)
+
+// Stats aggregates the counters reported by the paper's experiments across
+// all layers of the system: host I/O seen by the Flash translation layer,
+// garbage-collection work, raw Flash operations, storage-manager eviction
+// behaviour, buffer-pool efficiency and transactional throughput.
+//
+// All counters cover the window since the last ResetStats call (benchmarks
+// reset after the load phase).
+type Stats struct {
+	// Configuration echo.
+	Mode      WriteMode
+	Scheme    Scheme
+	FlashMode FlashMode
+
+	// Host I/O (FTL level) — the "Host Reads/Writes" rows of Table 1.
+	HostReads        uint64
+	HostWrites       uint64 // full page writes
+	HostWriteDeltas  uint64 // write_delta commands
+	HostBytesRead    uint64
+	HostBytesWritten uint64
+
+	// Write-path outcome — the "Out-of-Place Writes vs In-Place Appends"
+	// row of Table 1.
+	InPlaceAppends   uint64
+	OutOfPlaceWrites uint64
+	Invalidations    uint64
+
+	// Garbage collection — the "GC Page Migrations" / "GC Erases" rows.
+	GCMigrations uint64
+	GCErases     uint64
+	GCRuns       uint64
+
+	// Raw Flash operations.
+	FlashPageReads     uint64
+	FlashPagePrograms  uint64
+	FlashDeltaPrograms uint64
+	FlashBlockErases   uint64
+	CorrectedBits      uint64
+	UncorrectableReads uint64
+	InterferenceBits   uint64
+
+	// Storage-manager eviction behaviour (Figure 1).
+	DirtyEvictions      uint64
+	IPAAppendEvictions  uint64
+	OutOfPlaceEvictions uint64
+	AppendFallbacks     uint64
+	DeltaRecordsWritten uint64
+	DeltaBytesWritten   uint64
+	NetChangedBytes     uint64
+	EvictedBytes        uint64
+	SmallEvictions      uint64
+	// EvictionSizeHistogram buckets dirty evictions by net modified bytes;
+	// EvictionHistogramBounds holds the inclusive upper bound of each
+	// bucket (the last histogram entry counts larger evictions).
+	EvictionSizeHistogram   []uint64
+	EvictionHistogramBounds []int
+
+	// Buffer pool.
+	BufferHits   uint64
+	BufferMisses uint64
+
+	// Transactions and logging.
+	CommittedTxns uint64
+	AbortedTxns   uint64
+	WALBytes      uint64
+
+	// Wear (longevity).
+	TotalErasesEver uint64 // erases since device creation (not reset)
+	MaxEraseCount   int
+	EnduranceCycles int
+
+	// Elapsed is the virtual time covered by this window.
+	Elapsed time.Duration
+}
+
+// Stats returns a snapshot of all counters since the last ResetStats call.
+func (db *DB) Stats() Stats {
+	fs := db.ftl.Stats()
+	ds := db.dev.Stats()
+	cs := db.dev.ChipStats()
+	ss := db.store.Stats()
+	ps := db.pool.Stats()
+
+	db.mu.Lock()
+	committed := db.committed
+	aborted := db.aborted
+	base := db.timeBase
+	db.mu.Unlock()
+
+	return Stats{
+		Mode:      db.cfg.WriteMode,
+		Scheme:    db.cfg.Scheme,
+		FlashMode: db.cfg.FlashMode,
+
+		HostReads:        fs.HostReads,
+		HostWrites:       fs.HostWrites,
+		HostWriteDeltas:  fs.HostWriteDeltas,
+		HostBytesRead:    fs.HostBytesRead,
+		HostBytesWritten: fs.HostBytesWritten,
+
+		InPlaceAppends:   fs.InPlaceAppends,
+		OutOfPlaceWrites: fs.OutOfPlaceWrites,
+		Invalidations:    fs.Invalidations,
+
+		GCMigrations: fs.GCMigrations,
+		GCErases:     fs.GCErases,
+		GCRuns:       fs.GCRuns,
+
+		FlashPageReads:     ds.PageReads,
+		FlashPagePrograms:  ds.PagePrograms,
+		FlashDeltaPrograms: ds.DeltaPrograms,
+		FlashBlockErases:   ds.BlockErases,
+		CorrectedBits:      ds.CorrectedBits,
+		UncorrectableReads: ds.Uncorrectable,
+		InterferenceBits:   cs.InterferenceBits,
+
+		DirtyEvictions:          ss.DirtyEvictions,
+		IPAAppendEvictions:      ss.IPAAppends,
+		OutOfPlaceEvictions:     ss.OutOfPlaceWrites,
+		AppendFallbacks:         ss.AppendFallbacks,
+		DeltaRecordsWritten:     ss.DeltaRecordsWritten,
+		DeltaBytesWritten:       ss.DeltaBytesWritten,
+		NetChangedBytes:         ss.NetChangedBytes,
+		EvictedBytes:            ss.EvictedBytes,
+		SmallEvictions:          ss.SmallEvictions,
+		EvictionSizeHistogram:   ss.EvictionSizeHistogram[:],
+		EvictionHistogramBounds: storage.HistogramBucketBounds(),
+
+		BufferHits:   ps.Hits,
+		BufferMisses: ps.Misses,
+
+		CommittedTxns: committed,
+		AbortedTxns:   aborted,
+		WALBytes:      db.log.BytesWritten(),
+
+		TotalErasesEver: db.dev.TotalErases(),
+		MaxEraseCount:   db.dev.MaxEraseCount(),
+		EnduranceCycles: db.dev.EnduranceCycles(),
+
+		Elapsed: db.dev.Now() - base,
+	}
+}
+
+// TotalHostWrites returns full-page writes plus write_delta commands, the
+// quantity the paper's "Host Writes" row reports.
+func (s Stats) TotalHostWrites() uint64 { return s.HostWrites + s.HostWriteDeltas }
+
+// MigrationsPerHostWrite returns GC page migrations per host write.
+func (s Stats) MigrationsPerHostWrite() float64 {
+	return ratio(s.GCMigrations, s.TotalHostWrites())
+}
+
+// ErasesPerHostWrite returns GC erases per host write.
+func (s Stats) ErasesPerHostWrite() float64 {
+	return ratio(s.GCErases, s.TotalHostWrites())
+}
+
+// InPlaceShare returns the fraction of host writes served as in-place
+// appends.
+func (s Stats) InPlaceShare() float64 {
+	return ratio(s.InPlaceAppends, s.InPlaceAppends+s.OutOfPlaceWrites)
+}
+
+// Throughput returns committed transactions per second of virtual time.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.CommittedTxns) / s.Elapsed.Seconds()
+}
+
+// DBMSWriteAmplification returns the ratio of bytes written by the DBMS to
+// bytes actually modified (Figure 1), as seen at the host interface.
+func (s Stats) DBMSWriteAmplification() float64 {
+	if s.NetChangedBytes == 0 {
+		return 0
+	}
+	return float64(s.HostBytesWritten) / float64(s.NetChangedBytes)
+}
+
+// SmallEvictionShare returns the fraction of dirty evictions with fewer
+// than 100 net modified bytes (Figure 1).
+func (s Stats) SmallEvictionShare() float64 {
+	return ratio(s.SmallEvictions, s.DirtyEvictions)
+}
+
+// DeviceWriteAmplification returns physical page programs per host page
+// write (on-device write amplification caused by garbage collection).
+func (s Stats) DeviceWriteAmplification() float64 {
+	host := s.TotalHostWrites()
+	if host == 0 {
+		return 0
+	}
+	return float64(s.FlashPagePrograms+s.FlashDeltaPrograms) / float64(host)
+}
+
+// LifetimeEstimate returns a relative longevity estimate: the number of
+// host writes the device can absorb before the most-worn block reaches its
+// endurance, normalised by the observed erase rate.
+func (s Stats) LifetimeEstimate() float64 {
+	e := s.ErasesPerHostWrite()
+	if e == 0 {
+		return 0
+	}
+	return float64(s.EnduranceCycles) / e
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// String renders the statistics as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s scheme=%s flash=%s\n", s.Mode, s.Scheme, s.FlashMode)
+	fmt.Fprintf(&b, "host: reads=%d writes=%d write_deltas=%d bytesWritten=%d\n",
+		s.HostReads, s.HostWrites, s.HostWriteDeltas, s.HostBytesWritten)
+	fmt.Fprintf(&b, "writes: in-place=%d out-of-place=%d invalidations=%d\n",
+		s.InPlaceAppends, s.OutOfPlaceWrites, s.Invalidations)
+	fmt.Fprintf(&b, "gc: migrations=%d erases=%d (%.4f migr/write, %.4f erases/write)\n",
+		s.GCMigrations, s.GCErases, s.MigrationsPerHostWrite(), s.ErasesPerHostWrite())
+	fmt.Fprintf(&b, "flash: reads=%d programs=%d deltaPrograms=%d erases=%d\n",
+		s.FlashPageReads, s.FlashPagePrograms, s.FlashDeltaPrograms, s.FlashBlockErases)
+	fmt.Fprintf(&b, "txn: committed=%d aborted=%d throughput=%.1f tps elapsed=%s\n",
+		s.CommittedTxns, s.AbortedTxns, s.Throughput(), s.Elapsed)
+	return b.String()
+}

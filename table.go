@@ -1,0 +1,183 @@
+package ipa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipa/internal/btree"
+	"ipa/internal/heap"
+	"ipa/internal/page"
+)
+
+// pageMetaSize is the Δmetadata length (page header + footer).
+const pageMetaSize = page.MetaSize
+
+// pageFooterSize is the page footer length; the delta-record area sits
+// directly in front of the footer.
+const pageFooterSize = page.FooterSize
+
+// ErrKeyNotFound is returned when a primary key does not exist.
+var ErrKeyNotFound = errors.New("ipa: key not found")
+
+// ErrDuplicateKey is returned when inserting an existing primary key.
+var ErrDuplicateKey = errors.New("ipa: duplicate key")
+
+// Table is a collection of fixed-size tuples with an int64 primary key.
+type Table struct {
+	db        *DB
+	name      string
+	id        uint32
+	tupleSize int
+
+	heap *heap.File
+
+	mu sync.RWMutex
+	pk *btree.Tree
+}
+
+func newTable(db *DB, name string, id uint32, tupleSize int) *Table {
+	return &Table{
+		db:        db,
+		name:      name,
+		id:        id,
+		tupleSize: tupleSize,
+		heap:      heap.New(db.store, db.pool, id, tupleSize),
+		pk:        btree.New(),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// ID returns the table's object identifier.
+func (t *Table) ID() uint32 { return t.id }
+
+// TupleSize returns the fixed tuple size in bytes.
+func (t *Table) TupleSize() int { return t.tupleSize }
+
+// Count returns the number of live tuples.
+func (t *Table) Count() uint64 { return t.heap.Count() }
+
+// Pages returns the number of heap pages of the table.
+func (t *Table) Pages() int { return len(t.heap.PageIDs()) }
+
+// Insert stores a tuple under the given primary key without transactional
+// overhead (used by benchmark load phases).
+func (t *Table) Insert(key int64, tuple []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.pk.Get(key); ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateKey, key)
+	}
+	rid, err := t.heap.Insert(tuple)
+	if err != nil {
+		return err
+	}
+	t.pk.Insert(key, rid.Pack())
+	return nil
+}
+
+// rid returns the RID of a primary key.
+func (t *Table) rid(key int64) (heap.RID, error) {
+	t.mu.RLock()
+	v, ok := t.pk.Get(key)
+	t.mu.RUnlock()
+	if !ok {
+		return heap.RID{}, fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+	}
+	return heap.Unpack(v), nil
+}
+
+// Get returns a copy of the tuple stored under key.
+func (t *Table) Get(key int64) ([]byte, error) {
+	rid, err := t.rid(key)
+	if err != nil {
+		return nil, err
+	}
+	return t.heap.Get(rid)
+}
+
+// Exists reports whether key is present.
+func (t *Table) Exists(key int64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.pk.Get(key)
+	return ok
+}
+
+// UpdateAt overwrites len(data) bytes of the tuple stored under key,
+// starting at the tuple-relative offset, without transactional overhead.
+func (t *Table) UpdateAt(key int64, offset int, data []byte) error {
+	rid, err := t.rid(key)
+	if err != nil {
+		return err
+	}
+	return t.heap.UpdateAt(rid, offset, data)
+}
+
+// Delete removes the tuple stored under key (non-transactional).
+func (t *Table) Delete(key int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.pk.Get(key)
+	if !ok {
+		return fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+	}
+	if err := t.heap.Delete(heap.Unpack(v)); err != nil {
+		return err
+	}
+	t.pk.Delete(key)
+	return nil
+}
+
+// Scan calls fn for every tuple in primary-key order until fn returns
+// false.
+func (t *Table) Scan(fn func(key int64, tuple []byte) bool) error {
+	type kv struct {
+		key int64
+		rid heap.RID
+	}
+	t.mu.RLock()
+	pairs := make([]kv, 0, t.pk.Len())
+	t.pk.Ascend(func(k int64, v uint64) bool {
+		pairs = append(pairs, kv{key: k, rid: heap.Unpack(v)})
+		return true
+	})
+	t.mu.RUnlock()
+	for _, p := range pairs {
+		tuple, err := t.heap.Get(p.rid)
+		if err != nil {
+			return err
+		}
+		if !fn(p.key, tuple) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanRange calls fn for every key in [from, to) until fn returns false.
+func (t *Table) ScanRange(from, to int64, fn func(key int64, tuple []byte) bool) error {
+	type kv struct {
+		key int64
+		rid heap.RID
+	}
+	t.mu.RLock()
+	var pairs []kv
+	t.pk.AscendRange(from, to, func(k int64, v uint64) bool {
+		pairs = append(pairs, kv{key: k, rid: heap.Unpack(v)})
+		return true
+	})
+	t.mu.RUnlock()
+	for _, p := range pairs {
+		tuple, err := t.heap.Get(p.rid)
+		if err != nil {
+			return err
+		}
+		if !fn(p.key, tuple) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package ipa
+
+import (
+	"fmt"
+
+	"ipa/internal/heap"
+	"ipa/internal/page"
+	"ipa/internal/txn"
+)
+
+// ErrConflict is returned when a transaction cannot acquire a record lock.
+// OLTP drivers abort and retry the transaction.
+var ErrConflict = txn.ErrConflict
+
+// Tx is a database transaction. All updates are logged to the WAL before
+// they touch the buffered page, and record locks are held until Commit or
+// Abort (strict two-phase locking). In-Place Appends is entirely invisible
+// at this level, exactly as the paper requires.
+type Tx struct {
+	db    *DB
+	inner *txn.Txn
+	done  bool
+}
+
+// Begin starts a new transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, inner: db.txns.Begin()}
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.inner.ID() }
+
+// Get returns a copy of the tuple stored under key in table t.
+func (tx *Tx) Get(t *Table, key int64) ([]byte, error) {
+	if tx.done {
+		return nil, txn.ErrFinished
+	}
+	return t.Get(key)
+}
+
+// Insert stores a new tuple under key in table t.
+func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.pk.Get(key); ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateKey, key)
+	}
+	rid, err := t.heap.Insert(tuple)
+	if err != nil {
+		return err
+	}
+	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
+		return err
+	}
+	if _, err := tx.inner.LogInsert(rid.PageID, rid.Slot, tuple); err != nil {
+		return err
+	}
+	t.pk.Insert(key, rid.Pack())
+	return nil
+}
+
+// UpdateAt overwrites len(data) bytes of the tuple stored under key in
+// table t, starting at the tuple-relative offset. The before image is
+// logged for rollback and recovery.
+func (tx *Tx) UpdateAt(t *Table, key int64, offset int, data []byte) error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	rid, err := t.rid(key)
+	if err != nil {
+		return err
+	}
+	return tx.UpdateRIDAt(t, rid, offset, data)
+}
+
+// UpdateRIDAt is UpdateAt addressing the tuple directly by RID.
+func (tx *Tx) UpdateRIDAt(t *Table, rid heap.RID, offset int, data []byte) error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
+		return err
+	}
+	old, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset+len(data) > len(old) {
+		return fmt.Errorf("ipa: update [%d,%d) outside tuple of %d bytes", offset, offset+len(data), len(old))
+	}
+	before := make([]byte, len(data))
+	copy(before, old[offset:offset+len(data)])
+	if _, err := tx.inner.LogUpdate(rid.PageID, rid.Slot, uint16(offset), before, data); err != nil {
+		return err
+	}
+	return t.heap.UpdateAt(rid, offset, data)
+}
+
+// RIDFor returns the RID of key in table t (for drivers that cache RIDs).
+func (tx *Tx) RIDFor(t *Table, key int64) (heap.RID, error) {
+	return t.rid(key)
+}
+
+// Commit makes the transaction durable, charges the configured per-
+// transaction CPU cost to the virtual clock and releases all locks.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	if err := tx.inner.Commit(); err != nil {
+		return err
+	}
+	tx.done = true
+	tx.db.dev.AdvanceClock(tx.db.cfg.TxnCPUCost)
+	tx.db.mu.Lock()
+	tx.db.committed++
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Abort rolls the transaction back by restoring the before images of its
+// updates and releases all locks.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	if err := tx.inner.Abort(pageUndoer{db: tx.db}); err != nil {
+		return err
+	}
+	tx.done = true
+	tx.db.mu.Lock()
+	tx.db.aborted++
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// pageUndoer applies before/after images directly to buffered pages; it is
+// used both by transaction rollback and by WAL-based recovery.
+type pageUndoer struct{ db *DB }
+
+// ApplyUpdate installs image at the byte offset of the tuple in slot on
+// page pid.
+func (u pageUndoer) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error {
+	h, err := u.db.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	if err := pg.UpdateTupleAt(int(slot), int(offset), image); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	return nil
+}
+
+// Recover replays the write-ahead log against the current storage state:
+// committed updates are redone and uncommitted ones undone. It is used by
+// the recovery tests to demonstrate that IPA does not interfere with
+// database recovery.
+func (db *DB) Recover() error {
+	analysis := db.log.Analyze()
+	ap := pageUndoer{db: db}
+	if err := db.log.Redo(analysis, ap); err != nil {
+		return err
+	}
+	if err := db.log.Undo(analysis, ap); err != nil {
+		return err
+	}
+	return db.pool.FlushAll()
+}
