@@ -12,7 +12,10 @@
 package ipa_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"ipa"
 	"ipa/internal/bench"
@@ -296,6 +299,83 @@ func BenchmarkEngineUpdateTraditional(b *testing.B) {
 // BenchmarkEngineUpdateIPANative measures the same update under IPA.
 func BenchmarkEngineUpdateIPANative(b *testing.B) {
 	benchmarkEngineUpdate(b, ipa.IPANativeFlash, ipa.Scheme{N: 2, M: 4}, ipa.PSLC)
+}
+
+// BenchmarkConcurrentUpdates measures aggregate transactional update
+// throughput as the number of client goroutines grows. Workers update
+// disjoint key ranges, so the run exercises the sharded buffer pool
+// (different pages, different shard latches) and the group-commit WAL
+// (concurrent commits share the simulated log-device flush). The ns/op
+// figure is per committed transaction: with 8 goroutines it must be well
+// below the single-goroutine baseline.
+func BenchmarkConcurrentUpdates(b *testing.B) {
+	for _, goroutines := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", goroutines), func(b *testing.B) {
+			db, err := ipa.Open(ipa.Config{
+				PageSize:            4096,
+				Blocks:              96,
+				PagesPerBlock:       32,
+				BufferPoolPages:     64,
+				WriteMode:           ipa.IPANativeFlash,
+				Scheme:              ipa.Scheme{N: 2, M: 4},
+				FlashMode:           ipa.PSLC,
+				LogFlushWallLatency: 50 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			table, err := db.CreateTable("t", 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const keys = 2048
+			row := make([]byte, 100)
+			for k := int64(0); k < keys; k++ {
+				if err := table.Insert(k, row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			db.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			perWorker := b.N / goroutines
+			extra := b.N % goroutines
+			for w := 0; w < goroutines; w++ {
+				ops := perWorker
+				if w < extra {
+					ops++
+				}
+				wg.Add(1)
+				go func(w, ops int) {
+					defer wg.Done()
+					base := int64(w) * (keys / int64(goroutines))
+					span := keys / int64(goroutines)
+					for i := 0; i < ops; i++ {
+						key := base + int64(i*17)%span
+						tx := db.Begin()
+						if err := tx.UpdateAt(table, key, 8, []byte{byte(i), byte(w)}); err != nil {
+							b.Error(err)
+							_ = tx.Abort()
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+			s := db.Stats()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(s.CommittedTxns)/b.Elapsed().Seconds(), "ops/s")
+			}
+			b.ReportMetric(s.CommitsPerFlush(), "commits/flush")
+		})
+	}
 }
 
 func benchmarkEngineUpdate(b *testing.B, mode ipa.WriteMode, scheme ipa.Scheme, flash ipa.FlashMode) {

@@ -11,6 +11,7 @@
 //	ipabench -exp scenarios    # demo scenarios 1/2/3 side by side
 //	ipabench -exp interference # program-interference ablation (MLC modes)
 //	ipabench -exp sweep        # N×M scheme ablation
+//	ipabench -exp concurrent   # concurrency scaling (sharded pool, group commit)
 //	ipabench -exp all
 //
 // The -quick flag shrinks every experiment so the whole suite finishes in
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, all")
 		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
 		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
 		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
@@ -36,6 +37,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink all experiments for a fast demo run")
 		n        = flag.Int("n", 2, "IPA scheme parameter N")
 		m        = flag.Int("m", 4, "IPA scheme parameter M")
+		threads  = flag.Int("threads", 0, "concurrent experiment: fixed goroutine count (0 = ladder 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -235,6 +237,30 @@ func main() {
 				o.Ms = []int{4, 8}
 			}
 			res, err := bench.Sweep(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("concurrent") {
+		run("Concurrency scaling: sharded pool + group-commit WAL", func() error {
+			o := bench.DefaultConcurrentOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *threads > 0 {
+				o.Goroutines = []int{*threads}
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 6000
+				o.Tuples = 2048
+			}
+			res, err := bench.Concurrent(o)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,3 @@
+module ipa
+
+go 1.24

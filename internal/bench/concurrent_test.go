@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConcurrentScenario runs a shrunken goroutine ladder and checks the
+// accounting of every row.
+func TestConcurrentScenario(t *testing.T) {
+	res, err := Concurrent(ConcurrentOptions{
+		Goroutines:          []int{1, 4},
+		Tuples:              512,
+		TupleSize:           64,
+		Ops:                 400,
+		Profile:             SmallProfile,
+		LogFlushLatency:     10 * time.Microsecond,
+		LogFlushWallLatency: time.Microsecond,
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatalf("Concurrent: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Committed != 400 {
+			t.Errorf("goroutines=%d committed %d, want 400", row.Goroutines, row.Committed)
+		}
+		if row.OpsPerSec <= 0 {
+			t.Errorf("goroutines=%d reported no throughput", row.Goroutines)
+		}
+		if row.WALFlushes == 0 || row.WALFlushes > row.Committed {
+			t.Errorf("goroutines=%d implausible flush count %d", row.Goroutines, row.WALFlushes)
+		}
+		if row.CommitsPerFlush < 1 {
+			t.Errorf("goroutines=%d commits/flush %f < 1", row.Goroutines, row.CommitsPerFlush)
+		}
+		if row.Stats.BufferShards < 2 {
+			t.Errorf("expected a sharded pool, got %d shards", row.Stats.BufferShards)
+		}
+	}
+	if res.Rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %f, want 1", res.Rows[0].Speedup)
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "goroutines") {
+		t.Errorf("Write produced no table:\n%s", sb.String())
+	}
+}

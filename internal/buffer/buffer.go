@@ -1,44 +1,80 @@
 // Package buffer implements the database buffer pool.
 //
 // The pool caches fixed-size database pages, pins them for access, and
-// evicts victims with a clock (second-chance) policy. Its interaction with
-// In-Place Appends is deliberately thin, exactly as the paper argues: the
-// buffer always holds the up-to-date page image and all updates happen
-// in place as usual; the only addition is that every frame carries a
-// core.Tracker fed by the page layer, and that dirty evictions hand both
-// the page image and the tracker to the storage manager, which decides
-// between an in-place append and a traditional out-of-place write.
+// evicts victims with a clock (second-chance) policy. To scale with
+// concurrent traffic the pool is partitioned into independently-latched
+// shards: pages are hashed by page identifier onto a shard, each shard has
+// its own frame array, hash table, clock hand and statistics, so readers
+// and writers operating on different pages proceed in parallel. Within a
+// shard, every frame additionally carries a read/write latch that
+// serialises access to the page image itself: Fetch returns the page
+// exclusively latched, FetchShared allows any number of concurrent
+// readers.
+//
+// The pool's interaction with In-Place Appends is deliberately thin,
+// exactly as the paper argues: the buffer always holds the up-to-date page
+// image and all updates happen in place as usual; the only addition is
+// that every frame carries a core.Tracker fed by the page layer, and that
+// dirty evictions hand both the page image and the tracker to the storage
+// manager, which decides between an in-place append and a traditional
+// out-of-place write.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"ipa/internal/core"
 )
 
 // Errors returned by the pool.
 var (
-	// ErrNoFrames is returned when every frame is pinned and no victim can
-	// be evicted.
+	// ErrNoFrames is returned when every frame of the page's shard stays
+	// pinned for longer than the retry budget and no victim can be
+	// evicted.
 	ErrNoFrames = errors.New("buffer: all frames pinned")
 	// ErrNotCached is returned by FlushPage for pages not in the pool.
 	ErrNotCached = errors.New("buffer: page not cached")
 )
 
+// Pins are held only for the duration of one page operation, so a shard
+// whose frames are all pinned usually frees one within microseconds.
+// Fetch and Create therefore retry briefly before surfacing ErrNoFrames —
+// without this, sharding would turn "more concurrent operations than
+// frames in one shard" into a hard error even while other shards sit
+// idle. The budget is generous enough for transient pile-ups and still
+// bounded so leaked handles fail loudly.
+const (
+	victimRetries    = 200
+	victimSpinPhase  = 16 // attempts that just yield before sleeping
+	victimRetrySleep = 100 * time.Microsecond
+)
+
+// victimBackoff waits before the attempt-th retry.
+func victimBackoff(attempt int) {
+	if attempt < victimSpinPhase {
+		runtime.Gosched()
+	} else {
+		time.Sleep(victimRetrySleep)
+	}
+}
+
 // PageIO is implemented by the storage manager. LoadPage fills buf with the
 // up-to-date page image (delta records already applied) and returns the
 // change tracker for the new buffer residency. StorePage persists a dirty
 // page; it must reset the tracker for the page's next residency before
-// returning.
+// returning. Implementations must be safe for concurrent use: different
+// shards issue loads and stores in parallel.
 type PageIO interface {
 	PageSize() int
 	LoadPage(pid uint64, buf []byte) (*core.Tracker, error)
 	StorePage(pid uint64, buf []byte, t *core.Tracker) error
 }
 
-// Stats counts buffer pool events.
+// Stats counts buffer pool events, aggregated over all shards.
 type Stats struct {
 	Hits           uint64
 	Misses         uint64
@@ -47,7 +83,20 @@ type Stats struct {
 	Flushes        uint64
 }
 
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.DirtyEvictions += o.DirtyEvictions
+	s.Flushes += o.Flushes
+}
+
 type frame struct {
+	// latch serialises access to data and tracker. The invariant tying it
+	// to the shard state: a goroutine holds or waits on the latch only
+	// while it holds a pin, so a frame with pin == 0 has a free latch and
+	// may be evicted or reused under the shard mutex alone.
+	latch   sync.RWMutex
 	pid     uint64
 	data    []byte
 	tracker *core.Tracker
@@ -57,8 +106,8 @@ type frame struct {
 	valid   bool
 }
 
-// Pool is a fixed-capacity page cache.
-type Pool struct {
+// shard is one independently-latched partition of the pool.
+type shard struct {
 	mu     sync.Mutex
 	io     PageIO
 	frames []frame
@@ -67,160 +116,288 @@ type Pool struct {
 	stats  Stats
 }
 
-// New creates a pool with nframes frames.
+// Pool is a fixed-capacity page cache partitioned into shards.
+type Pool struct {
+	io     PageIO
+	shards []*shard
+}
+
+// Sharding defaults: shards are a power of two so the pid hash reduces to a
+// mask, each shard keeps at least minFramesPerShard frames so small pools
+// (unit tests, tiny devices) degenerate to a single shard with exactly the
+// classic clock semantics.
+const (
+	maxShards         = 16
+	minFramesPerShard = 8
+)
+
+// defaultShards returns the shard count used by New for a pool of nframes.
+func defaultShards(nframes int) int {
+	n := nframes / minFramesPerShard
+	if n > maxShards {
+		n = maxShards
+	}
+	s := 1
+	for s*2 <= n {
+		s *= 2
+	}
+	return s
+}
+
+// New creates a pool with nframes frames spread over an automatically
+// chosen number of shards.
 func New(io PageIO, nframes int) (*Pool, error) {
+	return NewSharded(io, nframes, defaultShards(nframes))
+}
+
+// NewSharded creates a pool with nframes frames spread over nshards
+// independently-latched shards.
+func NewSharded(io PageIO, nframes, nshards int) (*Pool, error) {
 	if nframes <= 0 {
 		return nil, fmt.Errorf("buffer: pool needs at least one frame, got %d", nframes)
 	}
-	p := &Pool{
-		io:     io,
-		frames: make([]frame, nframes),
-		table:  make(map[uint64]int, nframes),
+	if nshards <= 0 || nshards > nframes {
+		return nil, fmt.Errorf("buffer: shard count %d invalid for %d frames", nshards, nframes)
 	}
+	p := &Pool{io: io, shards: make([]*shard, nshards)}
 	size := io.PageSize()
-	for i := range p.frames {
-		p.frames[i].data = make([]byte, size)
+	base, rem := nframes/nshards, nframes%nshards
+	for i := range p.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		s := &shard{
+			io:     io,
+			frames: make([]frame, n),
+			table:  make(map[uint64]int, n),
+		}
+		for j := range s.frames {
+			s.frames[j].data = make([]byte, size)
+		}
+		p.shards[i] = s
 	}
 	return p, nil
 }
 
-// Capacity returns the number of frames.
-func (p *Pool) Capacity() int { return len(p.frames) }
-
-// Stats returns a snapshot of the pool counters.
-func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+// shardFor maps a page identifier onto its shard. Page identifiers are
+// allocated sequentially, so a plain modulo spreads neighbouring pages
+// across shards and scans fan out over all partitions.
+func (p *Pool) shardFor(pid uint64) *shard {
+	return p.shards[pid%uint64(len(p.shards))]
 }
 
-// Handle is a pinned reference to a buffered page. It must be released
-// exactly once.
+// Capacity returns the total number of frames.
+func (p *Pool) Capacity() int {
+	n := 0
+	for _, s := range p.shards {
+		n += len(s.frames)
+	}
+	return n
+}
+
+// Shards returns the number of independently-latched partitions.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Stats returns a snapshot of the pool counters summed over all shards.
+func (p *Pool) Stats() Stats {
+	var out Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Handle is a pinned, latched reference to a buffered page. It must be
+// released exactly once. Handles from Fetch and Create hold the frame
+// latch exclusively; handles from FetchShared hold it shared and must not
+// modify the page.
 type Handle struct {
-	pool *Pool
-	idx  int
-	pid  uint64
+	shard  *shard
+	idx    int
+	pid    uint64
+	shared bool
 }
 
 // PID returns the page identifier.
 func (h *Handle) PID() uint64 { return h.pid }
 
 // Data returns the buffered page image. It remains valid until Release.
-func (h *Handle) Data() []byte { return h.pool.frames[h.idx].data }
+func (h *Handle) Data() []byte { return h.shard.frames[h.idx].data }
 
 // Tracker returns the change tracker of the current residency.
-func (h *Handle) Tracker() *core.Tracker { return h.pool.frames[h.idx].tracker }
+func (h *Handle) Tracker() *core.Tracker { return h.shard.frames[h.idx].tracker }
 
-// MarkDirty flags the page as modified.
+// MarkDirty flags the page as modified. It requires an exclusive handle.
 func (h *Handle) MarkDirty() {
-	h.pool.mu.Lock()
-	h.pool.frames[h.idx].dirty = true
-	h.pool.mu.Unlock()
+	h.shard.mu.Lock()
+	h.shard.frames[h.idx].dirty = true
+	h.shard.mu.Unlock()
 }
 
-// Release unpins the page.
+// Release drops the frame latch and unpins the page. The latch is released
+// before the pin so that, under the shard mutex, pin == 0 implies the
+// latch is free.
 func (h *Handle) Release() {
-	h.pool.mu.Lock()
-	f := &h.pool.frames[h.idx]
+	f := &h.shard.frames[h.idx]
+	if h.shared {
+		f.latch.RUnlock()
+	} else {
+		f.latch.Unlock()
+	}
+	h.shard.mu.Lock()
 	if f.pin > 0 {
 		f.pin--
 	}
-	h.pool.mu.Unlock()
+	h.shard.mu.Unlock()
 }
 
 // Fetch pins the page with identifier pid, loading it through the PageIO if
-// necessary.
-func (p *Pool) Fetch(pid uint64) (*Handle, error) {
-	p.mu.Lock()
-	if idx, ok := p.table[pid]; ok {
-		f := &p.frames[idx]
-		f.pin++
-		f.ref = true
-		p.stats.Hits++
-		p.mu.Unlock()
-		return &Handle{pool: p, idx: idx, pid: pid}, nil
+// necessary, and returns it exclusively latched.
+func (p *Pool) Fetch(pid uint64) (*Handle, error) { return p.fetch(pid, false) }
+
+// FetchShared is Fetch with a shared latch: any number of readers may hold
+// the same page concurrently. The returned handle must not be used to
+// modify the page.
+func (p *Pool) FetchShared(pid uint64) (*Handle, error) { return p.fetch(pid, true) }
+
+// claimFrame acquires the shard mutex and claims a frame for a new
+// residency, backing off while every frame is transiently pinned. Each
+// attempt first re-runs lookup (under the mutex): if it reports the page
+// is already cached, claimFrame stops with hit == true. On success (hit
+// or claimed victim index) the shard mutex is HELD; on error it is
+// released.
+func (s *shard) claimFrame(lookup func() (int, bool)) (idx int, hit bool, err error) {
+	s.mu.Lock()
+	for attempt := 0; ; attempt++ {
+		if i, ok := lookup(); ok {
+			return i, true, nil
+		}
+		i, err := s.victimLocked()
+		if err == nil {
+			return i, false, nil
+		}
+		s.mu.Unlock()
+		if !errors.Is(err, ErrNoFrames) || attempt >= victimRetries {
+			return 0, false, err
+		}
+		victimBackoff(attempt)
+		s.mu.Lock()
 	}
-	p.stats.Misses++
-	idx, err := p.victimLocked()
+}
+
+func (p *Pool) fetch(pid uint64, shared bool) (*Handle, error) {
+	s := p.shardFor(pid)
+	idx, hit, err := s.claimFrame(func() (int, bool) {
+		i, ok := s.table[pid]
+		return i, ok
+	})
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	f := &p.frames[idx]
+	if hit {
+		f := &s.frames[idx]
+		f.pin++
+		f.ref = true
+		s.stats.Hits++
+		s.mu.Unlock()
+		// The pin keeps the frame resident; block on the latch outside
+		// the shard mutex so unrelated pages of the shard stay
+		// accessible.
+		lockLatch(f, shared)
+		return &Handle{shard: s, idx: idx, pid: pid, shared: shared}, nil
+	}
+	s.stats.Misses++
+	f := &s.frames[idx]
 	f.pid = pid
 	f.pin = 1
 	f.ref = true
 	f.dirty = false
 	f.valid = true
 	f.tracker = nil
-	p.table[pid] = idx
-	// The load happens under the pool lock. The pool is not a concurrency
-	// hot spot in the simulation, and holding the lock keeps the
-	// miss-then-load path atomic with respect to concurrent fetches.
-	tracker, err := p.io.LoadPage(pid, f.data)
+	s.table[pid] = idx
+	// The load happens under the shard mutex: it keeps the miss-then-load
+	// path atomic with respect to concurrent fetches of the same page, and
+	// only serialises this shard — misses on other shards proceed in
+	// parallel.
+	tracker, err := s.io.LoadPage(pid, f.data)
 	if err != nil {
-		delete(p.table, pid)
+		delete(s.table, pid)
 		f.valid = false
 		f.pin = 0
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
 	f.tracker = tracker
-	p.mu.Unlock()
-	return &Handle{pool: p, idx: idx, pid: pid}, nil
+	s.mu.Unlock()
+	lockLatch(f, shared)
+	return &Handle{shard: s, idx: idx, pid: pid, shared: shared}, nil
+}
+
+func lockLatch(f *frame, shared bool) {
+	if shared {
+		f.latch.RLock()
+	} else {
+		f.latch.Lock()
+	}
 }
 
 // Create pins a frame for a brand-new page that does not exist on storage
 // yet. init formats the frame contents and returns the page's tracker
 // (typically one marked out-of-place, since the first write of a new page
-// cannot be an append).
+// cannot be an append). The handle is exclusively latched.
 func (p *Pool) Create(pid uint64, init func(buf []byte) (*core.Tracker, error)) (*Handle, error) {
-	p.mu.Lock()
-	if _, ok := p.table[pid]; ok {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("buffer: page %d already cached", pid)
-	}
-	idx, err := p.victimLocked()
+	s := p.shardFor(pid)
+	idx, hit, err := s.claimFrame(func() (int, bool) {
+		i, ok := s.table[pid]
+		return i, ok
+	})
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	f := &p.frames[idx]
+	if hit {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("buffer: page %d already cached", pid)
+	}
+	f := &s.frames[idx]
 	f.pid = pid
 	f.pin = 1
 	f.ref = true
 	f.dirty = true
 	f.valid = true
 	f.tracker = nil
-	p.table[pid] = idx
+	s.table[pid] = idx
 	tracker, err := init(f.data)
 	if err != nil {
-		delete(p.table, pid)
+		delete(s.table, pid)
 		f.valid = false
 		f.pin = 0
 		f.dirty = false
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
 	f.tracker = tracker
-	p.mu.Unlock()
-	return &Handle{pool: p, idx: idx, pid: pid}, nil
+	s.mu.Unlock()
+	lockLatch(f, false)
+	return &Handle{shard: s, idx: idx, pid: pid}, nil
 }
 
 // victimLocked returns the index of a free frame, evicting a victim with
-// the clock policy if necessary. The caller holds the pool lock.
-func (p *Pool) victimLocked() (int, error) {
+// the clock policy if necessary. The caller holds the shard mutex.
+func (s *shard) victimLocked() (int, error) {
 	// Prefer an unused frame.
-	for i := range p.frames {
-		if !p.frames[i].valid {
+	for i := range s.frames {
+		if !s.frames[i].valid {
 			return i, nil
 		}
 	}
 	// Clock sweep: two full passes guarantee a victim if one exists.
-	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
-		idx := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
-		f := &p.frames[idx]
+	for sweep := 0; sweep < 2*len(s.frames); sweep++ {
+		idx := s.hand
+		s.hand = (s.hand + 1) % len(s.frames)
+		f := &s.frames[idx]
 		if f.pin > 0 {
 			continue
 		}
@@ -228,7 +405,7 @@ func (p *Pool) victimLocked() (int, error) {
 			f.ref = false
 			continue
 		}
-		if err := p.evictLocked(idx); err != nil {
+		if err := s.evictLocked(idx); err != nil {
 			return 0, err
 		}
 		return idx, nil
@@ -237,16 +414,18 @@ func (p *Pool) victimLocked() (int, error) {
 }
 
 // evictLocked writes back a dirty victim and removes it from the table.
-func (p *Pool) evictLocked(idx int) error {
-	f := &p.frames[idx]
-	p.stats.Evictions++
+// The caller holds the shard mutex; the victim is unpinned, so its latch
+// is free and nobody can observe the page while it is written back.
+func (s *shard) evictLocked(idx int) error {
+	f := &s.frames[idx]
+	s.stats.Evictions++
 	if f.dirty {
-		p.stats.DirtyEvictions++
-		if err := p.io.StorePage(f.pid, f.data, f.tracker); err != nil {
+		s.stats.DirtyEvictions++
+		if err := s.io.StorePage(f.pid, f.data, f.tracker); err != nil {
 			return fmt.Errorf("buffer: evicting page %d: %w", f.pid, err)
 		}
 	}
-	delete(p.table, f.pid)
+	delete(s.table, f.pid)
 	f.valid = false
 	f.dirty = false
 	f.tracker = nil
@@ -256,38 +435,64 @@ func (p *Pool) evictLocked(idx int) error {
 // FlushPage writes a cached page back to storage if it is dirty. The page
 // stays cached.
 func (p *Pool) FlushPage(pid uint64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, ok := p.table[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	idx, ok := s.table[pid]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNotCached, pid)
 	}
-	return p.flushFrameLocked(idx)
+	s.frames[idx].pin++
+	s.mu.Unlock()
+	return s.flushFrame(idx)
 }
 
-func (p *Pool) flushFrameLocked(idx int) error {
-	f := &p.frames[idx]
-	if !f.dirty {
-		return nil
+// flushFrame writes one pinned frame back if it is dirty, then unpins it.
+// The caller must have incremented the frame's pin count; flushFrame takes
+// the frame latch so the write-back never observes a half-applied update.
+func (s *shard) flushFrame(idx int) error {
+	f := &s.frames[idx]
+	f.latch.Lock()
+	s.mu.Lock()
+	dirty := f.valid && f.dirty
+	s.mu.Unlock()
+	var err error
+	if dirty {
+		// The latch keeps the page image stable; the shard mutex is not
+		// held across the store so unrelated pages stay accessible.
+		err = s.io.StorePage(f.pid, f.data, f.tracker)
 	}
-	if err := p.io.StorePage(f.pid, f.data, f.tracker); err != nil {
-		return err
+	s.mu.Lock()
+	if err == nil && dirty {
+		f.dirty = false
+		s.stats.Flushes++
 	}
-	f.dirty = false
-	p.stats.Flushes++
-	return nil
+	s.mu.Unlock()
+	// Mirror Handle.Release: drop the latch before the pin so that, under
+	// the shard mutex, pin == 0 implies the latch is free.
+	f.latch.Unlock()
+	s.mu.Lock()
+	if f.pin > 0 {
+		f.pin--
+	}
+	s.mu.Unlock()
+	return err
 }
 
 // FlushAll writes every dirty cached page back to storage.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		if !p.frames[i].valid {
-			continue
-		}
-		if err := p.flushFrameLocked(i); err != nil {
-			return err
+	for _, s := range p.shards {
+		for idx := range s.frames {
+			s.mu.Lock()
+			if !s.frames[idx].valid {
+				s.mu.Unlock()
+				continue
+			}
+			s.frames[idx].pin++
+			s.mu.Unlock()
+			if err := s.flushFrame(idx); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -295,8 +500,9 @@ func (p *Pool) FlushAll() error {
 
 // Cached reports whether pid currently resides in the pool.
 func (p *Pool) Cached(pid uint64) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.table[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.table[pid]
 	return ok
 }

@@ -81,8 +81,8 @@ func (f *File) Count() uint64 {
 	return f.count
 }
 
-// withPage pins a page, wraps it and attaches the frame's tracker as the
-// change recorder, then runs fn.
+// withPage pins a page exclusively, wraps it and attaches the frame's
+// tracker as the change recorder, then runs fn.
 func (f *File) withPage(pid uint64, fn func(h *buffer.Handle, pg *page.Page) error) error {
 	h, err := f.pool.Fetch(pid)
 	if err != nil {
@@ -95,6 +95,22 @@ func (f *File) withPage(pid uint64, fn func(h *buffer.Handle, pg *page.Page) err
 	}
 	pg.SetRecorder(h.Tracker())
 	return fn(h, pg)
+}
+
+// withPageShared pins a page with a shared latch for read-only access, so
+// concurrent readers of the same page proceed in parallel. fn must not
+// modify the page.
+func (f *File) withPageShared(pid uint64, fn func(pg *page.Page) error) error {
+	h, err := f.pool.FetchShared(pid)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	return fn(pg)
 }
 
 // Insert stores a tuple and returns its RID. Tuples must have the file's
@@ -168,7 +184,7 @@ func (f *File) tryInsertLocked(pid uint64, tuple []byte) (RID, bool, error) {
 // Get returns a copy of the tuple at rid.
 func (f *File) Get(rid RID) ([]byte, error) {
 	var out []byte
-	err := f.withPage(rid.PageID, func(h *buffer.Handle, pg *page.Page) error {
+	err := f.withPageShared(rid.PageID, func(pg *page.Page) error {
 		t, err := pg.Tuple(int(rid.Slot))
 		if err != nil {
 			if errors.Is(err, page.ErrDeleted) || errors.Is(err, page.ErrBadSlot) {
@@ -226,11 +242,13 @@ func (f *File) Delete(rid RID) error {
 }
 
 // Scan calls fn for every live tuple of the file, in page/slot order, until
-// fn returns false or the file is exhausted.
+// fn returns false or the file is exhausted. fn runs under the page's
+// shared latch and must not modify the file (use Table-level scans to
+// combine reading with updates).
 func (f *File) Scan(fn func(rid RID, tuple []byte) bool) error {
 	for _, pid := range f.PageIDs() {
 		stop := false
-		err := f.withPage(pid, func(h *buffer.Handle, pg *page.Page) error {
+		err := f.withPageShared(pid, func(pg *page.Page) error {
 			for s := 0; s < pg.SlotCount(); s++ {
 				deleted, err := pg.Deleted(s)
 				if err != nil {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ipa/internal/wal"
 )
@@ -45,17 +46,42 @@ type LockKey struct {
 	Slot   uint16
 }
 
-// Manager coordinates transactions.
+// lockStripes is the number of independently-latched partitions of the
+// lock table. Record locks hash onto a stripe by page and slot, so
+// transactions touching different records rarely contend on the same
+// mutex.
+const lockStripes = 64
+
+// lockStripe is one partition of the lock table.
+type lockStripe struct {
+	mu    sync.Mutex
+	locks map[LockKey]uint64 // key -> owning transaction
+}
+
+// Manager coordinates transactions. Transaction identifiers are handed out
+// with an atomic counter and the lock table is striped, so Begin and Lock
+// scale with concurrent transactions.
 type Manager struct {
-	mu     sync.Mutex
-	nextID uint64
-	locks  map[LockKey]uint64 // key -> owning transaction
-	log    *wal.Log
+	nextID  atomic.Uint64
+	stripes [lockStripes]lockStripe
+	log     *wal.Log
 }
 
 // NewManager creates a transaction manager writing to log.
 func NewManager(log *wal.Log) *Manager {
-	return &Manager{nextID: 1, locks: make(map[LockKey]uint64), log: log}
+	m := &Manager{log: log}
+	for i := range m.stripes {
+		m.stripes[i].locks = make(map[LockKey]uint64)
+	}
+	return m
+}
+
+// stripeFor returns the lock-table stripe responsible for key. The slot is
+// mixed with its own multiplier before the avalanche shift so that
+// different slots of the same (hot) page land on different stripes.
+func (m *Manager) stripeFor(key LockKey) *lockStripe {
+	h := key.PageID*0x9E3779B97F4A7C15 ^ (uint64(key.Slot)+1)*0xC2B2AE3D27D4EB4F
+	return &m.stripes[(h>>32)%lockStripes]
 }
 
 // Log returns the write-ahead log used by the manager.
@@ -72,11 +98,7 @@ type Txn struct {
 
 // Begin starts a new transaction.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	id := m.nextID
-	m.nextID++
-	m.mu.Unlock()
-	return &Txn{mgr: m, id: id}
+	return &Txn{mgr: m, id: m.nextID.Add(1)}
 }
 
 // ID returns the transaction identifier.
@@ -92,15 +114,15 @@ func (t *Txn) Lock(key LockKey) error {
 	if t.status != Active {
 		return ErrFinished
 	}
-	m := t.mgr
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	owner, held := m.locks[key]
+	s := t.mgr.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, held := s.locks[key]
 	if held && owner != t.id {
 		return fmt.Errorf("%w: page %d slot %d held by txn %d", ErrConflict, key.PageID, key.Slot, owner)
 	}
 	if !held {
-		m.locks[key] = t.id
+		s.locks[key] = t.id
 		t.locks = append(t.locks, key)
 	}
 	return nil
@@ -142,13 +164,15 @@ func (t *Txn) LogInsert(pageID uint64, slot uint16, tuple []byte) (uint64, error
 	return t.mgr.log.Append(rec), nil
 }
 
-// Commit flushes the log up to the commit record and releases all locks.
+// Commit appends the commit record, makes the log durable through the
+// group-commit pipeline (concurrent commits share one log flush) and
+// releases all locks.
 func (t *Txn) Commit() error {
 	if t.status != Active {
 		return ErrFinished
 	}
 	lsn := t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecCommit})
-	t.mgr.log.Flush(lsn)
+	t.mgr.log.CommitFlush(lsn)
 	t.status = Committed
 	t.releaseLocks()
 	return nil
@@ -181,20 +205,25 @@ func (t *Txn) Abort(u Undoer) error {
 }
 
 func (t *Txn) releaseLocks() {
-	m := t.mgr
-	m.mu.Lock()
 	for _, k := range t.locks {
-		if m.locks[k] == t.id {
-			delete(m.locks, k)
+		s := t.mgr.stripeFor(k)
+		s.mu.Lock()
+		if s.locks[k] == t.id {
+			delete(s.locks, k)
 		}
+		s.mu.Unlock()
 	}
-	m.mu.Unlock()
 	t.locks = nil
 }
 
 // HeldLocks returns the number of locks currently held (for tests).
 func (m *Manager) HeldLocks() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.locks)
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		n += len(s.locks)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendCommit appends a commit record for txn and returns its LSN.
+func appendCommit(l *Log, txn uint64) uint64 {
+	return l.Append(Record{TxnID: txn, Type: RecCommit})
+}
+
+// TestCommitFlushMakesDurable checks the single-caller fast path.
+func TestCommitFlushMakesDurable(t *testing.T) {
+	l := New()
+	lsn := appendCommit(l, 1)
+	l.CommitFlush(lsn)
+	if l.FlushedLSN() != lsn {
+		t.Fatalf("FlushedLSN = %d, want %d", l.FlushedLSN(), lsn)
+	}
+	if l.BytesWritten() == 0 {
+		t.Fatalf("flushed bytes not accounted")
+	}
+	// Flushing an already-durable LSN is a no-op.
+	before := l.GroupCommitStats()
+	l.CommitFlush(lsn)
+	after := l.GroupCommitStats()
+	if after.Flushes != before.Flushes {
+		t.Fatalf("no-op commit flush must not write: %+v -> %+v", before, after)
+	}
+}
+
+// TestGroupCommitBatchesFollowers drives the leader/follower pipeline
+// deterministically: while the leader is writing the log device (blocked
+// inside the flush hook), followers queue up and must be served by a
+// single shared flush.
+func TestGroupCommitBatchesFollowers(t *testing.T) {
+	const followers = 5
+	l := New()
+	entered := make(chan struct{}, followers+2)
+	release := make(chan struct{})
+	l.SetFlushHook(func(int) {
+		entered <- struct{}{}
+		<-release
+	})
+
+	var wg sync.WaitGroup
+	leaderLSN := appendCommit(l, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.CommitFlush(leaderLSN)
+	}()
+	// Wait for the leader to start writing the log device.
+	<-entered
+
+	var maxLSN uint64
+	for i := 0; i < followers; i++ {
+		lsn := appendCommit(l, uint64(2+i))
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+		wg.Add(1)
+		go func(lsn uint64) {
+			defer wg.Done()
+			l.CommitFlush(lsn)
+		}(lsn)
+	}
+	// Wait until every follower has queued behind the in-flight flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.PendingCommits() < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers queued", l.PendingCommits(), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if l.FlushedLSN() < maxLSN {
+		t.Fatalf("FlushedLSN = %d, want >= %d", l.FlushedLSN(), maxLSN)
+	}
+	s := l.GroupCommitStats()
+	if s.Flushes != 2 {
+		t.Fatalf("expected 2 flushes (leader + one shared batch), got %d", s.Flushes)
+	}
+	if s.FlushedCommits != followers+1 {
+		t.Fatalf("FlushedCommits = %d, want %d", s.FlushedCommits, followers+1)
+	}
+	if s.MaxBatch != followers {
+		t.Fatalf("MaxBatch = %d, want %d", s.MaxBatch, followers)
+	}
+	if s.CommitsPerFlush() <= 1 {
+		t.Fatalf("commits/flush must exceed 1, got %f", s.CommitsPerFlush())
+	}
+}
+
+// TestFlushDoesNotCountAsCommit: stand-alone Flush calls share the flush
+// pipeline but must not inflate the group-commit batch statistics.
+func TestFlushDoesNotCountAsCommit(t *testing.T) {
+	l := New()
+	l.Append(Record{TxnID: 1, Type: RecUpdate, New: []byte{1}})
+	l.Flush(0)
+	s := l.GroupCommitStats()
+	if s.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", s.Flushes)
+	}
+	if s.FlushedCommits != 0 || s.MaxBatch != 0 {
+		t.Fatalf("stand-alone Flush counted as a commit: %+v", s)
+	}
+	lsn := appendCommit(l, 1)
+	l.CommitFlush(lsn)
+	s = l.GroupCommitStats()
+	if s.FlushedCommits != 1 || s.MaxBatch != 1 {
+		t.Fatalf("commit not counted: %+v", s)
+	}
+}
+
+// TestResetStatsClearsWindowNotDurability verifies that ResetStats zeroes
+// the accounting counters while preserving the durability state.
+func TestResetStatsClearsWindowNotDurability(t *testing.T) {
+	l := New()
+	lsn := appendCommit(l, 1)
+	l.CommitFlush(lsn)
+	if l.BytesWritten() == 0 {
+		t.Fatalf("nothing accounted before reset")
+	}
+	l.ResetStats()
+	if l.BytesWritten() != 0 {
+		t.Fatalf("BytesWritten survived reset")
+	}
+	if s := l.GroupCommitStats(); s != (GroupCommitStats{}) {
+		t.Fatalf("group-commit stats survived reset: %+v", s)
+	}
+	if l.FlushedLSN() != lsn {
+		t.Fatalf("reset must not touch durability: FlushedLSN = %d", l.FlushedLSN())
+	}
+	// Records flushed before the reset must not be re-accounted.
+	lsn2 := appendCommit(l, 2)
+	l.CommitFlush(lsn2)
+	if want := uint64(Record{TxnID: 2, Type: RecCommit, LSN: lsn2}.EncodedSize()); l.BytesWritten() != want {
+		t.Fatalf("BytesWritten after reset = %d, want %d", l.BytesWritten(), want)
+	}
+}
+
+// TestConcurrentCommitFlushStress hammers CommitFlush from many goroutines
+// and checks the accounting invariants (run with -race).
+func TestConcurrentCommitFlushStress(t *testing.T) {
+	const workers = 8
+	const commitsPerWorker = 200
+	l := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < commitsPerWorker; i++ {
+				lsn := l.Append(Record{TxnID: uint64(w*commitsPerWorker + i + 1), Type: RecCommit})
+				l.CommitFlush(lsn)
+				if l.FlushedLSN() < lsn {
+					t.Errorf("commit %d not durable after CommitFlush", lsn)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := l.GroupCommitStats()
+	if s.FlushedCommits != workers*commitsPerWorker {
+		t.Fatalf("FlushedCommits = %d, want %d", s.FlushedCommits, workers*commitsPerWorker)
+	}
+	if s.Flushes == 0 || s.Flushes > s.FlushedCommits {
+		t.Fatalf("implausible flush count: %+v", s)
+	}
+	// Every record is a commit, and each was flushed exactly once.
+	var want uint64
+	for _, r := range l.Records() {
+		want += uint64(r.EncodedSize())
+	}
+	if l.BytesWritten() != want {
+		t.Fatalf("BytesWritten = %d, want %d (no double accounting)", l.BytesWritten(), want)
+	}
+}

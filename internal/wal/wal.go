@@ -125,18 +125,68 @@ func Decode(buf []byte) (Record, int, error) {
 	return r, total, nil
 }
 
-// Log is an in-memory write-ahead log with byte accounting.
+// commitWaiter is one caller waiting for the log to become durable up to
+// its LSN. Waiters queue up while a flush is in flight; the leader absorbs
+// the whole queue into a single log-device write and wakes every follower.
+// commit marks transaction commits (counted in the group-commit batch
+// statistics) as opposed to stand-alone Flush callers.
+type commitWaiter struct {
+	lsn    uint64
+	commit bool
+	done   chan struct{}
+}
+
+// GroupCommitStats describes how effectively concurrent commits were
+// batched into shared flushes.
+type GroupCommitStats struct {
+	// Flushes is the number of physical log flushes.
+	Flushes uint64
+	// FlushedCommits is the number of commit requests those flushes served;
+	// FlushedCommits / Flushes is the average group-commit batch size.
+	FlushedCommits uint64
+	// MaxBatch is the largest number of commits served by one flush.
+	MaxBatch uint64
+}
+
+// CommitsPerFlush returns the average group-commit batch size.
+func (s GroupCommitStats) CommitsPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.FlushedCommits) / float64(s.Flushes)
+}
+
+// Log is an in-memory write-ahead log with byte accounting and a
+// group-commit pipeline: concurrently-arriving commit flushes are batched
+// into a single log append, amortising the latency of the separate log
+// device the paper's experimental setup assumes.
 type Log struct {
 	mu           sync.Mutex
 	records      []Record
 	nextLSN      uint64
 	flushedLSN   uint64
 	bytesWritten uint64
-	flushes      uint64
+
+	// Group-commit state: waiters queue while a leader's flush is in
+	// flight; the leader drains the queue batch by batch.
+	waiters  []*commitWaiter
+	flushing bool
+	gcStats  GroupCommitStats
+
+	// flushHook, if set, models the log-device write: it is called once
+	// per flush batch (outside the log mutex) with the number of bytes
+	// made durable. Group commit pays this cost once per batch instead of
+	// once per transaction.
+	flushHook func(bytes int)
 }
 
 // New creates an empty log. LSNs start at 1.
 func New() *Log { return &Log{nextLSN: 1} }
+
+// SetFlushHook installs fn as the simulated log-device write, invoked once
+// per flush batch with the flushed byte count. It must be set before the
+// log is shared between goroutines.
+func (l *Log) SetFlushHook(fn func(bytes int)) { l.flushHook = fn }
 
 // Append adds a record and returns its LSN.
 func (l *Log) Append(r Record) uint64 {
@@ -148,23 +198,155 @@ func (l *Log) Append(r Record) uint64 {
 	return r.LSN
 }
 
-// Flush makes all appended records durable up to the given LSN (or all
-// records if upTo is zero) and accounts the flushed bytes.
-func (l *Log) Flush(upTo uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if upTo == 0 || upTo >= l.nextLSN {
-		upTo = l.nextLSN - 1
-	}
-	for _, r := range l.records {
-		if r.LSN > l.flushedLSN && r.LSN <= upTo {
-			l.bytesWritten += uint64(r.EncodedSize())
+// pendingBytesLocked sums the encoded size of the records in
+// (flushedLSN, upTo]. Records are appended in LSN order, so the first
+// unflushed record is found by binary search instead of a full scan.
+// The caller holds the log mutex.
+func (l *Log) pendingBytesLocked(upTo uint64) int {
+	lo, hi := 0, len(l.records)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.records[mid].LSN <= l.flushedLSN {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	if upTo > l.flushedLSN {
-		l.flushedLSN = upTo
+	bytes := 0
+	for _, r := range l.records[lo:] {
+		if r.LSN > upTo {
+			break
+		}
+		bytes += r.EncodedSize()
 	}
-	l.flushes++
+	return bytes
+}
+
+// clampLocked resolves upTo == 0 / out-of-range to the last appended LSN.
+func (l *Log) clampLocked(upTo uint64) uint64 {
+	if upTo == 0 || upTo >= l.nextLSN {
+		return l.nextLSN - 1
+	}
+	return upTo
+}
+
+// Flush makes all appended records durable up to the given LSN (or all
+// records if upTo is zero) and accounts the flushed bytes. It is the
+// stand-alone flush used by checkpoints and recovery tests; transaction
+// commits go through CommitFlush. Both share one flush pipeline, so
+// concurrent callers never account the same records twice.
+func (l *Log) Flush(upTo uint64) { l.flush(upTo, false) }
+
+// CommitFlush makes the log durable at least up to lsn, batching
+// concurrently-arriving commits into one flush. The first caller becomes
+// the leader and writes the log device on behalf of every transaction that
+// queued up in the meantime (followers merely wait); each additional
+// follower rides along for free, which is exactly how a DBMS amortises
+// the latency of a dedicated log device.
+func (l *Log) CommitFlush(lsn uint64) { l.flush(lsn, true) }
+
+// flush is the shared leader/follower pipeline behind Flush and
+// CommitFlush. Only commit callers count towards the group-commit batch
+// statistics.
+func (l *Log) flush(lsn uint64, commit bool) {
+	l.mu.Lock()
+	lsn = l.clampLocked(lsn)
+	if lsn <= l.flushedLSN {
+		l.mu.Unlock()
+		return
+	}
+	w := &commitWaiter{lsn: lsn, commit: commit, done: make(chan struct{})}
+	l.waiters = append(l.waiters, w)
+	if l.flushing {
+		// A leader is already writing the log device; it will pick this
+		// waiter up in its next batch.
+		l.mu.Unlock()
+		<-w.done
+		return
+	}
+	l.flushing = true
+	for {
+		batch := l.waiters
+		l.waiters = nil
+		target := uint64(0)
+		commits := uint64(0)
+		for _, bw := range batch {
+			if bw.lsn > target {
+				target = bw.lsn
+			}
+			if bw.commit {
+				commits++
+			}
+		}
+		bytes := l.pendingBytesLocked(target)
+		hook := l.flushHook
+		l.mu.Unlock()
+		// One log-device write for the whole batch. New callers arriving
+		// during this write queue behind l.flushing and join the next
+		// batch.
+		if hook != nil {
+			hook(bytes)
+		}
+		l.mu.Lock()
+		l.bytesWritten += uint64(bytes)
+		if target > l.flushedLSN {
+			l.flushedLSN = target
+		}
+		// Waiters that queued during the write but whose records were
+		// already covered by it (their LSN is at or below the new
+		// flushedLSN, so their bytes went out with this batch) are served
+		// now instead of triggering a redundant zero-byte device write.
+		pending := l.waiters[:0]
+		for _, bw := range l.waiters {
+			if bw.lsn <= l.flushedLSN {
+				if bw.commit {
+					commits++
+				}
+				batch = append(batch, bw)
+			} else {
+				pending = append(pending, bw)
+			}
+		}
+		l.waiters = pending
+		l.gcStats.Flushes++
+		l.gcStats.FlushedCommits += commits
+		if commits > l.gcStats.MaxBatch {
+			l.gcStats.MaxBatch = commits
+		}
+		for _, bw := range batch {
+			close(bw.done)
+		}
+		if len(l.waiters) == 0 {
+			l.flushing = false
+			l.mu.Unlock()
+			return
+		}
+	}
+}
+
+// ResetStats zeroes the flushed-byte and group-commit counters (the
+// durability state — flushedLSN, records — is untouched). Used by
+// DB.ResetStats to restart the measurement window after a load phase.
+func (l *Log) ResetStats() {
+	l.mu.Lock()
+	l.bytesWritten = 0
+	l.gcStats = GroupCommitStats{}
+	l.mu.Unlock()
+}
+
+// GroupCommitStats returns a snapshot of the group-commit counters.
+func (l *Log) GroupCommitStats() GroupCommitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gcStats
+}
+
+// PendingCommits returns the number of commit waiters queued behind the
+// current flush leader (for tests and monitoring).
+func (l *Log) PendingCommits() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
 }
 
 // FlushedLSN returns the highest durable LSN.

@@ -72,6 +72,16 @@ type Stats struct {
 	CommittedTxns uint64
 	AbortedTxns   uint64
 	WALBytes      uint64
+	// Group commit: physical log flushes, the commit requests they served
+	// and the largest batch one flush absorbed. WALFlushedCommits /
+	// WALFlushes is the average group-commit batch size.
+	WALFlushes        uint64
+	WALFlushedCommits uint64
+	WALMaxCommitBatch uint64
+
+	// BufferShards is the number of independently-latched buffer pool
+	// partitions (a configuration echo, like Mode and Scheme).
+	BufferShards int
 
 	// Wear (longevity).
 	TotalErasesEver uint64 // erases since device creation (not reset)
@@ -89,12 +99,11 @@ func (db *DB) Stats() Stats {
 	cs := db.dev.ChipStats()
 	ss := db.store.Stats()
 	ps := db.pool.Stats()
+	gc := db.log.GroupCommitStats()
 
-	db.mu.Lock()
-	committed := db.committed
-	aborted := db.aborted
-	base := db.timeBase
-	db.mu.Unlock()
+	committed := db.committed.Load()
+	aborted := db.aborted.Load()
+	base := time.Duration(db.timeBase.Load())
 
 	return Stats{
 		Mode:      db.cfg.WriteMode,
@@ -138,9 +147,14 @@ func (db *DB) Stats() Stats {
 		BufferHits:   ps.Hits,
 		BufferMisses: ps.Misses,
 
-		CommittedTxns: committed,
-		AbortedTxns:   aborted,
-		WALBytes:      db.log.BytesWritten(),
+		CommittedTxns:     committed,
+		AbortedTxns:       aborted,
+		WALBytes:          db.log.BytesWritten(),
+		WALFlushes:        gc.Flushes,
+		WALFlushedCommits: gc.FlushedCommits,
+		WALMaxCommitBatch: gc.MaxBatch,
+
+		BufferShards: db.pool.Shards(),
 
 		TotalErasesEver: db.dev.TotalErases(),
 		MaxEraseCount:   db.dev.MaxEraseCount(),
@@ -168,6 +182,13 @@ func (s Stats) ErasesPerHostWrite() float64 {
 // appends.
 func (s Stats) InPlaceShare() float64 {
 	return ratio(s.InPlaceAppends, s.InPlaceAppends+s.OutOfPlaceWrites)
+}
+
+// CommitsPerFlush returns the average number of commit requests served by
+// one physical WAL flush — the group-commit batch size. Values above 1
+// mean concurrent commits shared log-device writes.
+func (s Stats) CommitsPerFlush() float64 {
+	return ratio(s.WALFlushedCommits, s.WALFlushes)
 }
 
 // Throughput returns committed transactions per second of virtual time.
@@ -235,5 +256,7 @@ func (s Stats) String() string {
 		s.FlashPageReads, s.FlashPagePrograms, s.FlashDeltaPrograms, s.FlashBlockErases)
 	fmt.Fprintf(&b, "txn: committed=%d aborted=%d throughput=%.1f tps elapsed=%s\n",
 		s.CommittedTxns, s.AbortedTxns, s.Throughput(), s.Elapsed)
+	fmt.Fprintf(&b, "wal: flushes=%d commits/flush=%.2f maxBatch=%d shards=%d\n",
+		s.WALFlushes, s.CommitsPerFlush(), s.WALMaxCommitBatch, s.BufferShards)
 	return b.String()
 }

@@ -24,6 +24,12 @@ var ErrKeyNotFound = errors.New("ipa: key not found")
 var ErrDuplicateKey = errors.New("ipa: duplicate key")
 
 // Table is a collection of fixed-size tuples with an int64 primary key.
+//
+// Tables are safe for concurrent use: the primary-key index is guarded by
+// a per-table read/write mutex, while tuple access synchronises at page
+// granularity inside the sharded buffer pool (readers take shared frame
+// latches, writers exclusive ones), so operations on different pages —
+// and concurrent reads of the same page — proceed in parallel.
 type Table struct {
 	db        *DB
 	name      string

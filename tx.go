@@ -16,6 +16,11 @@ var ErrConflict = txn.ErrConflict
 // they touch the buffered page, and record locks are held until Commit or
 // Abort (strict two-phase locking). In-Place Appends is entirely invisible
 // at this level, exactly as the paper requires.
+//
+// Isolation: writes follow strict 2PL, but plain Get takes no record
+// lock — concurrent transactions read at READ UNCOMMITTED and may observe
+// updates that are later rolled back. Use GetForUpdate to read under the
+// record lock when a transaction's logic depends on the value it read.
 type Tx struct {
 	db    *DB
 	inner *txn.Txn
@@ -30,12 +35,32 @@ func (db *DB) Begin() *Tx {
 // ID returns the transaction identifier.
 func (tx *Tx) ID() uint64 { return tx.inner.ID() }
 
-// Get returns a copy of the tuple stored under key in table t.
+// Get returns a copy of the tuple stored under key in table t. It takes
+// no record lock (READ UNCOMMITTED): a concurrent writer's uncommitted
+// bytes may be visible. See GetForUpdate for locked reads.
 func (tx *Tx) Get(t *Table, key int64) ([]byte, error) {
 	if tx.done {
 		return nil, txn.ErrFinished
 	}
 	return t.Get(key)
+}
+
+// GetForUpdate returns a copy of the tuple stored under key in table t
+// after acquiring its record lock, which is then held until Commit or
+// Abort. The returned value is stable: no concurrent transaction can
+// change or roll back the tuple while the lock is held.
+func (tx *Tx) GetForUpdate(t *Table, key int64) ([]byte, error) {
+	if tx.done {
+		return nil, txn.ErrFinished
+	}
+	rid, err := t.rid(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
+		return nil, err
+	}
+	return t.heap.Get(rid)
 }
 
 // Insert stores a new tuple under key in table t.
@@ -115,9 +140,7 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	tx.db.dev.AdvanceClock(tx.db.cfg.TxnCPUCost)
-	tx.db.mu.Lock()
-	tx.db.committed++
-	tx.db.mu.Unlock()
+	tx.db.committed.Add(1)
 	return nil
 }
 
@@ -131,9 +154,7 @@ func (tx *Tx) Abort() error {
 		return err
 	}
 	tx.done = true
-	tx.db.mu.Lock()
-	tx.db.aborted++
-	tx.db.mu.Unlock()
+	tx.db.aborted.Add(1)
 	return nil
 }
 
