@@ -12,6 +12,7 @@
 //	ipabench -exp interference # program-interference ablation (MLC modes)
 //	ipabench -exp sweep        # N×M scheme ablation
 //	ipabench -exp concurrent   # concurrency scaling (sharded pool, group commit)
+//	ipabench -exp chips        # chip scaling (per-chip FTL partitions)
 //	ipabench -exp all
 //
 // The -quick flag shrinks every experiment so the whole suite finishes in
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, all")
 		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
 		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
 		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
@@ -38,6 +39,7 @@ func main() {
 		n        = flag.Int("n", 2, "IPA scheme parameter N")
 		m        = flag.Int("m", 4, "IPA scheme parameter M")
 		threads  = flag.Int("threads", 0, "concurrent experiment: fixed goroutine count (0 = ladder 1,2,4,8)")
+		chips    = flag.Int("chips", 0, "chips experiment: fixed chip count (0 = ladder 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -261,6 +263,33 @@ func main() {
 				o.Tuples = 2048
 			}
 			res, err := bench.Concurrent(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if want("chips") {
+		run("Chip scaling: per-chip FTL partitions", func() error {
+			o := bench.DefaultChipsOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *chips > 0 {
+				o.Chips = []int{*chips}
+			}
+			if *threads > 0 {
+				o.Goroutines = *threads
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 4000
+				o.Tuples = 4096
+			}
+			res, err := bench.Chips(o)
 			if err != nil {
 				return err
 			}

@@ -8,13 +8,30 @@
 // programmed Flash page. All commands advance a deterministic virtual clock
 // according to a configurable latency model, so layers above can derive
 // throughput figures without depending on wall-clock time.
+//
+// The device itself holds no lock: every chip synchronises independently
+// (inside nand.Chip), every chip accumulates its own virtual time, and the
+// device-level statistics are atomic counters. Commands addressed to
+// different chips therefore proceed fully in parallel, and the device clock
+// returned by Now is the merge (maximum) of the per-chip clocks plus a
+// shared atomic adjustment fed by AdvanceClock — virtual time models a
+// device whose chips operate concurrently.
+//
+// Virtual-time model: each chip's accumulator is its busy time, and Now is
+// the makespan assuming commands pipeline onto their chips back-to-back —
+// as if every command were queued to its chip the moment the previous
+// command on that chip finished, regardless of when the host actually
+// issued it. This keeps the clock deterministic (independent of goroutine
+// scheduling) and exact for saturated chips; for a host that issues
+// strictly sequential commands across chips it is the idealised lower
+// bound a command queue could achieve, not the synchronous-host latency.
 package flashdev
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipa/internal/ecc"
@@ -79,13 +96,32 @@ type Stats struct {
 	Uncorrectable   uint64
 }
 
-// Device is a simulated Flash storage device.
+// chipClock is one chip's virtual-time accumulator, padded onto its own
+// cache line so chips advancing their clocks concurrently do not false-share.
+type chipClock struct {
+	ns atomic.Int64
+	_  [7]int64
+}
+
+// Device is a simulated Flash storage device. All methods are safe for
+// concurrent use; operations on different chips never contend.
 type Device struct {
-	mu    sync.Mutex
 	cfg   Config
 	chips []*nand.Chip
-	clock time.Duration
-	stats Stats
+
+	// Per-chip virtual clocks plus the shared adjustment charged by
+	// AdvanceClock. Now() merges them.
+	clocks []chipClock
+	adjust atomic.Int64
+
+	pageReads       atomic.Uint64
+	pagePrograms    atomic.Uint64
+	deltaPrograms   atomic.Uint64
+	blockErases     atomic.Uint64
+	bytesToDevice   atomic.Uint64
+	bytesFromDevice atomic.Uint64
+	correctedBits   atomic.Uint64
+	uncorrectable   atomic.Uint64
 }
 
 // New creates a device with all blocks erased.
@@ -96,7 +132,7 @@ func New(cfg Config) (*Device, error) {
 	if cfg.Latency == (LatencyModel{}) {
 		cfg.Latency = DefaultLatencyModel()
 	}
-	d := &Device{cfg: cfg}
+	d := &Device{cfg: cfg, clocks: make([]chipClock, cfg.Chips)}
 	for i := 0; i < cfg.Chips; i++ {
 		chipCfg := cfg.Chip
 		chipCfg.Seed = cfg.Chip.Seed + int64(i)
@@ -140,34 +176,83 @@ func (d *Device) CellType() nand.CellType { return d.cfg.Chip.Cell }
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
-// Now returns the current virtual time of the device.
+// Chips returns the number of NAND chips of the device.
+func (d *Device) Chips() int { return len(d.chips) }
+
+// BlocksPerChip returns the number of erase blocks on each chip.
+func (d *Device) BlocksPerChip() int { return d.cfg.Chip.Geometry.Blocks }
+
+// ChipOf returns the index of the chip holding the device block, or -1 for
+// out-of-range blocks.
+func (d *Device) ChipOf(block int) int {
+	chip, _, _, err := d.locate(block)
+	if err != nil {
+		return -1
+	}
+	return chip
+}
+
+// Now returns the current virtual time of the device: the furthest-advanced
+// per-chip clock plus the shared adjustment. Chips operate in parallel, so
+// elapsed virtual time is bounded by the busiest chip, not by the sum of
+// all chip activity.
 func (d *Device) Now() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.clock
+	var max int64
+	for i := range d.clocks {
+		if ns := d.clocks[i].ns.Load(); ns > max {
+			max = ns
+		}
+	}
+	return time.Duration(max + d.adjust.Load())
+}
+
+// ChipClocks returns the per-chip virtual-time accumulators (excluding the
+// shared AdvanceClock adjustment). The spread across chips shows how evenly
+// the load is striped.
+func (d *Device) ChipClocks() []time.Duration {
+	out := make([]time.Duration, len(d.clocks))
+	for i := range d.clocks {
+		out[i] = time.Duration(d.clocks[i].ns.Load())
+	}
+	return out
 }
 
 // AdvanceClock adds extra virtual time, e.g. CPU cost charged by layers
-// above the device.
+// above the device. The adjustment is shared across all chips.
 func (d *Device) AdvanceClock(dt time.Duration) {
-	d.mu.Lock()
-	d.clock += dt
-	d.mu.Unlock()
+	d.adjust.Add(int64(dt))
+}
+
+// advance charges dt of virtual time to one chip's clock.
+func (d *Device) advance(chip int, dt time.Duration) {
+	d.clocks[chip].ns.Add(int64(dt))
 }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		PageReads:       d.pageReads.Load(),
+		PagePrograms:    d.pagePrograms.Load(),
+		DeltaPrograms:   d.deltaPrograms.Load(),
+		BlockErases:     d.blockErases.Load(),
+		BytesToDevice:   d.bytesToDevice.Load(),
+		BytesFromDevice: d.bytesFromDevice.Load(),
+		CorrectedBits:   d.correctedBits.Load(),
+		Uncorrectable:   d.uncorrectable.Load(),
+	}
 }
 
 // ResetStats zeroes the device counters. The virtual clock and the per-
 // block wear state are preserved.
 func (d *Device) ResetStats() {
-	d.mu.Lock()
-	d.stats = Stats{}
-	d.mu.Unlock()
+	d.pageReads.Store(0)
+	d.pagePrograms.Store(0)
+	d.deltaPrograms.Store(0)
+	d.blockErases.Store(0)
+	d.bytesToDevice.Store(0)
+	d.bytesFromDevice.Store(0)
+	d.correctedBits.Store(0)
+	d.uncorrectable.Store(0)
 }
 
 // ChipStats returns the summed raw chip counters.
@@ -183,6 +268,17 @@ func (d *Device) ChipStats() nand.Stats {
 		s.OverwriteDenied += cs.OverwriteDenied
 	}
 	return s
+}
+
+// PerChipStats returns the raw operation counters of every chip, indexed by
+// chip. Chip counters accumulate over the device lifetime (they are not
+// affected by ResetStats).
+func (d *Device) PerChipStats() []nand.Stats {
+	out := make([]nand.Stats, len(d.chips))
+	for i, c := range d.chips {
+		out[i] = c.Stats()
+	}
+	return out
 }
 
 // TotalErases returns the total number of block erases performed, a proxy
@@ -213,7 +309,7 @@ func (d *Device) EnduranceCycles() int {
 
 // BlockEraseCount returns the erase count of a device block.
 func (d *Device) BlockEraseCount(block int) (int, error) {
-	chip, b, err := d.locate(block)
+	_, chip, b, err := d.locate(block)
 	if err != nil {
 		return 0, err
 	}
@@ -225,11 +321,11 @@ func (d *Device) BlockEraseCount(block int) (int, error) {
 // the initial ECC and every per-delta-record ECC slot remain valid at the
 // destination and further appends can still use the remaining slots.
 func (d *Device) CopyPage(srcBlock, srcPage, dstBlock, dstPage int) error {
-	srcChip, sb, err := d.locate(srcBlock)
+	srcChipIdx, srcChip, sb, err := d.locate(srcBlock)
 	if err != nil {
 		return err
 	}
-	dstChip, db, err := d.locate(dstBlock)
+	dstChipIdx, dstChip, db, err := d.locate(dstBlock)
 	if err != nil {
 		return err
 	}
@@ -242,25 +338,25 @@ func (d *Device) CopyPage(srcBlock, srcPage, dstBlock, dstPage int) error {
 	if err := dstChip.Program(db, dstPage, data, oob); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.PageReads++
-	d.stats.PagePrograms++
+	d.pageReads.Add(1)
+	d.pagePrograms.Add(1)
 	lsb := nand.IsLSBPage(d.cfg.Chip.Cell, dstPage)
-	// Copy-back stays on the device: no host bus transfer is charged.
-	d.clock += d.cfg.Latency.PageRead +
-		d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb)
-	d.mu.Unlock()
+	// Copy-back stays on the device: no host bus transfer is charged. The
+	// read is charged to the source chip, the program to the destination.
+	d.advance(srcChipIdx, d.cfg.Latency.PageRead)
+	d.advance(dstChipIdx, d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb))
 	return nil
 }
 
-// locate translates a device block index into (chip, chip-local block).
-func (d *Device) locate(block int) (*nand.Chip, int, error) {
+// locate translates a device block index into (chip index, chip, chip-local
+// block).
+func (d *Device) locate(block int) (int, *nand.Chip, int, error) {
 	per := d.cfg.Chip.Geometry.Blocks
 	chip := block / per
 	if block < 0 || chip >= len(d.chips) {
-		return nil, 0, fmt.Errorf("%w: block %d", ErrOutOfRange, block)
+		return 0, nil, 0, fmt.Errorf("%w: block %d", ErrOutOfRange, block)
 	}
-	return d.chips[chip], block % per, nil
+	return chip, d.chips[chip], block % per, nil
 }
 
 // IsLSBPage reports whether the page index addresses an LSB page on the
@@ -271,7 +367,7 @@ func (d *Device) IsLSBPage(pageInBlock int) bool {
 
 // PageProgrammed reports whether the addressed page currently holds data.
 func (d *Device) PageProgrammed(block, page int) (bool, error) {
-	chip, b, err := d.locate(block)
+	_, chip, b, err := d.locate(block)
 	if err != nil {
 		return false, err
 	}
@@ -285,7 +381,7 @@ func (d *Device) PageProgrammed(block, page int) (bool, error) {
 // PagePrograms returns the number of program operations the page has seen
 // since its block was last erased.
 func (d *Device) PagePrograms(block, page int) (int, error) {
-	chip, b, err := d.locate(block)
+	_, chip, b, err := d.locate(block)
 	if err != nil {
 		return 0, err
 	}
@@ -300,7 +396,7 @@ func (d *Device) PagePrograms(block, page int) (int, error) {
 // PageSize bytes), verifies the ECC of the initially programmed region and
 // of every appended delta record, and corrects single-bit errors.
 func (d *Device) ReadPage(block, page int, buf []byte) error {
-	chip, b, err := d.locate(block)
+	chipIdx, chip, b, err := d.locate(block)
 	if err != nil {
 		return err
 	}
@@ -312,11 +408,9 @@ func (d *Device) ReadPage(block, page int, buf []byte) error {
 	if err := chip.ReadPage(b, page, buf, oob); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.PageReads++
-	d.stats.BytesFromDevice += uint64(len(buf))
-	d.clock += d.cfg.Latency.PageRead + d.cfg.Latency.transfer(len(buf))
-	d.mu.Unlock()
+	d.pageReads.Add(1)
+	d.bytesFromDevice.Add(uint64(len(buf)))
+	d.advance(chipIdx, d.cfg.Latency.PageRead+d.cfg.Latency.transfer(len(buf)))
 	if d.cfg.DisableECC || g.OOBSize == 0 {
 		return nil
 	}
@@ -332,7 +426,7 @@ func (d *Device) verify(buf, oob []byte) error {
 		if !ecc.Blank(code) {
 			res, err := ecc.Decode(buf[:coverLen], code)
 			if err != nil {
-				d.countCorruption()
+				d.uncorrectable.Add(1)
 				return fmt.Errorf("%w: initial region: %v", ErrCorrupted, err)
 			}
 			d.countCorrected(res.Corrected)
@@ -348,13 +442,13 @@ func (d *Device) verify(buf, oob []byte) error {
 		dOff := int(binary.LittleEndian.Uint16(hdr[0:2]))
 		dLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
 		if dOff+dLen > len(buf) {
-			d.countCorruption()
+			d.uncorrectable.Add(1)
 			return fmt.Errorf("%w: delta slot %d header out of range", ErrCorrupted, slot)
 		}
 		code := oob[off+deltaSlotHeader : off+DeltaSlotSize]
 		res, err := ecc.Decode(buf[dOff:dOff+dLen], code)
 		if err != nil {
-			d.countCorruption()
+			d.uncorrectable.Add(1)
 			return fmt.Errorf("%w: delta slot %d: %v", ErrCorrupted, slot, err)
 		}
 		d.countCorrected(res.Corrected)
@@ -366,15 +460,7 @@ func (d *Device) countCorrected(n int) {
 	if n == 0 {
 		return
 	}
-	d.mu.Lock()
-	d.stats.CorrectedBits += uint64(n)
-	d.mu.Unlock()
-}
-
-func (d *Device) countCorruption() {
-	d.mu.Lock()
-	d.stats.Uncorrectable++
-	d.mu.Unlock()
+	d.correctedBits.Add(uint64(n))
 }
 
 // ProgramPage programs the full data area of a page. eccCover is the number
@@ -382,7 +468,7 @@ func (d *Device) countCorruption() {
 // appends exclude the delta-record area from the cover so later appends do
 // not invalidate the code. A cover of len(data) protects the whole page.
 func (d *Device) ProgramPage(block, page int, data []byte, eccCover int) error {
-	chip, b, err := d.locate(block)
+	chipIdx, chip, b, err := d.locate(block)
 	if err != nil {
 		return err
 	}
@@ -402,13 +488,11 @@ func (d *Device) ProgramPage(block, page int, data []byte, eccCover int) error {
 	if err := chip.Program(b, page, data, oob); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.PagePrograms++
-	d.stats.BytesToDevice += uint64(len(data))
+	d.pagePrograms.Add(1)
+	d.bytesToDevice.Add(uint64(len(data)))
 	lsb := nand.IsLSBPage(d.cfg.Chip.Cell, page)
-	d.clock += d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb) +
-		d.cfg.Latency.transfer(len(data))
-	d.mu.Unlock()
+	d.advance(chipIdx, d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb)+
+		d.cfg.Latency.transfer(len(data)))
 	return nil
 }
 
@@ -418,7 +502,7 @@ func (d *Device) ProgramPage(block, page int, data []byte, eccCover int) error {
 // OOB slot. It returns the slot index used. This is the device half of the
 // write_delta command.
 func (d *Device) ProgramDelta(block, page, offset int, delta []byte) (int, error) {
-	chip, b, err := d.locate(block)
+	chipIdx, chip, b, err := d.locate(block)
 	if err != nil {
 		return 0, err
 	}
@@ -455,19 +539,17 @@ func (d *Device) ProgramDelta(block, page, offset int, delta []byte) (int, error
 	if err := chip.ProgramPartial(b, page, offset, delta, oobOff, oobData); err != nil {
 		return 0, err
 	}
-	d.mu.Lock()
-	d.stats.DeltaPrograms++
-	d.stats.BytesToDevice += uint64(len(delta))
+	d.deltaPrograms.Add(1)
+	d.bytesToDevice.Add(uint64(len(delta)))
 	lsb := nand.IsLSBPage(d.cfg.Chip.Cell, page)
-	d.clock += d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb) +
-		d.cfg.Latency.transfer(len(delta))
-	d.mu.Unlock()
+	d.advance(chipIdx, d.cfg.Latency.programTime(d.cfg.Chip.Cell == nand.SLC, lsb)+
+		d.cfg.Latency.transfer(len(delta)))
 	return slot, nil
 }
 
 // FreeDeltaSlots returns the number of unused delta ECC slots of a page.
 func (d *Device) FreeDeltaSlots(block, page int) (int, error) {
-	chip, b, err := d.locate(block)
+	_, chip, b, err := d.locate(block)
 	if err != nil {
 		return 0, err
 	}
@@ -492,17 +574,15 @@ func (d *Device) FreeDeltaSlots(block, page int) (int, error) {
 
 // EraseBlock erases a block.
 func (d *Device) EraseBlock(block int) error {
-	chip, b, err := d.locate(block)
+	chipIdx, chip, b, err := d.locate(block)
 	if err != nil {
 		return err
 	}
 	if err := chip.Erase(b); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.stats.BlockErases++
-	d.clock += d.cfg.Latency.BlockErase
-	d.mu.Unlock()
+	d.blockErases.Add(1)
+	d.advance(chipIdx, d.cfg.Latency.BlockErase)
 	return nil
 }
 

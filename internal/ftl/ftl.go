@@ -15,6 +15,13 @@
 //     issues the write_delta command and only the delta bytes travel to the
 //     device (IPA for native Flash, demo scenario 3).
 //
+// The FTL is partitioned per NAND chip so device-internal parallelism is
+// actually exploitable: logical pages are striped across chips (chip =
+// lba mod chips), and every chip partition owns its own lock, active
+// block, free-block list and garbage collector. Operations on different
+// chips — including a GC run on one chip and allocations on another —
+// proceed fully in parallel; the global counters are atomics.
+//
 // All counters that the paper reports (host reads and writes, GC page
 // migrations, GC erases, in-place vs out-of-place writes) are collected
 // here.
@@ -24,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ipa/internal/flashdev"
 	"ipa/internal/nand"
@@ -54,11 +62,11 @@ type Config struct {
 	// OverprovisionPct is the fraction of usable pages withheld from the
 	// exported capacity to give the garbage collector headroom.
 	OverprovisionPct float64
-	// GCLowWater triggers garbage collection when the number of free
-	// blocks drops to this value.
+	// GCLowWater triggers garbage collection on a chip when the number of
+	// free blocks of that chip drops to this value.
 	GCLowWater int
-	// GCHighWater is the number of free blocks garbage collection tries
-	// to reach before it stops.
+	// GCHighWater is the number of free blocks per chip garbage collection
+	// tries to reach before it stops.
 	GCHighWater int
 	// MaxAppendsPerPage caps the number of in-place appends to one
 	// physical page (bounded by the device NOP budget and the OOB delta
@@ -104,6 +112,16 @@ type Stats struct {
 	GCRuns       uint64
 }
 
+// ChipStats reports the activity of one chip partition.
+type ChipStats struct {
+	Chip          int
+	GCRuns        uint64
+	GCMigrations  uint64
+	GCErases      uint64
+	FreeBlocks    int
+	ExportedPages int
+}
+
 type blockState int
 
 const (
@@ -116,26 +134,78 @@ type blockInfo struct {
 	state      blockState
 	validCount int
 	nextPage   int // next unwritten usable page index (for the active block)
+	eraseCount int // cached device erase count (wear levelling without device calls)
 }
 
-// FTL is a page-mapping Flash translation layer.
+// counters holds the global FTL statistics as atomics so the hot write and
+// read paths of different chip partitions never rendezvous on a stats lock.
+type counters struct {
+	hostReads        atomic.Uint64
+	hostWrites       atomic.Uint64
+	hostWriteDeltas  atomic.Uint64
+	hostBytesRead    atomic.Uint64
+	hostBytesWritten atomic.Uint64
+	inPlaceAppends   atomic.Uint64
+	outOfPlaceWrites atomic.Uint64
+	invalidations    atomic.Uint64
+}
+
+func (c *counters) reset() {
+	c.hostReads.Store(0)
+	c.hostWrites.Store(0)
+	c.hostWriteDeltas.Store(0)
+	c.hostBytesRead.Store(0)
+	c.hostBytesWritten.Store(0)
+	c.inPlaceAppends.Store(0)
+	c.outOfPlaceWrites.Store(0)
+	c.invalidations.Store(0)
+}
+
+// partition is the per-chip slice of the FTL: its own lock, active block,
+// free-block list and garbage collector. A partition owns the blocks
+// [chip*blocksPerChip, (chip+1)*blocksPerChip) of the device, every
+// physical page within them, and every logical page with lba mod chips ==
+// chip. All of that state is only touched under the partition lock, so
+// chips never contend with each other.
+type partition struct {
+	mu   sync.Mutex
+	f    *FTL
+	chip int
+
+	firstBlock int // global index of the partition's first block
+	free       []int
+	active     int // global block index, -1 if none
+
+	gcRuns       atomic.Uint64
+	gcMigrations atomic.Uint64
+	gcErases     atomic.Uint64
+}
+
+// FTL is a page-mapping Flash translation layer, partitioned per chip.
 type FTL struct {
-	mu  sync.Mutex
 	dev *flashdev.Device
 	cfg Config
 	geo flashdev.Geometry
 
-	usablePerBlock int
-	exportedPages  int
+	usablePerBlock  int
+	exportedPages   int
+	chips           int
+	blocksPerChip   int
+	exportedPerChip int
 
+	// The translation state is stored in flat arrays but ownership is
+	// partitioned: l2p[lba] belongs to partition lba%chips; p2l, appends
+	// and blocks entries belong to the partition of the block they
+	// address. Every entry is only read or written under its owner's
+	// lock. Pages of a logical address always stay on their chip, so both
+	// ownership rules always name the same partition.
 	l2p     []int32 // logical page -> physical page address (-1 unmapped)
 	p2l     []int32 // physical page address -> logical page (-1 invalid/free)
 	appends []uint8 // in-place appends performed on each physical page
 	blocks  []blockInfo
-	free    []int // free block stack
-	active  int   // index of the active block, -1 if none
 
-	stats Stats
+	parts []*partition
+	stats counters
 }
 
 // New creates an FTL on top of an erased device.
@@ -169,28 +239,36 @@ func New(dev *flashdev.Device, cfg Config) (*FTL, error) {
 	if usable == 0 {
 		return nil, fmt.Errorf("ftl: flash mode %v leaves no usable pages", cfg.FlashMode)
 	}
-	totalUsable := usable * geo.Blocks
-	reserve := int(float64(totalUsable) * cfg.OverprovisionPct)
+	chips := dev.Chips()
+	blocksPerChip := geo.Blocks / chips
+	usablePerChip := usable * blocksPerChip
+	// Over-provisioning and the GC head-room reserve apply per chip: each
+	// partition garbage-collects independently and needs its own free
+	// blocks.
+	reserve := int(float64(usablePerChip) * cfg.OverprovisionPct)
 	minReserve := (cfg.GCHighWater + 1) * usable
 	if reserve < minReserve {
 		reserve = minReserve
 	}
-	exported := totalUsable - reserve
-	if exported <= 0 {
-		return nil, fmt.Errorf("ftl: device too small: %d usable pages, %d reserved", totalUsable, reserve)
+	exportedPerChip := usablePerChip - reserve
+	if exportedPerChip <= 0 {
+		return nil, fmt.Errorf("ftl: device too small: %d usable pages per chip, %d reserved", usablePerChip, reserve)
 	}
+	exported := exportedPerChip * chips
 
 	f := &FTL{
-		dev:            dev,
-		cfg:            cfg,
-		geo:            geo,
-		usablePerBlock: usable,
-		exportedPages:  exported,
-		l2p:            make([]int32, exported),
-		p2l:            make([]int32, geo.Blocks*geo.PagesPerBlock),
-		appends:        make([]uint8, geo.Blocks*geo.PagesPerBlock),
-		blocks:         make([]blockInfo, geo.Blocks),
-		active:         -1,
+		dev:             dev,
+		cfg:             cfg,
+		geo:             geo,
+		usablePerBlock:  usable,
+		exportedPages:   exported,
+		chips:           chips,
+		blocksPerChip:   blocksPerChip,
+		exportedPerChip: exportedPerChip,
+		l2p:             make([]int32, exported),
+		p2l:             make([]int32, geo.Blocks*geo.PagesPerBlock),
+		appends:         make([]uint8, geo.Blocks*geo.PagesPerBlock),
+		blocks:          make([]blockInfo, geo.Blocks),
 	}
 	for i := range f.l2p {
 		f.l2p[i] = -1
@@ -198,8 +276,20 @@ func New(dev *flashdev.Device, cfg Config) (*FTL, error) {
 	for i := range f.p2l {
 		f.p2l[i] = -1
 	}
-	for b := geo.Blocks - 1; b >= 0; b-- {
-		f.free = append(f.free, b)
+	// Seed the wear cache; on a freshly created device every count is 0,
+	// but re-formatting an already used device must keep wear levelling
+	// accurate.
+	for b := range f.blocks {
+		if wear, err := dev.BlockEraseCount(b); err == nil {
+			f.blocks[b].eraseCount = wear
+		}
+	}
+	for c := 0; c < chips; c++ {
+		p := &partition{f: f, chip: c, firstBlock: c * blocksPerChip, active: -1}
+		for b := (c+1)*blocksPerChip - 1; b >= c*blocksPerChip; b-- {
+			p.free = append(p.free, b)
+		}
+		f.parts = append(f.parts, p)
 	}
 	return f, nil
 }
@@ -216,18 +306,64 @@ func (f *FTL) Config() Config { return f.cfg }
 // Device returns the underlying Flash device.
 func (f *FTL) Device() *flashdev.Device { return f.dev }
 
+// Chips returns the number of chip partitions.
+func (f *FTL) Chips() int { return f.chips }
+
+// ChipOf returns the chip partition serving a logical page address.
+func (f *FTL) ChipOf(lba int) int {
+	if lba < 0 {
+		return -1
+	}
+	return lba % f.chips
+}
+
 // Stats returns a snapshot of the FTL counters.
 func (f *FTL) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	s := Stats{
+		HostReads:        f.stats.hostReads.Load(),
+		HostWrites:       f.stats.hostWrites.Load(),
+		HostWriteDeltas:  f.stats.hostWriteDeltas.Load(),
+		HostBytesRead:    f.stats.hostBytesRead.Load(),
+		HostBytesWritten: f.stats.hostBytesWritten.Load(),
+		InPlaceAppends:   f.stats.inPlaceAppends.Load(),
+		OutOfPlaceWrites: f.stats.outOfPlaceWrites.Load(),
+		Invalidations:    f.stats.invalidations.Load(),
+	}
+	for _, p := range f.parts {
+		s.GCRuns += p.gcRuns.Load()
+		s.GCMigrations += p.gcMigrations.Load()
+		s.GCErases += p.gcErases.Load()
+	}
+	return s
+}
+
+// ChipStats returns the per-chip GC activity and free-block state.
+func (f *FTL) ChipStats() []ChipStats {
+	out := make([]ChipStats, len(f.parts))
+	for i, p := range f.parts {
+		p.mu.Lock()
+		free := len(p.free)
+		p.mu.Unlock()
+		out[i] = ChipStats{
+			Chip:          i,
+			GCRuns:        p.gcRuns.Load(),
+			GCMigrations:  p.gcMigrations.Load(),
+			GCErases:      p.gcErases.Load(),
+			FreeBlocks:    free,
+			ExportedPages: f.exportedPerChip,
+		}
+	}
+	return out
 }
 
 // ResetStats clears all counters (used after benchmark load phases).
 func (f *FTL) ResetStats() {
-	f.mu.Lock()
-	f.stats = Stats{}
-	f.mu.Unlock()
+	f.stats.reset()
+	for _, p := range f.parts {
+		p.gcRuns.Store(0)
+		p.gcMigrations.Store(0)
+		p.gcErases.Store(0)
+	}
 }
 
 // ppa helpers.
@@ -235,19 +371,30 @@ func (f *FTL) ppaOf(block, page int) int32 { return int32(block*f.geo.PagesPerBl
 func (f *FTL) blockOf(ppa int32) int       { return int(ppa) / f.geo.PagesPerBlock }
 func (f *FTL) pageOf(ppa int32) int        { return int(ppa) % f.geo.PagesPerBlock }
 
+// part returns the partition owning a logical page address.
+func (f *FTL) part(lba int) *partition { return f.parts[lba%f.chips] }
+
 // Mapped reports whether the logical page has been written.
 func (f *FTL) Mapped(lba int) bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return lba >= 0 && lba < len(f.l2p) && f.l2p[lba] >= 0
+	if lba < 0 || lba >= len(f.l2p) {
+		return false
+	}
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return f.l2p[lba] >= 0
 }
 
 // IsAppendTarget reports whether the physical page currently backing lba
 // may accept further in-place appends (flash-mode safety and budget); it
 // does not consider the content about to be appended.
 func (f *FTL) IsAppendTarget(lba int) bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	if lba < 0 || lba >= len(f.l2p) {
+		return false
+	}
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ppa, err := f.mappedPPA(lba)
 	if err != nil {
 		return false
@@ -273,19 +420,25 @@ func (f *FTL) mappedPPA(lba int) (int32, error) {
 	return ppa, nil
 }
 
-// ReadPage reads the logical page into buf (PageSize bytes).
+// ReadPage reads the logical page into buf (PageSize bytes). The partition
+// lock is held across the device read: a same-chip GC run could otherwise
+// migrate and erase the mapped page mid-read. Reads on different chips
+// still proceed in parallel, and same-chip commands serialise at the chip
+// anyway.
 func (f *FTL) ReadPage(lba int, buf []byte) error {
-	f.mu.Lock()
+	if lba < 0 || lba >= len(f.l2p) {
+		return fmt.Errorf("%w: %d", ErrBadLBA, lba)
+	}
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ppa, err := f.mappedPPA(lba)
 	if err != nil {
-		f.mu.Unlock()
 		return err
 	}
-	f.stats.HostReads++
-	f.stats.HostBytesRead += uint64(len(buf))
-	block, page := f.blockOf(ppa), f.pageOf(ppa)
-	f.mu.Unlock()
-	return f.dev.ReadPage(block, page, buf)
+	f.stats.hostReads.Add(1)
+	f.stats.hostBytesRead.Add(uint64(len(buf)))
+	return f.dev.ReadPage(f.blockOf(ppa), f.pageOf(ppa), buf)
 }
 
 // WritePage writes a full logical page. With InPlaceMerge enabled the FTL
@@ -298,24 +451,25 @@ func (f *FTL) WritePage(lba int, data []byte) (bool, error) {
 	if len(data) != f.geo.PageSize {
 		return false, fmt.Errorf("ftl: WritePage buffer %d bytes, want %d", len(data), f.geo.PageSize)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if lba < 0 || lba >= len(f.l2p) {
 		return false, fmt.Errorf("%w: %d", ErrBadLBA, lba)
 	}
-	f.stats.HostWrites++
-	f.stats.HostBytesWritten += uint64(len(data))
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.stats.hostWrites.Add(1)
+	f.stats.hostBytesWritten.Add(uint64(len(data)))
 
 	if f.cfg.InPlaceMerge {
 		if ppa := f.l2p[lba]; ppa >= 0 && f.appendableLocked(ppa) {
 			if err := f.tryInPlaceLocked(ppa, data); err == nil {
 				f.appends[ppa]++
-				f.stats.InPlaceAppends++
+				f.stats.inPlaceAppends.Add(1)
 				return true, nil
 			}
 		}
 	}
-	return false, f.writeOutOfPlaceLocked(lba, data)
+	return false, p.writeOutOfPlaceLocked(lba, data)
 }
 
 // tryInPlaceLocked attempts to program data over the existing physical
@@ -339,22 +493,27 @@ func (f *FTL) tryInPlaceLocked(ppa int32, data []byte) error {
 // architecture). It fails with ErrNotAppendable when the mapped page cannot
 // take the append, in which case the caller must issue a full WritePage.
 func (f *FTL) WriteDelta(lba, offset int, delta []byte) error {
-	f.mu.Lock()
+	if lba < 0 || lba >= len(f.l2p) {
+		return fmt.Errorf("%w: %d", ErrBadLBA, lba)
+	}
+	// The partition lock is held across the device program so a same-chip
+	// GC run cannot migrate the page out from under the append (which
+	// would drop the delta and charge the append budget to a stale
+	// physical page). Appends on different chips run in parallel.
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ppa, err := f.mappedPPA(lba)
 	if err != nil {
-		f.mu.Unlock()
 		return err
 	}
 	if !f.appendableLocked(ppa) {
-		f.mu.Unlock()
 		return ErrNotAppendable
 	}
-	f.stats.HostWriteDeltas++
-	f.stats.HostBytesWritten += uint64(len(delta))
-	block, page := f.blockOf(ppa), f.pageOf(ppa)
-	f.mu.Unlock()
+	f.stats.hostWriteDeltas.Add(1)
+	f.stats.hostBytesWritten.Add(uint64(len(delta)))
 
-	_, err = f.dev.ProgramDelta(block, page, offset, delta)
+	_, err = f.dev.ProgramDelta(f.blockOf(ppa), f.pageOf(ppa), offset, delta)
 	if err != nil {
 		if errors.Is(err, nand.ErrOverwriteViolation) || errors.Is(err, nand.ErrNOPExceeded) ||
 			errors.Is(err, flashdev.ErrNoDeltaSlot) {
@@ -362,21 +521,20 @@ func (f *FTL) WriteDelta(lba, offset int, delta []byte) error {
 		}
 		return err
 	}
-	f.mu.Lock()
 	f.appends[ppa]++
-	f.stats.InPlaceAppends++
-	f.mu.Unlock()
+	f.stats.inPlaceAppends.Add(1)
 	return nil
 }
 
 // Trim invalidates the mapping of a logical page (e.g. when a database
 // object is dropped).
 func (f *FTL) Trim(lba int) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if lba < 0 || lba >= len(f.l2p) {
 		return fmt.Errorf("%w: %d", ErrBadLBA, lba)
 	}
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if ppa := f.l2p[lba]; ppa >= 0 {
 		f.invalidateLocked(ppa)
 		f.l2p[lba] = -1
@@ -384,9 +542,11 @@ func (f *FTL) Trim(lba int) error {
 	return nil
 }
 
-// writeOutOfPlaceLocked performs a traditional out-of-place update.
-func (f *FTL) writeOutOfPlaceLocked(lba int, data []byte) error {
-	ppa, err := f.allocatePageLocked()
+// writeOutOfPlaceLocked performs a traditional out-of-place update within
+// the partition.
+func (p *partition) writeOutOfPlaceLocked(lba int, data []byte) error {
+	f := p.f
+	ppa, err := p.allocatePageLocked()
 	if err != nil {
 		return err
 	}
@@ -396,13 +556,13 @@ func (f *FTL) writeOutOfPlaceLocked(lba int, data []byte) error {
 	}
 	if old := f.l2p[lba]; old >= 0 {
 		f.invalidateLocked(old)
-		f.stats.Invalidations++
+		f.stats.invalidations.Add(1)
 	}
 	f.l2p[lba] = ppa
 	f.p2l[ppa] = int32(lba)
 	f.appends[ppa] = 0
 	f.blocks[f.blockOf(ppa)].validCount++
-	f.stats.OutOfPlaceWrites++
+	f.stats.outOfPlaceWrites.Add(1)
 	return nil
 }
 
@@ -413,82 +573,82 @@ func (f *FTL) invalidateLocked(ppa int32) {
 	}
 }
 
-// allocatePageLocked returns the next writable physical page, running the
-// garbage collector when free blocks run low.
-func (f *FTL) allocatePageLocked() (int32, error) {
+// allocatePageLocked returns the next writable physical page of the
+// partition, running the garbage collector when its free blocks run low.
+func (p *partition) allocatePageLocked() (int32, error) {
+	f := p.f
 	for {
-		if f.active >= 0 {
-			blk := &f.blocks[f.active]
+		if p.active >= 0 {
+			blk := &f.blocks[p.active]
 			for blk.nextPage < f.geo.PagesPerBlock {
-				p := blk.nextPage
+				pg := blk.nextPage
 				blk.nextPage++
-				if nand.PageUsable(f.dev.CellType(), f.cfg.FlashMode, p) {
-					return f.ppaOf(f.active, p), nil
+				if nand.PageUsable(f.dev.CellType(), f.cfg.FlashMode, pg) {
+					return f.ppaOf(p.active, pg), nil
 				}
 			}
 			// Active block is full.
 			blk.state = blockUsed
-			f.active = -1
+			p.active = -1
 		}
-		if err := f.ensureFreeLocked(); err != nil {
+		if err := p.ensureFreeLocked(); err != nil {
 			return -1, err
 		}
 		// Garbage collection may have installed (and partially filled) a
 		// new active block for its migrations; keep using it instead of
 		// leaking it.
-		if f.active >= 0 {
+		if p.active >= 0 {
 			continue
 		}
-		f.active = f.popFreeLocked()
-		f.blocks[f.active].state = blockActive
-		f.blocks[f.active].nextPage = 0
+		p.active = p.popFreeLocked()
+		f.blocks[p.active].state = blockActive
+		f.blocks[p.active].nextPage = 0
 	}
 }
 
-// popFreeLocked removes and returns the free block with the lowest erase
-// count (simple wear levelling).
-func (f *FTL) popFreeLocked() int {
+// popFreeLocked removes and returns the free block with the lowest cached
+// erase count (simple wear levelling). The cache is maintained on every
+// erase, so no device call is needed.
+func (p *partition) popFreeLocked() int {
+	f := p.f
 	best, bestIdx, bestWear := -1, -1, int(^uint(0)>>1)
-	for i, b := range f.free {
-		wear, err := f.dev.BlockEraseCount(b)
-		if err != nil {
-			wear = 0
-		}
-		if wear < bestWear {
+	for i, b := range p.free {
+		if wear := f.blocks[b].eraseCount; wear < bestWear {
 			best, bestIdx, bestWear = b, i, wear
 		}
 	}
-	f.free = append(f.free[:bestIdx], f.free[bestIdx+1:]...)
+	p.free = append(p.free[:bestIdx], p.free[bestIdx+1:]...)
 	return best
 }
 
-// ensureFreeLocked runs garbage collection until the free-block pool is
-// above the low-water mark.
-func (f *FTL) ensureFreeLocked() error {
-	if len(f.free) > f.cfg.GCLowWater {
+// ensureFreeLocked runs garbage collection until the partition's free-block
+// pool is above the low-water mark.
+func (p *partition) ensureFreeLocked() error {
+	if len(p.free) > p.f.cfg.GCLowWater {
 		return nil
 	}
-	f.stats.GCRuns++
-	for len(f.free) < f.cfg.GCHighWater {
-		victim := f.pickVictimLocked()
+	p.gcRuns.Add(1)
+	for len(p.free) < p.f.cfg.GCHighWater {
+		victim := p.pickVictimLocked()
 		if victim < 0 {
-			if len(f.free) > 0 {
+			if len(p.free) > 0 {
 				return nil
 			}
 			return ErrDeviceFull
 		}
-		if err := f.collectBlockLocked(victim); err != nil {
+		if err := p.collectBlockLocked(victim); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// pickVictimLocked selects the used block with the fewest valid pages
-// (greedy policy). It returns -1 when no block can be reclaimed.
-func (f *FTL) pickVictimLocked() int {
+// pickVictimLocked selects the partition's used block with the fewest valid
+// pages (greedy policy). It returns -1 when no block can be reclaimed.
+func (p *partition) pickVictimLocked() int {
+	f := p.f
 	best, bestValid := -1, int(^uint(0)>>1)
-	for b := range f.blocks {
+	for b := p.firstBlock; b < p.firstBlock+f.blocksPerChip; b++ {
 		blk := &f.blocks[b]
 		if blk.state != blockUsed {
 			continue
@@ -506,22 +666,24 @@ func (f *FTL) pickVictimLocked() int {
 }
 
 // collectBlockLocked migrates the valid pages of the victim block and
-// erases it.
-func (f *FTL) collectBlockLocked(victim int) error {
-	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		ppa := f.ppaOf(victim, p)
+// erases it. All migration targets stay within the partition, so GC on one
+// chip never touches — or waits for — another chip.
+func (p *partition) collectBlockLocked(victim int) error {
+	f := p.f
+	for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
+		ppa := f.ppaOf(victim, pg)
 		lba := f.p2l[ppa]
 		if lba < 0 {
 			continue
 		}
-		dst, err := f.allocateForGCLocked(victim)
+		dst, err := p.allocateForGCLocked(victim)
 		if err != nil {
 			return err
 		}
-		if err := f.dev.CopyPage(victim, p, f.blockOf(dst), f.pageOf(dst)); err != nil {
+		if err := f.dev.CopyPage(victim, pg, f.blockOf(dst), f.pageOf(dst)); err != nil {
 			return err
 		}
-		f.stats.GCMigrations++
+		p.gcMigrations.Add(1)
 		f.p2l[ppa] = -1
 		f.blocks[victim].validCount--
 		f.l2p[lba] = dst
@@ -533,73 +695,87 @@ func (f *FTL) collectBlockLocked(victim int) error {
 	if err := f.dev.EraseBlock(victim); err != nil {
 		return err
 	}
-	f.stats.GCErases++
-	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		f.appends[f.ppaOf(victim, p)] = 0
+	p.gcErases.Add(1)
+	for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
+		f.appends[f.ppaOf(victim, pg)] = 0
 	}
 	f.blocks[victim].state = blockFree
 	f.blocks[victim].validCount = 0
 	f.blocks[victim].nextPage = 0
-	f.free = append(f.free, victim)
+	f.blocks[victim].eraseCount++
+	p.free = append(p.free, victim)
 	return nil
 }
 
 // allocateForGCLocked allocates a destination page for a GC migration. It
 // must never trigger recursive garbage collection, so it only consumes the
-// active block and the free pool.
-func (f *FTL) allocateForGCLocked(victim int) (int32, error) {
+// partition's active block and free pool.
+func (p *partition) allocateForGCLocked(victim int) (int32, error) {
+	f := p.f
 	for {
-		if f.active >= 0 && f.active != victim {
-			blk := &f.blocks[f.active]
+		if p.active >= 0 && p.active != victim {
+			blk := &f.blocks[p.active]
 			for blk.nextPage < f.geo.PagesPerBlock {
-				p := blk.nextPage
+				pg := blk.nextPage
 				blk.nextPage++
-				if nand.PageUsable(f.dev.CellType(), f.cfg.FlashMode, p) {
-					return f.ppaOf(f.active, p), nil
+				if nand.PageUsable(f.dev.CellType(), f.cfg.FlashMode, pg) {
+					return f.ppaOf(p.active, pg), nil
 				}
 			}
 			blk.state = blockUsed
-			f.active = -1
+			p.active = -1
 		}
-		if f.active == victim {
-			f.blocks[f.active].state = blockUsed
-			f.active = -1
+		if p.active == victim {
+			f.blocks[p.active].state = blockUsed
+			p.active = -1
 		}
-		if len(f.free) == 0 {
+		if len(p.free) == 0 {
 			return -1, ErrDeviceFull
 		}
-		f.active = f.popFreeLocked()
-		f.blocks[f.active].state = blockActive
-		f.blocks[f.active].nextPage = 0
+		p.active = p.popFreeLocked()
+		f.blocks[p.active].state = blockActive
+		f.blocks[p.active].nextPage = 0
 	}
 }
 
 // Utilization returns the fraction of exported logical pages currently
 // mapped.
 func (f *FTL) Utilization() float64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	mapped := 0
-	for _, ppa := range f.l2p {
-		if ppa >= 0 {
-			mapped++
+	for _, p := range f.parts {
+		p.mu.Lock()
+		for lba := p.chip; lba < len(f.l2p); lba += f.chips {
+			if f.l2p[lba] >= 0 {
+				mapped++
+			}
 		}
+		p.mu.Unlock()
 	}
 	return float64(mapped) / float64(len(f.l2p))
 }
 
-// FreeBlocks returns the current number of free blocks.
+// FreeBlocks returns the current number of free blocks across all chips.
 func (f *FTL) FreeBlocks() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.free)
+	n := 0
+	for _, p := range f.parts {
+		p.mu.Lock()
+		n += len(p.free)
+		p.mu.Unlock()
+	}
+	return n
 }
 
 // DebugSummary reports the internal occupancy state of the FTL; it exists
 // for tests and troubleshooting.
 func (f *FTL) DebugSummary() string {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	for _, p := range f.parts {
+		p.mu.Lock()
+	}
+	defer func() {
+		for _, p := range f.parts {
+			p.mu.Unlock()
+		}
+	}()
 	mapped := 0
 	for _, ppa := range f.l2p {
 		if ppa >= 0 {
@@ -627,6 +803,10 @@ func (f *FTL) DebugSummary() string {
 			}
 		}
 	}
-	return fmt.Sprintf("mapped=%d validP2L=%d sumValidCount=%d blocks[free=%d active=%d used=%d fullyValid=%d] freeList=%d usablePerBlock=%d exported=%d",
-		mapped, validP2L, sumValid, freeBlocks, activeBlocks, usedBlocks, fullyValid, len(f.free), f.usablePerBlock, f.exportedPages)
+	freeList := 0
+	for _, p := range f.parts {
+		freeList += len(p.free)
+	}
+	return fmt.Sprintf("chips=%d mapped=%d validP2L=%d sumValidCount=%d blocks[free=%d active=%d used=%d fullyValid=%d] freeList=%d usablePerBlock=%d exported=%d",
+		f.chips, mapped, validP2L, sumValid, freeBlocks, activeBlocks, usedBlocks, fullyValid, freeList, f.usablePerBlock, f.exportedPages)
 }

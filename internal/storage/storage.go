@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ipa/internal/core"
 	"ipa/internal/ftl"
@@ -143,15 +144,40 @@ type TraceEvent struct {
 	FullWrite    bool // the eviction was (or had to be) a whole-page write
 }
 
-// Manager is the storage manager.
+// managerCounters are the storage statistics as atomics: evictions and
+// fetches on different chips update them without ever sharing a lock.
+type managerCounters struct {
+	pageLoads      atomic.Uint64
+	dirtyEvictions atomic.Uint64
+	cleanEvictions atomic.Uint64
+
+	ipaAppends       atomic.Uint64
+	outOfPlaceWrites atomic.Uint64
+	appendFallbacks  atomic.Uint64
+
+	deltaRecordsWritten atomic.Uint64
+	deltaBytesWritten   atomic.Uint64
+
+	netChangedBytes atomic.Uint64
+	smallEvictions  atomic.Uint64
+	evictedBytes    atomic.Uint64
+
+	histogram [len(histogramBounds) + 1]atomic.Uint64
+}
+
+// Manager is the storage manager. It holds no lock on the eviction and
+// fetch paths: page-identifier allocation and all counters are atomic, so
+// concurrent evictions and fetches targeting different chips never
+// rendezvous here. The only mutex guards the optional eviction trace.
 type Manager struct {
-	mu       sync.Mutex
 	ftl      *ftl.FTL
 	cfg      Config
 	pageSize int
-	nextPID  uint64
-	stats    Stats
-	trace    []TraceEvent
+	nextPID  atomic.Uint64
+	stats    managerCounters
+
+	traceMu sync.Mutex
+	trace   []TraceEvent
 }
 
 // New creates a storage manager on top of an FTL.
@@ -180,23 +206,50 @@ func (m *Manager) Regions() *region.Manager { return m.cfg.Regions }
 
 // Stats returns a snapshot of the storage counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	s := Stats{
+		PageLoads:           m.stats.pageLoads.Load(),
+		DirtyEvictions:      m.stats.dirtyEvictions.Load(),
+		CleanEvictions:      m.stats.cleanEvictions.Load(),
+		IPAAppends:          m.stats.ipaAppends.Load(),
+		OutOfPlaceWrites:    m.stats.outOfPlaceWrites.Load(),
+		AppendFallbacks:     m.stats.appendFallbacks.Load(),
+		DeltaRecordsWritten: m.stats.deltaRecordsWritten.Load(),
+		DeltaBytesWritten:   m.stats.deltaBytesWritten.Load(),
+		NetChangedBytes:     m.stats.netChangedBytes.Load(),
+		SmallEvictions:      m.stats.smallEvictions.Load(),
+		EvictedBytes:        m.stats.evictedBytes.Load(),
+	}
+	for i := range m.stats.histogram {
+		s.EvictionSizeHistogram[i] = m.stats.histogram[i].Load()
+	}
+	return s
 }
 
 // ResetStats clears the counters and the trace (used after load phases).
 func (m *Manager) ResetStats() {
-	m.mu.Lock()
-	m.stats = Stats{}
+	m.stats.pageLoads.Store(0)
+	m.stats.dirtyEvictions.Store(0)
+	m.stats.cleanEvictions.Store(0)
+	m.stats.ipaAppends.Store(0)
+	m.stats.outOfPlaceWrites.Store(0)
+	m.stats.appendFallbacks.Store(0)
+	m.stats.deltaRecordsWritten.Store(0)
+	m.stats.deltaBytesWritten.Store(0)
+	m.stats.netChangedBytes.Store(0)
+	m.stats.smallEvictions.Store(0)
+	m.stats.evictedBytes.Store(0)
+	for i := range m.stats.histogram {
+		m.stats.histogram[i].Store(0)
+	}
+	m.traceMu.Lock()
 	m.trace = nil
-	m.mu.Unlock()
+	m.traceMu.Unlock()
 }
 
 // Trace returns a copy of the recorded fetch/eviction trace.
 func (m *Manager) Trace() []TraceEvent {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.traceMu.Lock()
+	defer m.traceMu.Unlock()
 	out := make([]TraceEvent, len(m.trace))
 	copy(out, m.trace)
 	return out
@@ -211,23 +264,25 @@ func (m *Manager) effectiveScheme(objectID uint32) core.Scheme {
 	return m.cfg.Regions.For(objectID).Scheme
 }
 
-// AllocatePage reserves a new page identifier for the given object.
+// AllocatePage reserves a new page identifier for the given object. It is
+// lock-free: concurrent allocations race on a compare-and-swap instead of
+// a mutex. Sequential identifiers stripe across the FTL's chip partitions,
+// so a multi-chip device spreads a table's pages over all chips.
 func (m *Manager) AllocatePage(objectID uint32) (uint64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if int(m.nextPID) >= m.ftl.Capacity() {
-		return 0, fmt.Errorf("%w: %d pages", ErrCapacity, m.ftl.Capacity())
+	for {
+		cur := m.nextPID.Load()
+		if int(cur) >= m.ftl.Capacity() {
+			return 0, fmt.Errorf("%w: %d pages", ErrCapacity, m.ftl.Capacity())
+		}
+		if m.nextPID.CompareAndSwap(cur, cur+1) {
+			return cur, nil
+		}
 	}
-	pid := m.nextPID
-	m.nextPID++
-	return pid, nil
 }
 
 // AllocatedPages returns the number of allocated page identifiers.
 func (m *Manager) AllocatedPages() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.nextPID
+	return m.nextPID.Load()
 }
 
 // InitPage formats buf as a fresh page for the given object and returns its
@@ -283,12 +338,12 @@ func (m *Manager) LoadPage(pid uint64, buf []byte) (*core.Tracker, error) {
 	t.SetAnalytic(m.cfg.Analytic)
 	t.SetOriginalMeta(rawMeta)
 
-	m.mu.Lock()
-	m.stats.PageLoads++
+	m.stats.pageLoads.Add(1)
 	if m.cfg.TraceEvictions {
+		m.traceMu.Lock()
 		m.trace = append(m.trace, TraceEvent{Type: TraceFetch, PID: pid})
+		m.traceMu.Unlock()
 	}
-	m.mu.Unlock()
 	return t, nil
 }
 
@@ -307,9 +362,7 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 
 	// A page whose tracked changes all reverted needs no write at all.
 	if t != nil && !t.OutOfPlace() && !t.Dirty() {
-		m.mu.Lock()
-		m.stats.CleanEvictions++
-		m.mu.Unlock()
+		m.stats.cleanEvictions.Add(1)
 		return nil
 	}
 
@@ -319,18 +372,18 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 		net = t.NetChangedBytes()
 		metaChanged = t.MetaChanged()
 	}
-	m.mu.Lock()
-	m.stats.DirtyEvictions++
-	m.stats.EvictedBytes += uint64(len(buf))
-	m.stats.NetChangedBytes += uint64(net)
+	m.stats.dirtyEvictions.Add(1)
+	m.stats.evictedBytes.Add(uint64(len(buf)))
+	m.stats.netChangedBytes.Add(uint64(net))
 	if net > 0 && net < SmallEvictionThreshold {
-		m.stats.SmallEvictions++
+		m.stats.smallEvictions.Add(1)
 	}
-	m.stats.EvictionSizeHistogram[histogramBucket(net)]++
-	m.mu.Unlock()
+	m.stats.histogram[histogramBucket(net)].Add(1)
 
+	// IsAppendTarget is false for unmapped pages, so no separate Mapped
+	// check (and partition-lock round trip) is needed.
 	eligible := t != nil && scheme.Enabled() && t.Eligible() && t.Dirty() &&
-		m.cfg.Mode != WriteTraditional && m.ftl.Mapped(int(pid)) && m.ftl.IsAppendTarget(int(pid))
+		m.cfg.Mode != WriteTraditional && m.ftl.IsAppendTarget(int(pid))
 
 	if eligible {
 		outcome, err := m.storeAppend(pid, buf, pg, t, scheme)
@@ -346,9 +399,7 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 			m.recordEvictTrace(pid, net, metaChanged, true)
 			return nil
 		case appendRefused:
-			m.mu.Lock()
-			m.stats.AppendFallbacks++
-			m.mu.Unlock()
+			m.stats.appendFallbacks.Add(1)
 		}
 	}
 	if err := m.storeOutOfPlace(pid, buf, pg, t, scheme); err != nil {
@@ -362,7 +413,7 @@ func (m *Manager) recordEvictTrace(pid uint64, net int, metaChanged, fullWrite b
 	if !m.cfg.TraceEvictions {
 		return
 	}
-	m.mu.Lock()
+	m.traceMu.Lock()
 	m.trace = append(m.trace, TraceEvent{
 		Type:         TraceEvict,
 		PID:          pid,
@@ -370,7 +421,7 @@ func (m *Manager) recordEvictTrace(pid uint64, net int, metaChanged, fullWrite b
 		MetaChanged:  metaChanged,
 		FullWrite:    fullWrite,
 	})
-	m.mu.Unlock()
+	m.traceMu.Unlock()
 }
 
 // appendOutcome describes how storeAppend persisted (or did not persist)
@@ -439,10 +490,8 @@ func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tra
 			// fallback so the statistics reflect reality.
 			m.syncBufferedArea(buf, pg, encoded, areaOffset)
 			t.Reset(firstSlot + len(records))
-			m.mu.Lock()
-			m.stats.AppendFallbacks++
-			m.stats.OutOfPlaceWrites++
-			m.mu.Unlock()
+			m.stats.appendFallbacks.Add(1)
+			m.stats.outOfPlaceWrites.Add(1)
 			return appendFellBack, nil
 		}
 	default:
@@ -450,11 +499,9 @@ func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tra
 	}
 
 	m.syncBufferedArea(buf, pg, encoded, areaOffset)
-	m.mu.Lock()
-	m.stats.IPAAppends++
-	m.stats.DeltaRecordsWritten += uint64(len(records))
-	m.stats.DeltaBytesWritten += uint64(len(encoded))
-	m.mu.Unlock()
+	m.stats.ipaAppends.Add(1)
+	m.stats.deltaRecordsWritten.Add(uint64(len(records)))
+	m.stats.deltaBytesWritten.Add(uint64(len(encoded)))
 	t.Reset(firstSlot + len(records))
 	return appendDone, nil
 }
@@ -475,9 +522,7 @@ func (m *Manager) storeOutOfPlace(pid uint64, buf []byte, pg *page.Page, t *core
 	if _, err := m.ftl.WritePage(int(pid), buf); err != nil {
 		return fmt.Errorf("storage: page %d: %w", pid, err)
 	}
-	m.mu.Lock()
-	m.stats.OutOfPlaceWrites++
-	m.mu.Unlock()
+	m.stats.outOfPlaceWrites.Add(1)
 	if t != nil {
 		t.Reset(0)
 		// The freshly written page now carries the current metadata.

@@ -204,6 +204,20 @@ func (t *Txn) Abort(u Undoer) error {
 	return nil
 }
 
+// Detach abandons the transaction without applying undo and without
+// writing an abort record: locks are released and the transaction stays a
+// loser in the WAL, so recovery rolls its updates back. It is used when
+// the before images can no longer be applied in place (e.g. the database
+// was closed while the transaction was in flight).
+func (t *Txn) Detach() error {
+	if t.status != Active {
+		return ErrFinished
+	}
+	t.status = Aborted
+	t.releaseLocks()
+	return nil
+}
+
 func (t *Txn) releaseLocks() {
 	for _, k := range t.locks {
 		s := t.mgr.stripeFor(k)

@@ -252,7 +252,13 @@ type DB struct {
 	tables     map[string]*Table
 	tablesByID map[uint32]*Table
 	nextObjID  uint32
-	closed     bool
+	// closed is atomic so the hot table and transaction paths can reject
+	// use-after-Close without taking the catalog mutex; gate makes Close
+	// wait for in-flight operations before flushing (see acquire).
+	closed    atomic.Bool
+	gate      sync.RWMutex
+	closeOnce sync.Once
+	closeErr  error
 
 	// Hot counters mutated by the commit path; kept atomic so Stats and
 	// ResetStats are safe while transactions run.
@@ -390,7 +396,7 @@ func (db *DB) CreateTable(name string, tupleSize int) (*Table, error) {
 func (db *DB) CreateTableWithScheme(name string, tupleSize int, scheme Scheme) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
+	if db.closed.Load() {
 		return nil, ErrClosed
 	}
 	if _, ok := db.tables[name]; ok {
@@ -453,17 +459,45 @@ func (db *DB) Tables() []string {
 // FlushAll writes every dirty buffered page to Flash.
 func (db *DB) FlushAll() error { return db.pool.FlushAll() }
 
-// Close flushes all dirty pages and marks the database closed.
+// Close flushes all dirty pages and marks the database closed. Close
+// waits for in-flight page operations to finish before flushing; from then
+// on table operations, transactions begun earlier and db.Begin
+// transactions all fail with ErrClosed, so handles held across Close
+// cannot silently operate on the flushed buffer pool.
+// Concurrent and repeated Close calls all wait for the one flush and
+// share its result.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil
-	}
-	db.closed = true
-	db.mu.Unlock()
-	return db.pool.FlushAll()
+	db.closeOnce.Do(func() {
+		db.gate.Lock()
+		db.closed.Store(true)
+		db.gate.Unlock()
+		db.closeErr = db.pool.FlushAll()
+	})
+	return db.closeErr
 }
+
+// checkOpen returns ErrClosed once the database has been closed.
+func (db *DB) checkOpen() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// acquire admits one page-mutating or page-reading operation: it blocks a
+// concurrent Close from flushing until the operation has finished and
+// fails with ErrClosed once the database is closed. Every successful
+// acquire must be paired with release.
+func (db *DB) acquire() error {
+	db.gate.RLock()
+	if db.closed.Load() {
+		db.gate.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (db *DB) release() { db.gate.RUnlock() }
 
 // ResetStats zeroes all performance counters and restarts the virtual-time
 // window; it is typically called after a benchmark's load phase so the

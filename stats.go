@@ -83,6 +83,16 @@ type Stats struct {
 	// partitions (a configuration echo, like Mode and Scheme).
 	BufferShards int
 
+	// Chips is the number of NAND chips; ChipStats breaks the Flash and
+	// GC activity down per chip. The raw flash counters and the per-chip
+	// Busy clocks accumulate over the device lifetime (like
+	// TotalErasesEver, they are not affected by ResetStats), so their
+	// spread shows how evenly the whole run striped load across the
+	// chips; the per-chip GC counters follow ResetStats windows like the
+	// global GC statistics.
+	Chips     int
+	ChipStats []ChipStat
+
 	// Wear (longevity).
 	TotalErasesEver uint64 // erases since device creation (not reset)
 	MaxEraseCount   int
@@ -90,6 +100,22 @@ type Stats struct {
 
 	// Elapsed is the virtual time covered by this window.
 	Elapsed time.Duration
+}
+
+// ChipStat is the per-chip slice of the device and FTL activity: raw Flash
+// operations and Busy since device creation, GC work since the last
+// ResetStats. On a well-striped workload the chips carry similar loads.
+type ChipStat struct {
+	Chip          int
+	PageReads     uint64
+	PagePrograms  uint64 // full page programs (includes partial/delta programs' chip ops)
+	DeltaPrograms uint64 // partial (in-place append) programs
+	BlockErases   uint64
+	GCRuns        uint64
+	GCMigrations  uint64
+	GCErases      uint64
+	FreeBlocks    int
+	Busy          time.Duration // per-chip virtual clock
 }
 
 // Stats returns a snapshot of all counters since the last ResetStats call.
@@ -104,6 +130,25 @@ func (db *DB) Stats() Stats {
 	committed := db.committed.Load()
 	aborted := db.aborted.Load()
 	base := time.Duration(db.timeBase.Load())
+
+	perChip := db.dev.PerChipStats()
+	clocks := db.dev.ChipClocks()
+	ftlChips := db.ftl.ChipStats()
+	chipStats := make([]ChipStat, len(perChip))
+	for i := range perChip {
+		chipStats[i] = ChipStat{
+			Chip:          i,
+			PageReads:     perChip[i].PageReads,
+			PagePrograms:  perChip[i].PagePrograms,
+			DeltaPrograms: perChip[i].PartialPrograms,
+			BlockErases:   perChip[i].BlockErases,
+			GCRuns:        ftlChips[i].GCRuns,
+			GCMigrations:  ftlChips[i].GCMigrations,
+			GCErases:      ftlChips[i].GCErases,
+			FreeBlocks:    ftlChips[i].FreeBlocks,
+			Busy:          clocks[i],
+		}
+	}
 
 	return Stats{
 		Mode:      db.cfg.WriteMode,
@@ -155,6 +200,9 @@ func (db *DB) Stats() Stats {
 		WALMaxCommitBatch: gc.MaxBatch,
 
 		BufferShards: db.pool.Shards(),
+
+		Chips:     len(chipStats),
+		ChipStats: chipStats,
 
 		TotalErasesEver: db.dev.TotalErases(),
 		MaxEraseCount:   db.dev.MaxEraseCount(),
@@ -235,6 +283,28 @@ func (s Stats) LifetimeEstimate() float64 {
 	return float64(s.EnduranceCycles) / e
 }
 
+// ChipBalance returns the ratio of the least to the most busy chip clock
+// (1.0 = perfectly even striping, 0 = one chip idle). It returns 1 for
+// single-chip devices.
+func (s Stats) ChipBalance() float64 {
+	if len(s.ChipStats) <= 1 {
+		return 1
+	}
+	min, max := s.ChipStats[0].Busy, s.ChipStats[0].Busy
+	for _, c := range s.ChipStats[1:] {
+		if c.Busy < min {
+			min = c.Busy
+		}
+		if c.Busy > max {
+			max = c.Busy
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	return float64(min) / float64(max)
+}
+
 func ratio(a, b uint64) float64 {
 	if b == 0 {
 		return 0
@@ -258,5 +328,12 @@ func (s Stats) String() string {
 		s.CommittedTxns, s.AbortedTxns, s.Throughput(), s.Elapsed)
 	fmt.Fprintf(&b, "wal: flushes=%d commits/flush=%.2f maxBatch=%d shards=%d\n",
 		s.WALFlushes, s.CommitsPerFlush(), s.WALMaxCommitBatch, s.BufferShards)
+	if s.Chips > 1 {
+		fmt.Fprintf(&b, "chips: %d balance=%.2f\n", s.Chips, s.ChipBalance())
+		for _, c := range s.ChipStats {
+			fmt.Fprintf(&b, "  chip %d: reads=%d programs=%d deltas=%d erases=%d gcRuns=%d busy=%s\n",
+				c.Chip, c.PageReads, c.PagePrograms, c.DeltaPrograms, c.BlockErases, c.GCRuns, c.Busy.Round(time.Millisecond))
+		}
+	}
 	return b.String()
 }

@@ -71,6 +71,10 @@ func (t *Table) Pages() int { return len(t.heap.PageIDs()) }
 // Insert stores a tuple under the given primary key without transactional
 // overhead (used by benchmark load phases).
 func (t *Table) Insert(key int64, tuple []byte) error {
+	if err := t.db.acquire(); err != nil {
+		return err
+	}
+	defer t.db.release()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.pk.Get(key); ok {
@@ -97,6 +101,10 @@ func (t *Table) rid(key int64) (heap.RID, error) {
 
 // Get returns a copy of the tuple stored under key.
 func (t *Table) Get(key int64) ([]byte, error) {
+	if err := t.db.acquire(); err != nil {
+		return nil, err
+	}
+	defer t.db.release()
 	rid, err := t.rid(key)
 	if err != nil {
 		return nil, err
@@ -115,6 +123,10 @@ func (t *Table) Exists(key int64) bool {
 // UpdateAt overwrites len(data) bytes of the tuple stored under key,
 // starting at the tuple-relative offset, without transactional overhead.
 func (t *Table) UpdateAt(key int64, offset int, data []byte) error {
+	if err := t.db.acquire(); err != nil {
+		return err
+	}
+	defer t.db.release()
 	rid, err := t.rid(key)
 	if err != nil {
 		return err
@@ -124,6 +136,10 @@ func (t *Table) UpdateAt(key int64, offset int, data []byte) error {
 
 // Delete removes the tuple stored under key (non-transactional).
 func (t *Table) Delete(key int64) error {
+	if err := t.db.acquire(); err != nil {
+		return err
+	}
+	defer t.db.release()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	v, ok := t.pk.Get(key)
@@ -138,46 +154,53 @@ func (t *Table) Delete(key int64) error {
 }
 
 // Scan calls fn for every tuple in primary-key order until fn returns
-// false.
+// false. The close gate is taken per row — never across fn — so the
+// callback may freely call other table or transaction methods.
 func (t *Table) Scan(fn func(key int64, tuple []byte) bool) error {
-	type kv struct {
-		key int64
-		rid heap.RID
+	if err := t.db.checkOpen(); err != nil {
+		return err
 	}
 	t.mu.RLock()
-	pairs := make([]kv, 0, t.pk.Len())
+	pairs := make([]scanPair, 0, t.pk.Len())
 	t.pk.Ascend(func(k int64, v uint64) bool {
-		pairs = append(pairs, kv{key: k, rid: heap.Unpack(v)})
+		pairs = append(pairs, scanPair{key: k, rid: heap.Unpack(v)})
 		return true
 	})
 	t.mu.RUnlock()
-	for _, p := range pairs {
-		tuple, err := t.heap.Get(p.rid)
-		if err != nil {
-			return err
-		}
-		if !fn(p.key, tuple) {
-			return nil
-		}
-	}
-	return nil
+	return t.scanPairs(pairs, fn)
 }
 
 // ScanRange calls fn for every key in [from, to) until fn returns false.
+// Like Scan, the close gate is never held across fn.
 func (t *Table) ScanRange(from, to int64, fn func(key int64, tuple []byte) bool) error {
-	type kv struct {
-		key int64
-		rid heap.RID
+	if err := t.db.checkOpen(); err != nil {
+		return err
 	}
 	t.mu.RLock()
-	var pairs []kv
+	var pairs []scanPair
 	t.pk.AscendRange(from, to, func(k int64, v uint64) bool {
-		pairs = append(pairs, kv{key: k, rid: heap.Unpack(v)})
+		pairs = append(pairs, scanPair{key: k, rid: heap.Unpack(v)})
 		return true
 	})
 	t.mu.RUnlock()
+	return t.scanPairs(pairs, fn)
+}
+
+// scanPair is one index entry captured by a scan snapshot.
+type scanPair struct {
+	key int64
+	rid heap.RID
+}
+
+// scanPairs fetches each snapshot entry under the close gate and hands it
+// to fn with no lock held, so fn may call back into the table.
+func (t *Table) scanPairs(pairs []scanPair, fn func(key int64, tuple []byte) bool) error {
 	for _, p := range pairs {
+		if err := t.db.acquire(); err != nil {
+			return err
+		}
 		tuple, err := t.heap.Get(p.rid)
+		t.db.release()
 		if err != nil {
 			return err
 		}

@@ -27,9 +27,20 @@ type Tx struct {
 	done  bool
 }
 
-// Begin starts a new transaction.
+// Begin starts a new transaction. On a closed database the returned
+// transaction is inert: every operation on it, including Commit, fails
+// with ErrClosed.
 func (db *DB) Begin() *Tx {
 	return &Tx{db: db, inner: db.txns.Begin()}
+}
+
+// check rejects operations on finished transactions and on transactions
+// whose database has been closed (even if it was begun before Close).
+func (tx *Tx) check() error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	return tx.db.checkOpen()
 }
 
 // ID returns the transaction identifier.
@@ -39,8 +50,8 @@ func (tx *Tx) ID() uint64 { return tx.inner.ID() }
 // no record lock (READ UNCOMMITTED): a concurrent writer's uncommitted
 // bytes may be visible. See GetForUpdate for locked reads.
 func (tx *Tx) Get(t *Table, key int64) ([]byte, error) {
-	if tx.done {
-		return nil, txn.ErrFinished
+	if err := tx.check(); err != nil {
+		return nil, err
 	}
 	return t.Get(key)
 }
@@ -53,6 +64,10 @@ func (tx *Tx) GetForUpdate(t *Table, key int64) ([]byte, error) {
 	if tx.done {
 		return nil, txn.ErrFinished
 	}
+	if err := tx.db.acquire(); err != nil {
+		return nil, err
+	}
+	defer tx.db.release()
 	rid, err := t.rid(key)
 	if err != nil {
 		return nil, err
@@ -68,6 +83,10 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 	if tx.done {
 		return txn.ErrFinished
 	}
+	if err := tx.db.acquire(); err != nil {
+		return err
+	}
+	defer tx.db.release()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.pk.Get(key); ok {
@@ -91,8 +110,8 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 // table t, starting at the tuple-relative offset. The before image is
 // logged for rollback and recovery.
 func (tx *Tx) UpdateAt(t *Table, key int64, offset int, data []byte) error {
-	if tx.done {
-		return txn.ErrFinished
+	if err := tx.check(); err != nil {
+		return err
 	}
 	rid, err := t.rid(key)
 	if err != nil {
@@ -106,6 +125,10 @@ func (tx *Tx) UpdateRIDAt(t *Table, rid heap.RID, offset int, data []byte) error
 	if tx.done {
 		return txn.ErrFinished
 	}
+	if err := tx.db.acquire(); err != nil {
+		return err
+	}
+	defer tx.db.release()
 	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
 		return err
 	}
@@ -130,11 +153,24 @@ func (tx *Tx) RIDFor(t *Table, key int64) (heap.RID, error) {
 }
 
 // Commit makes the transaction durable, charges the configured per-
-// transaction CPU cost to the virtual clock and releases all locks.
+// transaction CPU cost to the virtual clock and releases all locks. On a
+// closed database Commit fails with ErrClosed; like Abort it still
+// releases the record locks (the transaction stays a WAL loser, so
+// recovery rolls its changes back).
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return txn.ErrFinished
 	}
+	// Commit runs under the close gate so it either completes before a
+	// concurrent Close flushes, or observes the closed flag and fails —
+	// a commit can never succeed after Close has returned.
+	if err := tx.db.acquire(); err != nil {
+		_ = tx.inner.Detach()
+		tx.done = true
+		tx.db.aborted.Add(1)
+		return err
+	}
+	defer tx.db.release()
 	if err := tx.inner.Commit(); err != nil {
 		return err
 	}
@@ -145,11 +181,22 @@ func (tx *Tx) Commit() error {
 }
 
 // Abort rolls the transaction back by restoring the before images of its
-// updates and releases all locks.
+// updates and releases all locks. On a closed database the before images
+// can no longer be applied to the flushed buffer pool; the record locks
+// are still released (so shutdown never leaks them), no abort record is
+// written, and the transaction remains a WAL loser, so Recover rolls its
+// flushed updates back after a restart.
 func (tx *Tx) Abort() error {
 	if tx.done {
 		return txn.ErrFinished
 	}
+	if err := tx.db.acquire(); err != nil {
+		derr := tx.inner.Detach()
+		tx.done = true
+		tx.db.aborted.Add(1)
+		return derr
+	}
+	defer tx.db.release()
 	if err := tx.inner.Abort(pageUndoer{db: tx.db}); err != nil {
 		return err
 	}
