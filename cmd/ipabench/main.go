@@ -13,10 +13,14 @@
 //	ipabench -exp sweep        # N×M scheme ablation
 //	ipabench -exp concurrent   # concurrency scaling (sharded pool, group commit)
 //	ipabench -exp chips        # chip scaling (per-chip FTL partitions)
+//	ipabench -exp crash        # power-cut torture: crash at every fault point
 //	ipabench -exp all
 //
 // The -quick flag shrinks every experiment so the whole suite finishes in
-// about a minute; without it the defaults match the EXPERIMENTS.md runs.
+// about a minute; without it the defaults match the full runs documented in
+// EXPERIMENTS.md (which also maps each experiment to the paper's tables and
+// figures). With -json -out FILE the run additionally writes one structured
+// JSON object per experiment, which CI archives as a build artifact.
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, all")
 		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
 		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
 		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
@@ -40,6 +44,8 @@ func main() {
 		m        = flag.Int("m", 4, "IPA scheme parameter M")
 		threads  = flag.Int("threads", 0, "concurrent experiment: fixed goroutine count (0 = ladder 1,2,4,8)")
 		chips    = flag.Int("chips", 0, "chips experiment: fixed chip count (0 = ladder 1,2,4,8)")
+		jsonOut  = flag.Bool("json", false, "collect machine-readable results")
+		outFile  = flag.String("out", "", "file for -json results (default bench.json)")
 	)
 	flag.Parse()
 
@@ -47,6 +53,7 @@ func main() {
 	if *quick {
 		profile = bench.SmallProfile
 	}
+	report := &bench.Report{}
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("== %s ==\n", name)
@@ -88,6 +95,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("table1", o, res)
 			return nil
 		})
 	}
@@ -111,6 +119,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("fig1", o, res)
 			return nil
 		})
 	}
@@ -139,12 +148,15 @@ func main() {
 			}
 			suiteRes = &res
 			res.Write(os.Stdout)
+			report.Add("oltp", o, res)
 			return nil
 		})
 	}
 	if want("longevity") && suiteRes != nil {
 		run("Longevity: erase budget per host write", func() error {
-			bench.WriteLongevity(os.Stdout, bench.Longevity(*suiteRes))
+			rows := bench.Longevity(*suiteRes)
+			bench.WriteLongevity(os.Stdout, rows)
+			report.Add("longevity", nil, rows)
 			return nil
 		})
 	}
@@ -168,6 +180,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("ipl", o, res)
 			return nil
 		})
 	}
@@ -195,6 +208,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("scenarios", o, res)
 			return nil
 		})
 	}
@@ -219,6 +233,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("interference", o, res)
 			return nil
 		})
 	}
@@ -243,6 +258,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("sweep", o, res)
 			return nil
 		})
 	}
@@ -267,6 +283,7 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("concurrent", o, res)
 			return nil
 		})
 	}
@@ -294,7 +311,47 @@ func main() {
 				return err
 			}
 			res.Write(os.Stdout)
+			report.Add("chips", o, res)
 			return nil
 		})
+	}
+	if want("crash") {
+		run("Power-cut torture: crash, recover, verify", func() error {
+			o := bench.DefaultCrashOptions()
+			o.Seed = *seed
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *chips > 0 {
+				o.Chips = *chips
+			}
+			if *quick {
+				// A bounded, evenly spread sample per fault mode; the full
+				// run sweeps every enumerated fault point.
+				o.Sample = 12
+				o.Ops = 120
+			}
+			res, err := bench.Crash(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			report.Add("crash", o, res)
+			if res.Failed() {
+				return fmt.Errorf("recovery invariants violated")
+			}
+			return nil
+		})
+	}
+	if *jsonOut {
+		path := *outFile
+		if path == "" {
+			path = "bench.json"
+		}
+		if err := report.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment results to %s\n", len(report.Entries), path)
 	}
 }

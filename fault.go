@@ -1,0 +1,45 @@
+package ipa
+
+import "ipa/internal/nand"
+
+// Deterministic power-cut injection, re-exported from the NAND simulator so
+// applications and the crash-torture harness can configure it through the
+// public API (Config.Faults).
+type (
+	// FaultPlan is a deterministic power-cut schedule: the K-th matching
+	// device operation faults, everything after it fails with ErrPowerLost
+	// until the plan is power-cycled (which Reopen does).
+	FaultPlan = nand.FaultPlan
+	// FaultMode selects what happens at the fault point (crash before the
+	// operation, torn mid-operation, or crash right after it).
+	FaultMode = nand.FaultMode
+	// FaultOp classifies the operations that count as fault points.
+	FaultOp = nand.FaultOp
+)
+
+// Fault modes.
+const (
+	CrashBefore = nand.CrashBefore
+	CrashTorn   = nand.CrashTorn
+	CrashAfter  = nand.CrashAfter
+)
+
+// Fault-point operation kinds (bit mask for FaultPlan.SetKinds).
+const (
+	OpProgram      = nand.OpProgram
+	OpDeltaProgram = nand.OpDeltaProgram
+	OpErase        = nand.OpErase
+	OpLogFlush     = nand.OpLogFlush
+	OpAll          = nand.OpAll
+)
+
+// ErrPowerLost is reported by every operation after an injected power cut.
+var ErrPowerLost = nand.ErrPowerLost
+
+// NewFaultPlan creates a plan that faults the crashAt-th device operation
+// (1-based) with the given mode. crashAt == 0 creates a passive plan that
+// only counts operations — run a workload against it once to enumerate the
+// fault points, then sweep them one by one with Arm.
+func NewFaultPlan(crashAt uint64, mode FaultMode) *FaultPlan {
+	return nand.NewFaultPlan(crashAt, mode)
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ipa"
+	"ipa/internal/crash"
+)
+
+// CrashOptions configures the crash-torture experiment: a deterministic
+// power-cut sweep across every write path.
+type CrashOptions struct {
+	// Modes are the write paths tortured (default: all three).
+	Modes []ipa.WriteMode
+	// Ops is the number of transactions per run (0 = harness default).
+	Ops int
+	// Sample bounds the fault points tested per fault mode (0 = every
+	// enumerated point, the exhaustive sweep).
+	Sample int
+	// Chips is the device chip count (0 = 1).
+	Chips int
+	Seed  int64
+}
+
+// DefaultCrashOptions returns the exhaustive single-chip sweep.
+func DefaultCrashOptions() CrashOptions {
+	return CrashOptions{
+		Modes: []ipa.WriteMode{ipa.Traditional, ipa.IPAConventionalSSD, ipa.IPANativeFlash},
+		Seed:  7,
+	}
+}
+
+// CrashRow is the outcome of one write path's sweep.
+type CrashRow struct {
+	Mode        ipa.WriteMode
+	FaultPoints int
+	Runs        int
+	Crashes     int
+	GCCovered   bool
+	Failures    []string
+}
+
+// CrashResult is the full torture outcome.
+type CrashResult struct {
+	Rows []CrashRow
+}
+
+// Failed reports whether any write path violated a recovery invariant.
+func (r CrashResult) Failed() bool {
+	for _, row := range r.Rows {
+		if len(row.Failures) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Crash runs the power-cut torture sweep for every requested write path.
+func Crash(o CrashOptions) (CrashResult, error) {
+	if len(o.Modes) == 0 {
+		o.Modes = []ipa.WriteMode{ipa.Traditional, ipa.IPAConventionalSSD, ipa.IPANativeFlash}
+	}
+	var out CrashResult
+	for _, mode := range o.Modes {
+		co := crash.DefaultOptions()
+		co.DB.WriteMode = mode
+		if o.Chips > 0 {
+			co.DB.Chips = o.Chips
+		}
+		if o.Ops > 0 {
+			co.Ops = o.Ops
+		}
+		if o.Seed != 0 {
+			co.Seed = o.Seed
+		}
+		co.Sample = o.Sample
+		res, err := crash.Sweep(co)
+		if err != nil {
+			return out, fmt.Errorf("bench: crash sweep (%s): %w", mode, err)
+		}
+		out.Rows = append(out.Rows, CrashRow{
+			Mode:        mode,
+			FaultPoints: res.FaultPoints,
+			Runs:        res.Runs,
+			Crashes:     res.Crashes,
+			GCCovered:   res.GCCovered,
+			Failures:    res.Failures,
+		})
+	}
+	return out, nil
+}
+
+// Write renders the torture outcome.
+func (r CrashResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Power-cut torture: crash at every fault point, reopen, verify\n")
+	fmt.Fprintf(w, "%-14s %12s %10s %10s %10s %10s\n",
+		"write path", "fault points", "runs", "crashes", "gc hit", "failures")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %12d %10d %10d %10v %10d\n",
+			row.Mode, row.FaultPoints, row.Runs, row.Crashes, row.GCCovered, len(row.Failures))
+	}
+	for _, row := range r.Rows {
+		for _, f := range row.Failures {
+			fmt.Fprintf(w, "FAIL [%s] %s\n", row.Mode, f)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSONEntry is one machine-readable experiment result: the experiment name,
+// the options it ran with and the full structured result (including the
+// engine Stats every metric derives from). cmd/ipabench -json collects one
+// entry per experiment and writes them as a JSON array, which CI uploads as
+// a build artifact so benchmark trajectories can be tracked across commits.
+type JSONEntry struct {
+	Experiment string `json:"experiment"`
+	Config     any    `json:"config,omitempty"`
+	Result     any    `json:"result"`
+}
+
+// Report accumulates the JSON entries of one ipabench invocation.
+type Report struct {
+	Entries []JSONEntry
+}
+
+// Add records one experiment outcome.
+func (r *Report) Add(experiment string, config, result any) {
+	r.Entries = append(r.Entries, JSONEntry{Experiment: experiment, Config: config, Result: result})
+}
+
+// WriteFile writes the collected entries as an indented JSON array.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r.Entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode JSON report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write JSON report: %w", err)
+	}
+	return nil
+}

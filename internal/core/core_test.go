@@ -35,10 +35,10 @@ func TestSchemeValidate(t *testing.T) {
 func TestSchemeSizes(t *testing.T) {
 	s := Scheme{N: 2, M: 4}
 	const metaLen = 48
-	if got := s.RecordSize(metaLen); got != 1+3*4+48 {
+	if got := s.RecordSize(metaLen); got != 1+3*4+48+2 {
 		t.Errorf("RecordSize = %d", got)
 	}
-	if got := s.AreaSize(metaLen); got != 2*(1+12+48) {
+	if got := s.AreaSize(metaLen); got != 2*(1+12+48+2) {
 		t.Errorf("AreaSize = %d", got)
 	}
 	if Disabled.AreaSize(metaLen) != 0 {

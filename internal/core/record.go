@@ -26,12 +26,16 @@ type DeltaRecord struct {
 // under the given scheme.
 func (r DeltaRecord) EncodedSize(s Scheme) int { return s.RecordSize(len(r.Meta)) }
 
-// EncodeRecord serialises rec into dst using the layout of Figure 3:
+// EncodeRecord serialises rec into dst using the layout of Figure 3,
+// extended with an integrity trailer:
 //
-//	[ctrl 1][off lo, off hi, value] × M [Δmetadata metaLen]
+//	[ctrl 1][off lo, off hi, value] × M [Δmetadata metaLen][checksum 1][commit 1]
 //
-// Unused patch slots carry the offset 0xFFFF. dst must be at least
-// RecordSize(metaLen) bytes; the remainder is left untouched.
+// Unused patch slots carry the offset 0xFFFF. The commit marker is the last
+// byte of the record; NAND programs torn by a power cut persist only a
+// prefix, so a record missing its marker (or failing its checksum) is
+// rejected by DecodeRecord. dst must be at least RecordSize(metaLen) bytes;
+// the remainder is left untouched.
 func EncodeRecord(dst []byte, rec DeltaRecord, s Scheme, metaLen int) error {
 	if len(rec.Patches) > s.M {
 		return fmt.Errorf("%w: %d > M=%d", ErrTooManyPatches, len(rec.Patches), s.M)
@@ -56,15 +60,22 @@ func EncodeRecord(dst []byte, rec DeltaRecord, s Scheme, metaLen int) error {
 		pos += patchSize
 	}
 	copy(dst[pos:pos+metaLen], rec.Meta)
+	pos += metaLen
+	dst[pos] = recordChecksum(dst[:pos])
+	dst[pos+1] = ctrlCommit
 	return nil
 }
 
 // DecodeRecord parses one record slot. The second return value reports
-// whether the slot holds a programmed record; blank (erased) slots return
-// false.
+// whether the slot holds a complete, verified record; blank (erased) slots,
+// records torn by a power cut (missing their commit marker) and records
+// failing their checksum return false.
 func DecodeRecord(src []byte, s Scheme, metaLen int) (DeltaRecord, bool) {
 	need := s.RecordSize(metaLen)
 	if len(src) < need || src[0] != ctrlPresent {
+		return DeltaRecord{}, false
+	}
+	if src[need-1] != ctrlCommit || src[need-2] != recordChecksum(src[:need-2]) {
 		return DeltaRecord{}, false
 	}
 	rec := DeltaRecord{Meta: make([]byte, metaLen)}

@@ -69,10 +69,13 @@ func (s Scheme) Validate() error {
 func (s Scheme) Enabled() bool { return s.N > 0 && s.M > 0 }
 
 // RecordSize returns the on-page size in bytes of one delta record under
-// this scheme: one control byte, M three-byte <offset, new_value> pairs and
-// metaLen bytes of Δmetadata.
+// this scheme: one control byte, M three-byte <offset, new_value> pairs,
+// metaLen bytes of Δmetadata, a checksum byte and the trailing commit
+// marker. The marker is programmed last (NAND tears are prefixes), so a
+// power cut mid-append can never leave a partial record that decodes as
+// valid.
 func (s Scheme) RecordSize(metaLen int) int {
-	return 1 + patchSize*s.M + metaLen
+	return 1 + patchSize*s.M + metaLen + 2
 }
 
 // AreaSize returns the size of the delta-record area reserved at the end of
@@ -99,6 +102,24 @@ const (
 	// from the erased byte 0xFF and contain enough zero bits that a
 	// partially programmed record cannot be mistaken for a valid one.
 	ctrlPresent byte = 0x5A
+	// ctrlCommit is the trailing commit marker of a record: the last byte
+	// programmed. A record without it was torn by a power cut and is
+	// ignored by DecodeRecord.
+	ctrlCommit byte = 0xC3
 	// unusedOffset marks an unused patch slot inside a record.
 	unusedOffset uint16 = 0xFFFF
 )
+
+// recordChecksum folds the record bytes (control byte, patches and
+// Δmetadata) into the one-byte checksum stored in front of the commit
+// marker. It guards the delta area against bit corruption on the
+// conventional-SSD path, where appended records carry no per-record OOB
+// ECC.
+func recordChecksum(b []byte) byte {
+	var x byte = 0xA5
+	for _, v := range b {
+		x = x<<1 | x>>7 // rotate so byte order matters
+		x ^= v
+	}
+	return x
+}

@@ -1,0 +1,529 @@
+// Package crash implements the deterministic power-cut torture harness:
+// it runs a TPC-B style workload against an engine with a fault plan
+// attached, crashes the simulated device at every enumerated fault point
+// (every program, erase and log flush — optionally torn mid-operation),
+// reopens the database from the surviving Flash image and durable log, and
+// verifies the recovery invariants against an exact oracle:
+//
+//   - every transaction whose Commit returned success is fully visible,
+//   - every in-flight, aborted or commit-interrupted transaction is fully
+//     rolled back (updates restored, inserted tuples gone),
+//   - the FTL mapping and every page checksum validate, and
+//   - the reopened database keeps working (more transactions commit).
+//
+// The oracle is exact because the workload is single-threaded and seeded:
+// the harness mirrors every committed transaction's effect in memory and
+// compares the recovered database against it key by key.
+package crash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ipa"
+)
+
+// Tuple layout of the harness tables: int64 key at offset 0 (the engine's
+// index-rebuild convention), int64 balance at offset 8.
+const (
+	keyOffset     = 0
+	balanceOffset = 8
+	accountSize   = 64
+	historySize   = 48
+
+	initialBalance = int64(1_000_000_007)
+	loadBatch      = 32
+)
+
+// Options configure a torture sweep.
+type Options struct {
+	// DB is the engine configuration under test (write mode, scheme,
+	// flash mode, device sizing, chips). The Faults field is overwritten
+	// by the harness.
+	DB ipa.Config
+	// Branches, Tellers and Accounts size the TPC-B style schema.
+	Branches int
+	Tellers  int
+	Accounts int
+	// Ops is the number of transactions attempted per run.
+	Ops int
+	// Seed drives the deterministic transaction mix.
+	Seed int64
+	// Modes are the fault modes applied at every tested point.
+	Modes []ipa.FaultMode
+	// Sample bounds the fault points tested per mode, spread evenly over
+	// the enumeration (0 tests every point — the exhaustive sweep).
+	Sample int
+	// Kinds restricts which operations count as fault points (0 = all).
+	Kinds ipa.FaultOp
+	// PostOps is the number of extra transactions committed on the
+	// reopened database to prove it stays usable (default 8).
+	PostOps int
+}
+
+// DefaultOptions returns a small-device configuration whose exhaustive
+// sweep finishes quickly while still exercising evictions, in-place
+// appends, garbage collection and group commit.
+func DefaultOptions() Options {
+	return Options{
+		DB: ipa.Config{
+			PageSize:        2048,
+			Blocks:          12,
+			PagesPerBlock:   16,
+			BufferPoolPages: 8, // small pool: evictions (and appends) on almost every transaction
+			WriteMode:       ipa.IPANativeFlash,
+			Scheme:          ipa.Scheme{N: 2, M: 4},
+			FlashMode:       ipa.PSLC,
+			Seed:            1,
+		},
+		Branches: 4,
+		Tellers:  20,
+		Accounts: 400,
+		Ops:      220,
+		Seed:     7,
+		Modes:    []ipa.FaultMode{ipa.CrashBefore, ipa.CrashTorn, ipa.CrashAfter},
+		PostOps:  8,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Branches <= 0 {
+		o.Branches = 4
+	}
+	if o.Tellers <= 0 {
+		o.Tellers = 20
+	}
+	if o.Accounts <= 0 {
+		o.Accounts = 200
+	}
+	if o.Ops <= 0 {
+		o.Ops = 150
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = []ipa.FaultMode{ipa.CrashBefore, ipa.CrashTorn, ipa.CrashAfter}
+	}
+	if o.PostOps <= 0 {
+		o.PostOps = 8
+	}
+	return o
+}
+
+// Result summarises a sweep.
+type Result struct {
+	FaultPoints int  // enumerated fault points of the reference run
+	Runs        int  // crash-recover-verify cycles executed
+	Crashes     int  // runs in which the fault actually fired
+	GCCovered   bool // some crash happened after garbage collection ran
+	Failures    []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r Result) Failed() bool { return len(r.Failures) > 0 }
+
+// oracle mirrors the state every committed transaction produced. The
+// loaded counters record how many rows of each table were inserted by
+// batches whose commit succeeded — rows beyond them must be absent after
+// recovery (their load batch never committed).
+type oracle struct {
+	accounts []int64
+	tellers  []int64
+	branches []int64
+	loadedA  int
+	loadedT  int
+	loadedB  int
+	history  map[int64][2]int64 // history key -> (account, delta)
+	nextHist int64
+}
+
+func newOracle(o Options) *oracle {
+	ora := &oracle{
+		accounts: make([]int64, o.Accounts),
+		tellers:  make([]int64, o.Tellers),
+		branches: make([]int64, o.Branches),
+		history:  make(map[int64][2]int64),
+	}
+	for i := range ora.accounts {
+		ora.accounts[i] = initialBalance
+	}
+	for i := range ora.tellers {
+		ora.tellers[i] = initialBalance
+	}
+	for i := range ora.branches {
+		ora.branches[i] = initialBalance
+	}
+	return ora
+}
+
+// driver runs the workload against one database instance.
+type driver struct {
+	opts   Options
+	db     *ipa.DB
+	ora    *oracle
+	loaded bool
+
+	accounts *ipa.Table
+	tellers  *ipa.Table
+	branches *ipa.Table
+	history  *ipa.Table
+}
+
+func newDriver(cfg ipa.Config, o Options) (*driver, error) {
+	db, err := ipa.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &driver{opts: o, db: db, ora: newOracle(o)}, nil
+}
+
+func putKey(row []byte, off int, v int64) {
+	binary.LittleEndian.PutUint64(row[off:], uint64(v))
+}
+
+func getKey(row []byte, off int) int64 {
+	return int64(binary.LittleEndian.Uint64(row[off:]))
+}
+
+func fillRow(row []byte, seed int64) {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := 16; i < len(row); i++ {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		row[i] = byte(x >> 56)
+	}
+}
+
+// load creates the schema and populates it through transactions (crash
+// recovery only covers logged work), committing in small batches so load
+// crashes leave a recoverable prefix.
+func (d *driver) load() error {
+	var err error
+	if d.accounts, err = d.db.CreateTable("accounts", accountSize); err != nil {
+		return err
+	}
+	if d.tellers, err = d.db.CreateTable("tellers", accountSize); err != nil {
+		return err
+	}
+	if d.branches, err = d.db.CreateTable("branches", accountSize); err != nil {
+		return err
+	}
+	if d.history, err = d.db.CreateTableWithScheme("history", historySize, ipa.Scheme{}); err != nil {
+		return err
+	}
+	load := func(t *ipa.Table, n int, loaded *int) error {
+		for start := 0; start < n; start += loadBatch {
+			end := start + loadBatch
+			if end > n {
+				end = n
+			}
+			tx := d.db.Begin()
+			for i := start; i < end; i++ {
+				row := make([]byte, accountSize)
+				fillRow(row, int64(i)+int64(t.ID())*1000)
+				putKey(row, keyOffset, int64(i))
+				putKey(row, balanceOffset, initialBalance)
+				if err := tx.Insert(t, int64(i), row); err != nil {
+					return err
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			*loaded = end
+		}
+		return nil
+	}
+	if err := load(d.branches, d.opts.Branches, &d.ora.loadedB); err != nil {
+		return err
+	}
+	if err := load(d.tellers, d.opts.Tellers, &d.ora.loadedT); err != nil {
+		return err
+	}
+	if err := load(d.accounts, d.opts.Accounts, &d.ora.loadedA); err != nil {
+		return err
+	}
+	d.loaded = true
+	return nil
+}
+
+// runOne executes one TPC-B style transaction and mirrors it in the oracle
+// if (and only if) the commit succeeded.
+func (d *driver) runOne(r *rand.Rand) error {
+	a := r.Intn(d.opts.Accounts)
+	t := r.Intn(d.opts.Tellers)
+	b := r.Intn(d.opts.Branches)
+	delta := int64(r.Intn(1999999) - 999999)
+	d.ora.nextHist++
+	hid := d.ora.nextHist
+
+	tx := d.db.Begin()
+	update := func(tbl *ipa.Table, key int64, cur int64) error {
+		row := make([]byte, 8)
+		putKey(row, 0, cur+delta)
+		return tx.UpdateAt(tbl, key, balanceOffset, row)
+	}
+	if err := update(d.accounts, int64(a), d.ora.accounts[a]); err != nil {
+		return err
+	}
+	if err := update(d.tellers, int64(t), d.ora.tellers[t]); err != nil {
+		return err
+	}
+	if err := update(d.branches, int64(b), d.ora.branches[b]); err != nil {
+		return err
+	}
+	hrow := make([]byte, historySize)
+	fillRow(hrow, hid)
+	putKey(hrow, keyOffset, hid)
+	putKey(hrow, balanceOffset, int64(a))
+	putKey(hrow, 16, delta)
+	if err := tx.Insert(d.history, hid, hrow); err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	d.ora.accounts[a] += delta
+	d.ora.tellers[t] += delta
+	d.ora.branches[b] += delta
+	d.ora.history[hid] = [2]int64{int64(a), delta}
+	return nil
+}
+
+// run executes ops transactions.
+func (d *driver) run(ops int) error {
+	r := rand.New(rand.NewSource(d.opts.Seed))
+	for i := 0; i < ops; i++ {
+		if err := d.runOne(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verify compares a (re)opened database against the oracle.
+func verify(db *ipa.DB, o Options, ora *oracle) error {
+	if err := db.VerifyIntegrity(); err != nil {
+		return fmt.Errorf("integrity: %w", err)
+	}
+	tables := []struct {
+		name     string
+		balances []int64
+		loaded   int
+	}{
+		{"accounts", ora.accounts, ora.loadedA},
+		{"tellers", ora.tellers, ora.loadedT},
+		{"branches", ora.branches, ora.loadedB},
+	}
+	for _, tb := range tables {
+		t, ok := db.Table(tb.name)
+		if !ok {
+			return fmt.Errorf("table %s missing after reopen", tb.name)
+		}
+		for key, want := range tb.balances {
+			row, err := t.Get(int64(key))
+			if key >= tb.loaded {
+				// The load batch of this row never committed: it must be
+				// invisible after recovery.
+				if err == nil {
+					return fmt.Errorf("%s key %d from an uncommitted load batch resurrected", tb.name, key)
+				}
+				if !errors.Is(err, ipa.ErrKeyNotFound) {
+					return fmt.Errorf("%s key %d: unexpected error %w", tb.name, key, err)
+				}
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("%s key %d: %w", tb.name, key, err)
+			}
+			if got := getKey(row, balanceOffset); got != want {
+				return fmt.Errorf("%s key %d: balance %d, committed state says %d", tb.name, key, got, want)
+			}
+			if got := getKey(row, keyOffset); got != int64(key) {
+				return fmt.Errorf("%s key %d: stored key reads %d", tb.name, key, got)
+			}
+		}
+	}
+	hist, ok := db.Table("history")
+	if !ok {
+		return fmt.Errorf("history table missing after reopen")
+	}
+	for hid := int64(1); hid <= ora.nextHist; hid++ {
+		want, committed := ora.history[hid]
+		row, err := hist.Get(hid)
+		if committed {
+			if err != nil {
+				return fmt.Errorf("committed history row %d lost: %w", hid, err)
+			}
+			if getKey(row, balanceOffset) != want[0] || getKey(row, 16) != want[1] {
+				return fmt.Errorf("history row %d corrupted", hid)
+			}
+		} else if err == nil {
+			return fmt.Errorf("uncommitted history row %d resurrected", hid)
+		} else if !errors.Is(err, ipa.ErrKeyNotFound) {
+			return fmt.Errorf("history row %d: unexpected error %w", hid, err)
+		}
+	}
+	if got := hist.Count(); got != uint64(len(ora.history)) {
+		return fmt.Errorf("history count %d, committed state says %d", got, len(ora.history))
+	}
+	return nil
+}
+
+// isPowerLoss reports whether err is (or wraps) the injected power cut.
+func isPowerLoss(err error) bool { return errors.Is(err, ipa.ErrPowerLost) }
+
+// samplePoints spreads up to sample indices evenly over [1, total].
+func samplePoints(total uint64, sample int) []uint64 {
+	if total == 0 {
+		return nil
+	}
+	if sample <= 0 || uint64(sample) >= total {
+		out := make([]uint64, 0, total)
+		for k := uint64(1); k <= total; k++ {
+			out = append(out, k)
+		}
+		return out
+	}
+	if sample == 1 {
+		return []uint64{(total + 1) / 2}
+	}
+	out := make([]uint64, 0, sample)
+	for i := 0; i < sample; i++ {
+		k := 1 + uint64(i)*(total-1)/uint64(sample-1)
+		if n := len(out); n > 0 && out[n-1] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Enumerate counts the fault points of the reference run (load plus Ops
+// transactions) without crashing.
+func Enumerate(o Options) (uint64, error) {
+	o = o.withDefaults()
+	plan := ipa.NewFaultPlan(0, ipa.CrashBefore)
+	if o.Kinds != 0 {
+		plan.SetKinds(o.Kinds)
+	}
+	cfg := o.DB
+	cfg.Faults = plan
+	d, err := newDriver(cfg, o)
+	if err != nil {
+		return 0, err
+	}
+	defer d.db.Close()
+	if err := d.load(); err != nil {
+		return 0, err
+	}
+	if err := d.run(o.Ops); err != nil {
+		return 0, err
+	}
+	return plan.Ops(), nil
+}
+
+// RunPoint runs the workload once, crashing at fault point k with the given
+// mode, then reopens and verifies. It returns the pre-crash GC run count
+// and whether the fault fired.
+func RunPoint(o Options, k uint64, mode ipa.FaultMode) (gcRuns uint64, tripped bool, err error) {
+	o = o.withDefaults()
+	plan := ipa.NewFaultPlan(k, mode)
+	if o.Kinds != 0 {
+		plan.SetKinds(o.Kinds)
+	}
+	cfg := o.DB
+	cfg.Faults = plan
+	d, derr := newDriver(cfg, o)
+	if derr != nil {
+		return 0, false, derr
+	}
+	runErr := d.load()
+	if runErr == nil {
+		runErr = d.run(o.Ops)
+	}
+	if runErr != nil && !isPowerLoss(runErr) {
+		d.db.Close()
+		return 0, plan.Tripped(), fmt.Errorf("workload: %w", runErr)
+	}
+	stats := d.db.Stats()
+	img := d.db.Crash()
+	db2, rerr := ipa.Reopen(img)
+	if rerr != nil {
+		return stats.GCRuns, plan.Tripped(), fmt.Errorf("reopen: %w", rerr)
+	}
+	defer db2.Close()
+	if verr := verify(db2, o, d.ora); verr != nil {
+		return stats.GCRuns, plan.Tripped(), verr
+	}
+	// The recovered database must keep working.
+	post := &driver{opts: o, db: db2, ora: d.ora}
+	var ok bool
+	if post.accounts, ok = db2.Table("accounts"); !ok {
+		return stats.GCRuns, plan.Tripped(), fmt.Errorf("accounts table missing after reopen")
+	}
+	post.tellers, _ = db2.Table("tellers")
+	post.branches, _ = db2.Table("branches")
+	post.history, _ = db2.Table("history")
+	if d.loaded {
+		r := rand.New(rand.NewSource(o.Seed + int64(k) + 1))
+		for i := 0; i < o.PostOps; i++ {
+			if perr := post.runOne(r); perr != nil {
+				return stats.GCRuns, plan.Tripped(), fmt.Errorf("post-recovery transaction: %w", perr)
+			}
+		}
+		if verr := verify(db2, o, d.ora); verr != nil {
+			return stats.GCRuns, plan.Tripped(), fmt.Errorf("after post-recovery work: %w", verr)
+		}
+	}
+	return stats.GCRuns, plan.Tripped(), nil
+}
+
+// Sweep enumerates the fault points of the reference run and executes a
+// crash-recover-verify cycle at every sampled point for every mode.
+func Sweep(o Options) (Result, error) {
+	o = o.withDefaults()
+	total, err := Enumerate(o)
+	if err != nil {
+		return Result{}, fmt.Errorf("crash: enumerate: %w", err)
+	}
+	res := Result{FaultPoints: int(total)}
+	points := samplePoints(total, o.Sample)
+	for _, mode := range o.Modes {
+		for _, k := range points {
+			gcRuns, tripped, err := RunPoint(o, k, mode)
+			res.Runs++
+			if tripped {
+				res.Crashes++
+				if gcRuns > 0 {
+					res.GCCovered = true
+				}
+			}
+			if err != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("point %d/%d (%v): %v", k, total, mode, err))
+			}
+		}
+	}
+	return res, nil
+}
+
+// ReferenceRun executes the reference workload without faults and returns
+// the open database and its statistics (for calibration and tests).
+func ReferenceRun(o Options) (*ipa.DB, ipa.Stats, error) {
+	o = o.withDefaults()
+	d, err := newDriver(o.DB, o)
+	if err != nil {
+		return nil, ipa.Stats{}, err
+	}
+	if err := d.load(); err != nil {
+		return d.db, d.db.Stats(), err
+	}
+	if err := d.run(o.Ops); err != nil {
+		return d.db, d.db.Stats(), err
+	}
+	return d.db, d.db.Stats(), nil
+}

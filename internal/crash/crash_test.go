@@ -1,0 +1,70 @@
+package crash
+
+import (
+	"testing"
+
+	"ipa"
+)
+
+// TestCleanCrashRecovers covers the "kill -9 without any device fault"
+// case: crash after a completed run, reopen, verify.
+func TestCleanCrashRecovers(t *testing.T) {
+	o := DefaultOptions()
+	o.Ops = 60
+	d, err := newDriver(o.DB, o)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := d.load(); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := d.run(o.Ops); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	img := d.db.Crash()
+	db2, err := ipa.Reopen(img)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if err := verify(db2, o, d.ora); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// TestEnumerateCountsFaultPoints sanity-checks the fault-point enumeration.
+func TestEnumerateCountsFaultPoints(t *testing.T) {
+	o := DefaultOptions()
+	o.Ops = 30
+	total, err := Enumerate(o)
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if total == 0 {
+		t.Fatalf("no fault points enumerated")
+	}
+	t.Logf("fault points for %d transactions: %d", o.Ops, total)
+}
+
+// TestCrashSweepSample runs a bounded, evenly spread sample of the
+// exhaustive sweep in every fault mode (the CI quick gate). The exhaustive
+// sweep runs via `ipabench -exp crash`.
+func TestCrashSweepSample(t *testing.T) {
+	o := DefaultOptions()
+	o.Ops = 60
+	o.Sample = 12
+	if testing.Short() {
+		o.Sample = 4
+	}
+	res, err := Sweep(o)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if res.Crashes == 0 {
+		t.Fatalf("sweep never crashed (%d runs over %d points)", res.Runs, res.FaultPoints)
+	}
+	t.Logf("points=%d runs=%d crashes=%d gcCovered=%v", res.FaultPoints, res.Runs, res.Crashes, res.GCCovered)
+}

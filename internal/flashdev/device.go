@@ -39,15 +39,35 @@ import (
 )
 
 // OOB layout constants. The OOB area of every page holds, in order, the
-// cover length of the initial ECC, the initial ECC itself, and a number of
-// delta-record ECC slots (Figure 3 of the paper).
+// cover length of the initial ECC, the initial ECC itself, the FTL mapping
+// tag (logical address and write sequence number, with their own ECC — what
+// lets crash recovery rebuild the logical-to-physical mapping from the
+// Flash image alone), and a number of delta-record ECC slots (Figure 3 of
+// the paper).
 const (
+	// The initial ECC covers the leading eccCover bytes of the page plus,
+	// optionally, the trailing eccTail bytes (the page footer behind the
+	// delta-record area): both lengths are stored in front of the code so
+	// reads and recovery scans know the protected regions. Without the
+	// tail cover a torn whole-page program could persist a valid body but
+	// a corrupt footer and recovery could not tell.
 	oobCoverLenSize = 2
-	oobInitialOff   = oobCoverLenSize
+	oobTailLenSize  = 2
+	oobInitialOff   = oobCoverLenSize + oobTailLenSize
+	// oobTagOff is the offset of the FTL mapping tag: lba (4), seq (8) and
+	// a dedicated ECC so a torn program cannot forge a valid tag.
+	oobTagOff       = oobInitialOff + ecc.CodeSize
+	tagBody         = 4 + 8
+	TagSize         = tagBody + ecc.CodeSize
+	oobSlotsOff     = oobTagOff + TagSize
 	deltaSlotHeader = 4 // offset (2) + length (2)
 	// DeltaSlotSize is the OOB space consumed by one delta-record ECC slot.
 	DeltaSlotSize = deltaSlotHeader + ecc.CodeSize
 )
+
+// blankLen is the stored length of a region whose OOB header was never
+// programmed (erased cells read 0xFFFF).
+const blankLen = 0xFFFF
 
 // Errors returned by the device.
 var (
@@ -158,8 +178,8 @@ type Geometry struct {
 func (d *Device) Geometry() Geometry {
 	g := d.cfg.Chip.Geometry
 	slots := 0
-	if g.OOBSize > oobInitialOff+ecc.CodeSize {
-		slots = (g.OOBSize - oobInitialOff - ecc.CodeSize) / DeltaSlotSize
+	if g.OOBSize > oobSlotsOff {
+		slots = (g.OOBSize - oobSlotsOff) / DeltaSlotSize
 	}
 	return Geometry{
 		Blocks:        g.Blocks * d.cfg.Chips,
@@ -417,24 +437,47 @@ func (d *Device) ReadPage(block, page int, buf []byte) error {
 	return d.verify(buf, oob)
 }
 
+// verifyInitial checks the initial-region ECC (leading cover plus trailing
+// tail), correcting a single bit error in place in buf. It returns the
+// number of corrected bits.
+func verifyInitial(buf, oob []byte) (int, error) {
+	coverLen := int(binary.LittleEndian.Uint16(oob[0:oobCoverLenSize]))
+	tailLen := int(binary.LittleEndian.Uint16(oob[oobCoverLenSize:oobInitialOff]))
+	if coverLen == blankLen || tailLen == blankLen || coverLen+tailLen > len(buf) {
+		if coverLen == blankLen {
+			return 0, nil // never programmed with an ECC header
+		}
+		return 0, fmt.Errorf("initial region header out of range")
+	}
+	code := oob[oobInitialOff : oobInitialOff+ecc.CodeSize]
+	if ecc.Blank(code) {
+		return 0, nil
+	}
+	region := coveredRegion(buf, coverLen, tailLen)
+	res, err := ecc.Decode(region, code)
+	if err != nil {
+		return 0, err
+	}
+	if res.Corrected > 0 && tailLen > 0 {
+		// Decode corrected the assembled copy; mirror it back.
+		copy(buf[:coverLen], region[:coverLen])
+		copy(buf[len(buf)-tailLen:], region[coverLen:])
+	}
+	return res.Corrected, nil
+}
+
 // verify checks the initial-region ECC and all delta-record ECC slots,
 // correcting single-bit errors in buf.
 func (d *Device) verify(buf, oob []byte) error {
-	coverLen := binary.LittleEndian.Uint16(oob[0:oobCoverLenSize])
-	if coverLen != 0xFFFF && int(coverLen) <= len(buf) {
-		code := oob[oobInitialOff : oobInitialOff+ecc.CodeSize]
-		if !ecc.Blank(code) {
-			res, err := ecc.Decode(buf[:coverLen], code)
-			if err != nil {
-				d.uncorrectable.Add(1)
-				return fmt.Errorf("%w: initial region: %v", ErrCorrupted, err)
-			}
-			d.countCorrected(res.Corrected)
-		}
+	corrected, err := verifyInitial(buf, oob)
+	if err != nil {
+		d.uncorrectable.Add(1)
+		return fmt.Errorf("%w: initial region: %v", ErrCorrupted, err)
 	}
+	d.countCorrected(corrected)
 	geo := d.Geometry()
 	for slot := 0; slot < geo.DeltaSlots; slot++ {
-		off := oobInitialOff + ecc.CodeSize + slot*DeltaSlotSize
+		off := oobSlotsOff + slot*DeltaSlotSize
 		hdr := oob[off : off+deltaSlotHeader]
 		if hdr[0] == 0xFF && hdr[1] == 0xFF && hdr[2] == 0xFF && hdr[3] == 0xFF {
 			continue // blank slot
@@ -468,6 +511,49 @@ func (d *Device) countCorrected(n int) {
 // appends exclude the delta-record area from the cover so later appends do
 // not invalidate the code. A cover of len(data) protects the whole page.
 func (d *Device) ProgramPage(block, page int, data []byte, eccCover int) error {
+	return d.programPage(block, page, data, eccCover, 0, nil)
+}
+
+// ProgramPageCovered is ProgramPage with a split initial ECC cover: the
+// leading eccCover bytes and the trailing eccTail bytes are protected,
+// leaving the delta-record area between them open for appends.
+func (d *Device) ProgramPageCovered(block, page int, data []byte, eccCover, eccTail int) error {
+	return d.programPage(block, page, data, eccCover, eccTail, nil)
+}
+
+// encodeTag builds the OOB mapping-tag bytes for (lba, seq): the logical
+// address, the write sequence number and an ECC over both, so a torn
+// program cannot leave a forged-but-valid tag behind.
+func encodeTag(lba int, seq uint64) []byte {
+	tag := make([]byte, TagSize)
+	binary.LittleEndian.PutUint32(tag[0:4], uint32(lba))
+	binary.LittleEndian.PutUint64(tag[4:12], seq)
+	copy(tag[tagBody:], ecc.Encode(tag[:tagBody]))
+	return tag
+}
+
+// ProgramPageTagged is ProgramPageCovered plus the FTL mapping tag: the
+// logical page address and a monotonically increasing write sequence number
+// are stored, with their own ECC, in the page's OOB area. Crash recovery
+// scans these tags to rebuild the logical-to-physical mapping from the
+// Flash image alone and to order stale copies of the same logical page. The
+// tag is written even when data ECC is disabled — it is FTL metadata.
+func (d *Device) ProgramPageTagged(block, page int, data []byte, eccCover, eccTail int, lba int, seq uint64) error {
+	return d.programPage(block, page, data, eccCover, eccTail, encodeTag(lba, seq))
+}
+
+// coveredRegion assembles the bytes protected by the initial ECC: the
+// leading cover bytes plus the trailing tail bytes of the page image.
+func coveredRegion(data []byte, cover, tail int) []byte {
+	if tail <= 0 {
+		return data[:cover]
+	}
+	region := make([]byte, 0, cover+tail)
+	region = append(region, data[:cover]...)
+	return append(region, data[len(data)-tail:]...)
+}
+
+func (d *Device) programPage(block, page int, data []byte, eccCover, eccTail int, tag []byte) error {
 	chipIdx, chip, b, err := d.locate(block)
 	if err != nil {
 		return err
@@ -476,14 +562,32 @@ func (d *Device) ProgramPage(block, page int, data []byte, eccCover int) error {
 	if len(data) != g.PageSize {
 		return fmt.Errorf("flashdev: ProgramPage buffer %d bytes, want %d", len(data), g.PageSize)
 	}
-	if eccCover < 0 || eccCover > len(data) {
-		return fmt.Errorf("flashdev: ecc cover %d out of range", eccCover)
+	if eccCover < 0 || eccTail < 0 || eccCover+eccTail > len(data) {
+		return fmt.Errorf("flashdev: ecc cover %d+%d out of range", eccCover, eccTail)
+	}
+	oobLen := 0
+	if !d.cfg.DisableECC && g.OOBSize >= oobInitialOff+ecc.CodeSize {
+		oobLen = oobInitialOff + ecc.CodeSize
+	}
+	if tag != nil && g.OOBSize >= oobSlotsOff {
+		oobLen = oobSlotsOff
 	}
 	var oob []byte
-	if !d.cfg.DisableECC && g.OOBSize >= oobInitialOff+ecc.CodeSize {
-		oob = make([]byte, oobInitialOff+ecc.CodeSize)
-		binary.LittleEndian.PutUint16(oob[0:2], uint16(eccCover))
-		copy(oob[oobInitialOff:], ecc.Encode(data[:eccCover]))
+	if oobLen > 0 {
+		// Erased filler (0xFF) for the regions not written: programming a
+		// 0xFF byte leaves the cells untouched.
+		oob = make([]byte, oobLen)
+		for i := range oob {
+			oob[i] = 0xFF
+		}
+		if !d.cfg.DisableECC && oobLen >= oobInitialOff+ecc.CodeSize {
+			binary.LittleEndian.PutUint16(oob[0:oobCoverLenSize], uint16(eccCover))
+			binary.LittleEndian.PutUint16(oob[oobCoverLenSize:oobInitialOff], uint16(eccTail))
+			copy(oob[oobInitialOff:], ecc.Encode(coveredRegion(data, eccCover, eccTail)))
+		}
+		if tag != nil && oobLen == oobSlotsOff {
+			copy(oob[oobTagOff:], tag)
+		}
 	}
 	if err := chip.Program(b, page, data, oob); err != nil {
 		return err
@@ -521,7 +625,7 @@ func (d *Device) ProgramDelta(block, page, offset int, delta []byte) (int, error
 		}
 		geo := d.Geometry()
 		for s := 0; s < geo.DeltaSlots; s++ {
-			off := oobInitialOff + ecc.CodeSize + s*DeltaSlotSize
+			off := oobSlotsOff + s*DeltaSlotSize
 			if ecc.Blank(oob[off : off+DeltaSlotSize]) {
 				slot = s
 				oobOff = off
@@ -564,7 +668,7 @@ func (d *Device) FreeDeltaSlots(block, page int) (int, error) {
 	}
 	free := 0
 	for s := 0; s < geo.DeltaSlots; s++ {
-		off := oobInitialOff + ecc.CodeSize + s*DeltaSlotSize
+		off := oobSlotsOff + s*DeltaSlotSize
 		if ecc.Blank(oob[off : off+DeltaSlotSize]) {
 			free++
 		}

@@ -53,7 +53,7 @@ func TestGeometryAndDeltaSlots(t *testing.T) {
 	if g.DeltaSlots <= 0 {
 		t.Fatalf("expected delta ECC slots, got %d", g.DeltaSlots)
 	}
-	want := (128 - 2 - 7) / DeltaSlotSize
+	want := (128 - oobSlotsOff) / DeltaSlotSize
 	if g.DeltaSlots != want {
 		t.Fatalf("DeltaSlots = %d, want %d", g.DeltaSlots, want)
 	}
@@ -142,7 +142,7 @@ func TestProgramDeltaOverwriteViolation(t *testing.T) {
 
 func TestNoDeltaSlotLeft(t *testing.T) {
 	cfg := testConfig()
-	cfg.Chip.Geometry.OOBSize = oobInitialOff + 7 + DeltaSlotSize // exactly one slot
+	cfg.Chip.Geometry.OOBSize = oobSlotsOff + DeltaSlotSize // exactly one slot
 	cfg.Chip.MaxProgramsPerPage = 10
 	d := mustDevice(t, cfg)
 	data := make([]byte, 2048)

@@ -80,6 +80,10 @@ type Config struct {
 	// initial ECC; the remainder is the delta-record area. Zero protects
 	// the whole page (no IPA). It is set during low-level formatting.
 	EccCoverBytes int
+	// EccTailBytes is the number of trailing page bytes (the page footer
+	// behind the delta-record area) additionally protected by the initial
+	// ECC, so torn whole-page programs are fully detectable.
+	EccTailBytes int
 }
 
 // DefaultConfig returns a conventional out-of-place FTL configuration.
@@ -206,10 +210,32 @@ type FTL struct {
 
 	parts []*partition
 	stats counters
+
+	// seq numbers every out-of-place page program. It is stored in the
+	// page's OOB mapping tag, so crash recovery can order the copies of a
+	// logical page found on Flash and keep only the newest.
+	seq atomic.Uint64
 }
 
 // New creates an FTL on top of an erased device.
 func New(dev *flashdev.Device, cfg Config) (*FTL, error) {
+	f, err := newSkeleton(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < f.chips; c++ {
+		p := f.parts[c]
+		for b := (c+1)*f.blocksPerChip - 1; b >= c*f.blocksPerChip; b-- {
+			p.free = append(p.free, b)
+		}
+	}
+	return f, nil
+}
+
+// newSkeleton builds an FTL with normalised configuration, computed
+// capacity and empty mapping/free-list state. New fills the free lists for
+// an erased device; Rebuild reconstructs them from a surviving Flash image.
+func newSkeleton(dev *flashdev.Device, cfg Config) (*FTL, error) {
 	geo := dev.Geometry()
 	if cfg.GCLowWater <= 0 {
 		cfg.GCLowWater = 2
@@ -226,8 +252,12 @@ func New(dev *flashdev.Device, cfg Config) (*FTL, error) {
 	if cfg.MaxAppendsPerPage > geo.DeltaSlots && geo.DeltaSlots > 0 {
 		cfg.MaxAppendsPerPage = geo.DeltaSlots
 	}
-	if cfg.EccCoverBytes <= 0 || cfg.EccCoverBytes > geo.PageSize {
+	if cfg.EccCoverBytes <= 0 || cfg.EccCoverBytes+cfg.EccTailBytes > geo.PageSize {
 		cfg.EccCoverBytes = geo.PageSize
+		cfg.EccTailBytes = 0
+	}
+	if cfg.EccTailBytes < 0 {
+		cfg.EccTailBytes = 0
 	}
 
 	usable := 0
@@ -285,11 +315,7 @@ func New(dev *flashdev.Device, cfg Config) (*FTL, error) {
 		}
 	}
 	for c := 0; c < chips; c++ {
-		p := &partition{f: f, chip: c, firstBlock: c * blocksPerChip, active: -1}
-		for b := (c+1)*blocksPerChip - 1; b >= c*blocksPerChip; b-- {
-			p.free = append(p.free, b)
-		}
-		f.parts = append(f.parts, p)
+		f.parts = append(f.parts, &partition{f: f, chip: c, firstBlock: c * blocksPerChip, active: -1})
 	}
 	return f, nil
 }
@@ -478,7 +504,11 @@ func (f *FTL) WritePage(lba int, data []byte) (bool, error) {
 // caller falls back to an out-of-place write.
 func (f *FTL) tryInPlaceLocked(ppa int32, data []byte) error {
 	block, page := f.blockOf(ppa), f.pageOf(ppa)
-	err := f.dev.ProgramPage(block, page, data, f.cfg.EccCoverBytes)
+	// The re-program writes the same cover/tail ECC header over itself (a
+	// no-op on identical bits); the mapping tag from the page's original
+	// out-of-place program stays valid — an in-place merge is not a new
+	// version of the logical page, only a superset of its bits.
+	err := f.dev.ProgramPageCovered(block, page, data, f.cfg.EccCoverBytes, f.cfg.EccTailBytes)
 	if err == nil {
 		return nil
 	}
@@ -551,7 +581,9 @@ func (p *partition) writeOutOfPlaceLocked(lba int, data []byte) error {
 		return err
 	}
 	block, page := f.blockOf(ppa), f.pageOf(ppa)
-	if err := f.dev.ProgramPage(block, page, data, f.cfg.EccCoverBytes); err != nil {
+	// Every out-of-place program carries the mapping tag (lba, seq): crash
+	// recovery scans the tags to rebuild l2p and order stale copies.
+	if err := f.dev.ProgramPageTagged(block, page, data, f.cfg.EccCoverBytes, f.cfg.EccTailBytes, lba, f.seq.Add(1)); err != nil {
 		return err
 	}
 	if old := f.l2p[lba]; old >= 0 {

@@ -11,6 +11,7 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"ipa/internal/buffer"
@@ -79,6 +80,46 @@ func (f *File) Count() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.count
+}
+
+// AdoptPages installs the page list of a heap file rebuilt from a surviving
+// Flash image after a crash. pids must be in ascending order (page
+// identifiers are allocated sequentially, so that is allocation order).
+func (f *File) AdoptPages(pids []uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pages = append([]uint64(nil), pids...)
+}
+
+// AdoptPage registers a single page recreated during recovery (a page the
+// crash took before its first flush), keeping the list sorted.
+func (f *File) AdoptPage(pid uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := sort.Search(len(f.pages), func(i int) bool { return f.pages[i] >= pid })
+	if i < len(f.pages) && f.pages[i] == pid {
+		return
+	}
+	f.pages = append(f.pages, 0)
+	copy(f.pages[i+1:], f.pages[i:])
+	f.pages[i] = pid
+}
+
+// SetCount installs the live-tuple count computed by an index rebuild.
+func (f *File) SetCount(n uint64) {
+	f.mu.Lock()
+	f.count = n
+	f.mu.Unlock()
+}
+
+// NoteUndoneInsert adjusts the live-tuple count after transaction rollback
+// deleted an inserted tuple directly at the page level.
+func (f *File) NoteUndoneInsert() {
+	f.mu.Lock()
+	if f.count > 0 {
+		f.count--
+	}
+	f.mu.Unlock()
 }
 
 // withPage pins a page exclusively, wraps it and attaches the frame's

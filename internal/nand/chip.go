@@ -164,6 +164,11 @@ func (c *Chip) page(b, p int) (*page, error) {
 // supplied buffers. Buffers may be nil to skip the respective area; a
 // shorter buffer receives a prefix. Erased pages read as 0xFF.
 func (c *Chip) ReadPage(b, p int, data, oob []byte) error {
+	if c.cfg.Faults != nil {
+		if err := c.cfg.Faults.alive(); err != nil {
+			return err
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	pg, err := c.page(b, p)
@@ -215,15 +220,29 @@ func (c *Chip) program(b, p, dataOff int, data []byte, oobOff int, oob []byte, p
 		return err
 	}
 	blk := &c.blocks[b]
-	if blk.wornOut {
-		return fmt.Errorf("%w: block %d", ErrWornOut, b)
-	}
 	g := c.cfg.Geometry
 	if dataOff < 0 || dataOff+len(data) > g.PageSize {
 		return fmt.Errorf("%w: data [%d,%d)", ErrBadLength, dataOff, dataOff+len(data))
 	}
 	if oobOff < 0 || oobOff+len(oob) > g.OOBSize {
 		return fmt.Errorf("%w: oob [%d,%d)", ErrBadLength, oobOff, oobOff+len(oob))
+	}
+	act := actProceed
+	if c.cfg.Faults != nil {
+		op := OpProgram
+		if partial {
+			op = OpDeltaProgram
+		}
+		act, err = c.cfg.Faults.step(op)
+		if err != nil {
+			return err
+		}
+		if act == actTorn {
+			return c.tornProgram(pg, dataOff, data, oobOff, oob, partial)
+		}
+	}
+	if blk.wornOut {
+		return fmt.Errorf("%w: block %d", ErrWornOut, b)
 	}
 	if pg.programs >= c.cfg.MaxProgramsPerPage {
 		return fmt.Errorf("%w: page %d/%d has %d programs", ErrNOPExceeded, b, p, pg.programs)
@@ -260,7 +279,44 @@ func (c *Chip) program(b, p, dataOff int, data []byte, oobOff int, oob []byte, p
 	if c.cfg.Cell == MLC && pg.programs > 1 && c.cfg.InterferenceProb > 0 {
 		c.maybeDisturbPaired(b, p)
 	}
+	if act == actAfter {
+		// The cells hold the full program, but power died before the
+		// device could acknowledge: the host sees a failed command.
+		return ErrPowerLost
+	}
 	return nil
+}
+
+// tornProgram applies a power-cut-interrupted program: deterministic
+// prefixes of the data and OOB bytes reach the cells (with the physical AND
+// semantics, no StrictOverwrite policing — the bits land wherever the
+// charge pump got to), everything else stays untouched. The caller holds
+// the chip mutex.
+func (c *Chip) tornProgram(pg *page, dataOff int, data []byte, oobOff int, oob []byte, partial bool) error {
+	g := c.cfg.Geometry
+	kd := c.cfg.Faults.tornLen(len(data))
+	ko := c.cfg.Faults.tornLen(len(oob))
+	if kd == 0 && ko == 0 {
+		return ErrPowerLost
+	}
+	if pg.data == nil {
+		pg.data = erasedBytes(g.PageSize)
+	}
+	if pg.oob == nil && g.OOBSize > 0 {
+		pg.oob = erasedBytes(g.OOBSize)
+	}
+	programBits(pg.data[dataOff:dataOff+kd], data[:kd])
+	if ko > 0 {
+		programBits(pg.oob[oobOff:oobOff+ko], oob[:ko])
+	}
+	pg.state = PageProgrammed
+	pg.programs++
+	if partial {
+		c.stats.PartialPrograms++
+	} else {
+		c.stats.PagePrograms++
+	}
+	return ErrPowerLost
 }
 
 // violatesOverwrite reports whether programming new over old would require
@@ -335,16 +391,33 @@ func (c *Chip) Erase(b int) error {
 		return fmt.Errorf("%w: block %d", ErrOutOfRange, b)
 	}
 	blk := &c.blocks[b]
+	act := actProceed
+	if c.cfg.Faults != nil {
+		var err error
+		act, err = c.cfg.Faults.step(OpErase)
+		if err != nil {
+			return err
+		}
+	}
 	if blk.wornOut {
 		return fmt.Errorf("%w: block %d", ErrWornOut, b)
 	}
-	for i := range blk.pages {
+	pages := len(blk.pages)
+	if act == actTorn {
+		// An interrupted erase resets only a prefix of the block's pages;
+		// the rest keep their (stale) contents. The wear still happened.
+		pages = c.cfg.Faults.tornLen(pages)
+	}
+	for i := 0; i < pages; i++ {
 		blk.pages[i] = page{}
 	}
 	blk.eraseCount++
 	c.stats.BlockErases++
 	if blk.eraseCount >= c.cfg.EnduranceCycles {
 		blk.wornOut = true
+	}
+	if act != actProceed {
+		return ErrPowerLost
 	}
 	return nil
 }

@@ -150,6 +150,10 @@ type Config struct {
 	// with ErrOverwriteViolation; if false the offending bits silently
 	// remain 0 (which is what the physical device would produce).
 	StrictOverwrite bool
+	// Faults, if non-nil, is the deterministic power-cut schedule consulted
+	// before every program and erase. All chips of a device share one plan
+	// so fault points are numbered across the whole device.
+	Faults *FaultPlan
 }
 
 // DefaultGeometry mirrors (at reduced scale) the Samsung K9LCG08U1M modules

@@ -320,6 +320,26 @@ func (p *Page) UpdateTuple(i int, data []byte) error {
 	return p.UpdateTupleAt(i, 0, data)
 }
 
+// RestoreTuple rewrites slot i during recovery: the slot's live length and
+// the tuple bytes are installed regardless of the slot's previous (possibly
+// deleted) state. The slot must already exist with a valid offset — redo
+// creates missing slots with InsertTuple first.
+func (p *Page) RestoreTuple(i int, data []byte) error {
+	if i < 0 || i >= p.SlotCount() {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.SlotCount())
+	}
+	so := p.slotOffset(i)
+	off := int(binary.LittleEndian.Uint16(p.buf[so:]))
+	if off < HeaderSize || off+len(data) > p.BodyEnd() {
+		return fmt.Errorf("%w: slot %d offset %d", ErrBadSlot, i, off)
+	}
+	var entry [2]byte
+	binary.LittleEndian.PutUint16(entry[:], uint16(len(data)))
+	p.bodyWrite(so+2, entry[:])
+	p.bodyWrite(off, data)
+	return nil
+}
+
 // DeleteTuple marks the tuple in slot i as deleted. The space is not
 // compacted (NSM pages are compacted lazily by reorganisation, which the
 // OLTP workloads here never need).

@@ -176,6 +176,12 @@ type Manager struct {
 	nextPID  atomic.Uint64
 	stats    managerCounters
 
+	// walBarrier, if set, is invoked before any dirty page reaches Flash —
+	// the write-ahead rule. The engine wires it to a WAL flush so a page
+	// image on Flash never contains effects whose log records could still
+	// be lost by a crash.
+	walBarrier func() error
+
 	traceMu sync.Mutex
 	trace   []TraceEvent
 }
@@ -194,6 +200,11 @@ func New(f *ftl.FTL, cfg Config) (*Manager, error) {
 
 // PageSize returns the database page size (equal to the Flash page size).
 func (m *Manager) PageSize() int { return m.pageSize }
+
+// SetWALBarrier installs the write-ahead barrier invoked before every dirty
+// page write. It must be set before the manager is shared between
+// goroutines.
+func (m *Manager) SetWALBarrier(fn func() error) { m.walBarrier = fn }
 
 // Mode returns the configured write mode.
 func (m *Manager) Mode() WriteMode { return m.cfg.Mode }
@@ -285,6 +296,52 @@ func (m *Manager) AllocatedPages() uint64 {
 	return m.nextPID.Load()
 }
 
+// EnsureAllocated advances the page-identifier allocator so it never hands
+// out an identifier below floor. Recovery calls it after rebuilding the
+// mapping from a surviving Flash image, so new pages cannot collide with
+// pages that already exist on Flash or in the log.
+func (m *Manager) EnsureAllocated(floor uint64) {
+	for {
+		cur := m.nextPID.Load()
+		if cur >= floor {
+			return
+		}
+		if m.nextPID.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
+// ScrubPage repairs a logical page whose physical copy carries a torn
+// in-place append: the surviving image is salvaged (complete delta records
+// applied, the torn tail discarded via the record commit markers) and
+// rewritten out of place with a clean delta area, so normal ECC-checked
+// reads work again.
+func (m *Manager) ScrubPage(pid uint64) error {
+	buf := make([]byte, m.pageSize)
+	if _, err := m.ftl.SalvageRead(int(pid), buf); err != nil {
+		return fmt.Errorf("storage: scrub page %d: %w", pid, err)
+	}
+	pg, err := page.Wrap(buf)
+	if err != nil {
+		return fmt.Errorf("storage: scrub page %d: %w", pid, err)
+	}
+	scheme := m.effectiveScheme(pg.ObjectID())
+	if scheme.Enabled() && pg.DeltaAreaSize() >= scheme.AreaSize(page.MetaSize) {
+		records := core.DecodeArea(pg.DeltaArea(), scheme, page.MetaSize)
+		if meta := core.ApplyRecords(buf, records); meta != nil {
+			if err := pg.ApplyMeta(meta); err != nil {
+				return fmt.Errorf("storage: scrub page %d: %w", pid, err)
+			}
+		}
+		pg.ResetDeltaArea()
+	}
+	if err := m.ftl.RewritePage(int(pid), buf); err != nil {
+		return fmt.Errorf("storage: scrub page %d: %w", pid, err)
+	}
+	return nil
+}
+
 // InitPage formats buf as a fresh page for the given object and returns its
 // change tracker. The first eviction of a new page is always a whole-page
 // write (there is nothing on Flash to append to).
@@ -364,6 +421,16 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 	if t != nil && !t.OutOfPlace() && !t.Dirty() {
 		m.stats.cleanEvictions.Add(1)
 		return nil
+	}
+
+	// Write-ahead rule: the log records describing this page's changes must
+	// be durable before the page image may reach Flash, otherwise a crash
+	// could leave flushed effects whose log records are gone — invisible to
+	// both redo and undo.
+	if m.walBarrier != nil {
+		if err := m.walBarrier(); err != nil {
+			return fmt.Errorf("storage: WAL barrier for page %d: %w", pid, err)
+		}
 	}
 
 	net := 0

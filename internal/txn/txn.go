@@ -76,6 +76,18 @@ func NewManager(log *wal.Log) *Manager {
 	return m
 }
 
+// NewManagerAt is NewManager with the identifier counter advanced past
+// lastID, so a manager recreated after a crash never reuses a transaction
+// identifier that still appears in the surviving log.
+func NewManagerAt(log *wal.Log, lastID uint64) *Manager {
+	m := NewManager(log)
+	m.nextID.Store(lastID)
+	return m
+}
+
+// LastTxnID returns the highest transaction identifier handed out so far.
+func (m *Manager) LastTxnID() uint64 { return m.nextID.Load() }
+
 // stripeFor returns the lock-table stripe responsible for key. The slot is
 // mixed with its own multiplier before the avalanche shift so that
 // different slots of the same (hot) page land on different stripes.
@@ -149,30 +161,41 @@ func (t *Txn) LogUpdate(pageID uint64, slot, offset uint16, old, new []byte) (ui
 	return lsn, nil
 }
 
-// LogInsert appends an insert record to the WAL.
-func (t *Txn) LogInsert(pageID uint64, slot uint16, tuple []byte) (uint64, error) {
+// LogInsert appends an insert record (with the owning object, so recovery
+// can recreate lost pages) to the WAL and remembers it for rollback.
+func (t *Txn) LogInsert(objectID uint32, pageID uint64, slot uint16, tuple []byte) (uint64, error) {
 	if t.status != Active {
 		return 0, ErrFinished
 	}
 	rec := wal.Record{
-		TxnID:  t.id,
-		Type:   wal.RecInsert,
-		PageID: pageID,
-		Slot:   slot,
-		New:    append([]byte(nil), tuple...),
+		TxnID:    t.id,
+		Type:     wal.RecInsert,
+		PageID:   pageID,
+		Slot:     slot,
+		ObjectID: objectID,
+		New:      append([]byte(nil), tuple...),
 	}
-	return t.mgr.log.Append(rec), nil
+	lsn := t.mgr.log.Append(rec)
+	rec.LSN = lsn
+	t.undo = append(t.undo, rec)
+	return lsn, nil
 }
 
 // Commit appends the commit record, makes the log durable through the
 // group-commit pipeline (concurrent commits share one log flush) and
-// releases all locks.
+// releases all locks. If the log device fails (power cut during the leader
+// flush) the commit record is not durable: the transaction is finished as
+// rolled back — recovery will undo it — and the error is returned.
 func (t *Txn) Commit() error {
 	if t.status != Active {
 		return ErrFinished
 	}
 	lsn := t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecCommit})
-	t.mgr.log.CommitFlush(lsn)
+	if err := t.mgr.log.CommitFlush(lsn); err != nil {
+		t.status = Aborted
+		t.releaseLocks()
+		return fmt.Errorf("txn: commit flush: %w", err)
+	}
 	t.status = Committed
 	t.releaseLocks()
 	return nil
@@ -182,20 +205,30 @@ func (t *Txn) Commit() error {
 // implements it.
 type Undoer interface {
 	ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error
+	UndoInsert(pid uint64, slot uint16) error
 }
 
-// Abort rolls back the transaction by applying the before images of its
-// updates in reverse order, writes an abort record and releases all locks.
+// Abort rolls back the transaction in reverse order — update before images
+// are restored, inserted tuples are deleted — then writes an abort record
+// and releases all locks.
 func (t *Txn) Abort(u Undoer) error {
 	if t.status != Active {
 		return ErrFinished
 	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		r := t.undo[i]
-		if u != nil {
-			if err := u.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old); err != nil {
-				return fmt.Errorf("txn: rollback LSN %d: %w", r.LSN, err)
-			}
+		if u == nil {
+			continue
+		}
+		var err error
+		switch r.Type {
+		case wal.RecInsert:
+			err = u.UndoInsert(r.PageID, r.Slot)
+		default:
+			err = u.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old)
+		}
+		if err != nil {
+			return fmt.Errorf("txn: rollback LSN %d: %w", r.LSN, err)
 		}
 	}
 	t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecAbort})

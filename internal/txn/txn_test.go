@@ -24,6 +24,11 @@ func (u *memUndoer) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []
 	return nil
 }
 
+func (u *memUndoer) UndoInsert(pid uint64, slot uint16) error {
+	delete(u.pages, pid)
+	return nil
+}
+
 func TestBeginAssignsUniqueIDs(t *testing.T) {
 	m := NewManager(wal.New())
 	t1 := m.Begin()
@@ -135,7 +140,7 @@ func TestLogInsert(t *testing.T) {
 	log := wal.New()
 	m := NewManager(log)
 	tx := m.Begin()
-	if _, err := tx.LogInsert(3, 1, []byte{1, 2, 3}); err != nil {
+	if _, err := tx.LogInsert(7, 3, 1, []byte{1, 2, 3}); err != nil {
 		t.Fatalf("LogInsert: %v", err)
 	}
 	if err := tx.Commit(); err != nil {

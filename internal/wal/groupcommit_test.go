@@ -40,9 +40,10 @@ func TestGroupCommitBatchesFollowers(t *testing.T) {
 	l := New()
 	entered := make(chan struct{}, followers+2)
 	release := make(chan struct{})
-	l.SetFlushHook(func(int) {
+	l.SetFlushHook(func(int) error {
 		entered <- struct{}{}
 		<-release
+		return nil
 	})
 
 	var wg sync.WaitGroup

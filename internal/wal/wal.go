@@ -62,18 +62,19 @@ func (t RecordType) String() string {
 
 // Record is one write-ahead log record.
 type Record struct {
-	LSN    uint64
-	TxnID  uint64
-	Type   RecordType
-	PageID uint64
-	Slot   uint16
-	Offset uint16 // tuple-relative offset for updates
-	Old    []byte // before image (undo)
-	New    []byte // after image (redo)
+	LSN      uint64
+	TxnID    uint64
+	Type     RecordType
+	PageID   uint64
+	Slot     uint16
+	Offset   uint16 // tuple-relative offset for updates
+	ObjectID uint32 // owning table, set on inserts (recovery may recreate the page)
+	Old      []byte // before image (undo)
+	New      []byte // after image (redo)
 }
 
 // headerSize is the fixed encoded size of a record before the images.
-const headerSize = 8 + 8 + 1 + 8 + 2 + 2 + 4 + 4
+const headerSize = 8 + 8 + 1 + 8 + 2 + 2 + 4 + 4 + 4
 
 // EncodedSize returns the serialised size of the record in bytes.
 func (r Record) EncodedSize() int { return headerSize + len(r.Old) + len(r.New) }
@@ -87,8 +88,9 @@ func (r Record) Encode() []byte {
 	binary.LittleEndian.PutUint64(buf[17:], r.PageID)
 	binary.LittleEndian.PutUint16(buf[25:], r.Slot)
 	binary.LittleEndian.PutUint16(buf[27:], r.Offset)
-	binary.LittleEndian.PutUint32(buf[29:], uint32(len(r.Old)))
-	binary.LittleEndian.PutUint32(buf[33:], uint32(len(r.New)))
+	binary.LittleEndian.PutUint32(buf[29:], r.ObjectID)
+	binary.LittleEndian.PutUint32(buf[33:], uint32(len(r.Old)))
+	binary.LittleEndian.PutUint32(buf[37:], uint32(len(r.New)))
 	copy(buf[headerSize:], r.Old)
 	copy(buf[headerSize+len(r.Old):], r.New)
 	return buf
@@ -110,8 +112,9 @@ func Decode(buf []byte) (Record, int, error) {
 	r.PageID = binary.LittleEndian.Uint64(buf[17:])
 	r.Slot = binary.LittleEndian.Uint16(buf[25:])
 	r.Offset = binary.LittleEndian.Uint16(buf[27:])
-	oldLen := int(binary.LittleEndian.Uint32(buf[29:]))
-	newLen := int(binary.LittleEndian.Uint32(buf[33:]))
+	r.ObjectID = binary.LittleEndian.Uint32(buf[29:])
+	oldLen := int(binary.LittleEndian.Uint32(buf[33:]))
+	newLen := int(binary.LittleEndian.Uint32(buf[37:]))
 	total := headerSize + oldLen + newLen
 	if len(buf) < total {
 		return Record{}, 0, ErrShortRecord
@@ -134,6 +137,7 @@ type commitWaiter struct {
 	lsn    uint64
 	commit bool
 	done   chan struct{}
+	err    error // set before done is closed when the log-device write failed
 }
 
 // GroupCommitStats describes how effectively concurrent commits were
@@ -176,17 +180,34 @@ type Log struct {
 	// flushHook, if set, models the log-device write: it is called once
 	// per flush batch (outside the log mutex) with the number of bytes
 	// made durable. Group commit pays this cost once per batch instead of
-	// once per transaction.
-	flushHook func(bytes int)
+	// once per transaction. A hook error means the write never reached
+	// the log device (e.g. an injected power cut): the batch does not
+	// become durable and every waiter riding it receives the error.
+	flushHook func(bytes int) error
 }
 
 // New creates an empty log. LSNs start at 1.
 func New() *Log { return &Log{nextLSN: 1} }
 
+// NewFromRecords creates a log pre-loaded with the records that survived a
+// crash (the durable prefix of a previous log, in LSN order). New appends
+// continue after the highest surviving LSN.
+func NewFromRecords(records []Record, flushedLSN uint64) *Log {
+	l := &Log{nextLSN: 1, flushedLSN: flushedLSN}
+	l.records = append(l.records, records...)
+	if n := len(records); n > 0 && records[n-1].LSN >= l.nextLSN {
+		l.nextLSN = records[n-1].LSN + 1
+	}
+	if flushedLSN >= l.nextLSN {
+		l.nextLSN = flushedLSN + 1
+	}
+	return l
+}
+
 // SetFlushHook installs fn as the simulated log-device write, invoked once
 // per flush batch with the flushed byte count. It must be set before the
 // log is shared between goroutines.
-func (l *Log) SetFlushHook(fn func(bytes int)) { l.flushHook = fn }
+func (l *Log) SetFlushHook(fn func(bytes int) error) { l.flushHook = fn }
 
 // Append adds a record and returns its LSN.
 func (l *Log) Append(r Record) uint64 {
@@ -232,28 +253,31 @@ func (l *Log) clampLocked(upTo uint64) uint64 {
 
 // Flush makes all appended records durable up to the given LSN (or all
 // records if upTo is zero) and accounts the flushed bytes. It is the
-// stand-alone flush used by checkpoints and recovery tests; transaction
-// commits go through CommitFlush. Both share one flush pipeline, so
-// concurrent callers never account the same records twice.
-func (l *Log) Flush(upTo uint64) { l.flush(upTo, false) }
+// stand-alone flush used by checkpoints, the eviction write-ahead barrier
+// and recovery tests; transaction commits go through CommitFlush. Both
+// share one flush pipeline, so concurrent callers never account the same
+// records twice. A non-nil error means the log device failed (power cut)
+// and the records are NOT durable.
+func (l *Log) Flush(upTo uint64) error { return l.flush(upTo, false) }
 
 // CommitFlush makes the log durable at least up to lsn, batching
 // concurrently-arriving commits into one flush. The first caller becomes
 // the leader and writes the log device on behalf of every transaction that
 // queued up in the meantime (followers merely wait); each additional
 // follower rides along for free, which is exactly how a DBMS amortises
-// the latency of a dedicated log device.
-func (l *Log) CommitFlush(lsn uint64) { l.flush(lsn, true) }
+// the latency of a dedicated log device. An error means the commit record
+// never became durable: the transaction must be treated as rolled back.
+func (l *Log) CommitFlush(lsn uint64) error { return l.flush(lsn, true) }
 
 // flush is the shared leader/follower pipeline behind Flush and
 // CommitFlush. Only commit callers count towards the group-commit batch
 // statistics.
-func (l *Log) flush(lsn uint64, commit bool) {
+func (l *Log) flush(lsn uint64, commit bool) error {
 	l.mu.Lock()
 	lsn = l.clampLocked(lsn)
 	if lsn <= l.flushedLSN {
 		l.mu.Unlock()
-		return
+		return nil
 	}
 	w := &commitWaiter{lsn: lsn, commit: commit, done: make(chan struct{})}
 	l.waiters = append(l.waiters, w)
@@ -262,7 +286,7 @@ func (l *Log) flush(lsn uint64, commit bool) {
 		// waiter up in its next batch.
 		l.mu.Unlock()
 		<-w.done
-		return
+		return w.err
 	}
 	l.flushing = true
 	for {
@@ -284,18 +308,27 @@ func (l *Log) flush(lsn uint64, commit bool) {
 		// One log-device write for the whole batch. New callers arriving
 		// during this write queue behind l.flushing and join the next
 		// batch.
+		var hookErr error
 		if hook != nil {
-			hook(bytes)
+			hookErr = hook(bytes)
 		}
 		l.mu.Lock()
-		l.bytesWritten += uint64(bytes)
-		if target > l.flushedLSN {
-			l.flushedLSN = target
+		if hookErr == nil {
+			l.bytesWritten += uint64(bytes)
+			if target > l.flushedLSN {
+				l.flushedLSN = target
+			}
+		} else {
+			// The write never reached the log device: the whole batch is
+			// lost. Every waiter learns its records are not durable.
+			for _, bw := range batch {
+				bw.err = hookErr
+			}
 		}
 		// Waiters that queued during the write but whose records were
-		// already covered by it (their LSN is at or below the new
-		// flushedLSN, so their bytes went out with this batch) are served
-		// now instead of triggering a redundant zero-byte device write.
+		// already covered by an earlier flush (their LSN is at or below
+		// flushedLSN) are served now instead of triggering a redundant
+		// zero-byte device write.
 		pending := l.waiters[:0]
 		for _, bw := range l.waiters {
 			if bw.lsn <= l.flushedLSN {
@@ -308,10 +341,12 @@ func (l *Log) flush(lsn uint64, commit bool) {
 			}
 		}
 		l.waiters = pending
-		l.gcStats.Flushes++
-		l.gcStats.FlushedCommits += commits
-		if commits > l.gcStats.MaxBatch {
-			l.gcStats.MaxBatch = commits
+		if hookErr == nil {
+			l.gcStats.Flushes++
+			l.gcStats.FlushedCommits += commits
+			if commits > l.gcStats.MaxBatch {
+				l.gcStats.MaxBatch = commits
+			}
 		}
 		for _, bw := range batch {
 			close(bw.done)
@@ -319,7 +354,7 @@ func (l *Log) flush(lsn uint64, commit bool) {
 		if len(l.waiters) == 0 {
 			l.flushing = false
 			l.mu.Unlock()
-			return
+			return w.err
 		}
 	}
 }
@@ -368,6 +403,22 @@ func (l *Log) BytesWritten() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.bytesWritten
+}
+
+// DurableRecords returns a copy of the records that have been made durable
+// (LSN at or below the flushed LSN), in LSN order. This is exactly what a
+// crash preserves: records still in the volatile log buffer are gone.
+func (l *Log) DurableRecords() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.records {
+		if r.LSN > l.flushedLSN {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // Records returns a copy of all appended records in LSN order.
@@ -444,31 +495,66 @@ type Applier interface {
 	// ApplyUpdate installs image at the byte offset of the tuple in slot
 	// on page pid.
 	ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error
+	// RedoInsert (re)materialises the tuple in slot on page pid, creating
+	// the page for objectID if the crash lost it before its first flush.
+	RedoInsert(objectID uint32, pid uint64, slot uint16, tuple []byte) error
+	// UndoInsert removes the tuple in slot on page pid if it is present.
+	UndoInsert(pid uint64, slot uint16) error
 }
 
-// Redo re-applies the after images of all committed transactions.
+// Redo replays the effects of all committed transactions in LSN order:
+// tuple inserts are rematerialised (recreating pages the crash took before
+// their first flush) and update after-images are re-applied. Redo is
+// unconditional and idempotent; because every committed insert carries the
+// full tuple, replaying it also erases any flushed residue of transactions
+// that were rolled back in memory before the crash.
 func (l *Log) Redo(a Analysis, ap Applier) error {
 	for _, r := range l.Records() {
-		if r.Type != RecUpdate || !a.Committed[r.TxnID] {
+		if !a.Committed[r.TxnID] {
 			continue
 		}
-		if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.New); err != nil {
-			return fmt.Errorf("wal: redo LSN %d: %w", r.LSN, err)
+		switch r.Type {
+		case RecUpdate:
+			if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.New); err != nil {
+				return fmt.Errorf("wal: redo LSN %d: %w", r.LSN, err)
+			}
+		case RecInsert:
+			if err := ap.RedoInsert(r.ObjectID, r.PageID, r.Slot, r.New); err != nil {
+				return fmt.Errorf("wal: redo insert LSN %d: %w", r.LSN, err)
+			}
 		}
 	}
 	return nil
 }
 
-// Undo rolls back the updates of loser transactions in reverse LSN order.
+// Undo rolls back loser transactions in reverse LSN order: update before
+// images are restored and inserted tuples are deleted. Inserts of
+// transactions that aborted before the crash are also removed — their
+// rollback happened only in the buffer pool, so the flushed Flash image may
+// still carry the tuple as live.
+//
+// Updates of pre-crash-aborted transactions are deliberately NOT undone:
+// redo already rewrote every tuple from its committed insert forward
+// (repeating committed history), which erases any flushed residue of an
+// aborted update. Re-applying an aborted transaction's before image here
+// would be wrong — a transaction that committed AFTER the abort may have
+// overwritten the same bytes, and its redone value must stand. Inserts are
+// different: a slot belongs to exactly one insert ever (slots are never
+// reused), so deleting an aborted insert's slot can never clobber another
+// transaction's work.
 func (l *Log) Undo(a Analysis, ap Applier) error {
 	recs := l.Records()
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
-		if r.Type != RecUpdate || !a.Losers[r.TxnID] {
-			continue
-		}
-		if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old); err != nil {
-			return fmt.Errorf("wal: undo LSN %d: %w", r.LSN, err)
+		switch {
+		case r.Type == RecUpdate && a.Losers[r.TxnID]:
+			if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old); err != nil {
+				return fmt.Errorf("wal: undo LSN %d: %w", r.LSN, err)
+			}
+		case r.Type == RecInsert && (a.Losers[r.TxnID] || a.Aborted[r.TxnID]):
+			if err := ap.UndoInsert(r.PageID, r.Slot); err != nil {
+				return fmt.Errorf("wal: undo insert LSN %d: %w", r.LSN, err)
+			}
 		}
 	}
 	return nil

@@ -137,6 +137,15 @@ func (a *applier) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []by
 	return nil
 }
 
+func (a *applier) RedoInsert(objectID uint32, pid uint64, slot uint16, tuple []byte) error {
+	return a.ApplyUpdate(pid, slot, 0, tuple)
+}
+
+func (a *applier) UndoInsert(pid uint64, slot uint16) error {
+	delete(a.pages, pid)
+	return nil
+}
+
 func TestRedoUndo(t *testing.T) {
 	l := New()
 	// Committed transaction writes 0xAA at offset 0 of page 1.

@@ -195,6 +195,13 @@ type Config struct {
 	Seed int64
 	// DisableECC turns off ECC simulation.
 	DisableECC bool
+	// Faults, if non-nil, attaches a deterministic power-cut schedule to
+	// the device and the log-device flush path: the K-th program, erase or
+	// log flush fails (optionally torn mid-operation) and every operation
+	// after it reports ErrPowerLost until the plan is power-cycled. The
+	// crash-torture harness uses it to prove the engine reopens consistent
+	// from any crash point; see DB.Crash and Reopen.
+	Faults *FaultPlan
 }
 
 // withDefaults fills unset fields.
@@ -288,6 +295,7 @@ func Open(cfg Config) (*DB, error) {
 			InterferenceProb: cfg.InterferenceProb,
 			Seed:             cfg.Seed,
 			StrictOverwrite:  true,
+			Faults:           cfg.Faults,
 		},
 		Latency:    flashdev.DefaultLatencyModel(),
 		DisableECC: cfg.DisableECC,
@@ -305,28 +313,46 @@ func Open(cfg Config) (*DB, error) {
 	if err := scheme.Validate(); err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
-	// The initial ECC of every Flash page covers everything in front of the
-	// delta-record area; appended delta records carry their own ECC slots
-	// (Figure 3). This is the "low-level format" parameter of demo
-	// scenario 2.
-	eccCover := cfg.PageSize
-	if scheme.Enabled() && cfg.WriteMode != Traditional {
-		eccCover = cfg.PageSize - pageFooterSize - scheme.AreaSize(pageMetaSize)
-	}
-	ftlCfg := ftl.Config{
-		FlashMode:        flashMode,
-		OverprovisionPct: cfg.OverprovisionPct,
-		InPlaceMerge:     cfg.WriteMode == IPAConventionalSSD,
-		EccCoverBytes:    eccCover,
-	}
-	f, err := ftl.New(dev, ftlCfg)
+	f, err := ftl.New(dev, cfg.ftlConfig(flashMode))
 	if err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
+	log := wal.New()
+	return assemble(cfg, dev, f, log, txn.NewManager(log))
+}
 
+// ftlConfig derives the Flash-management configuration, including the
+// low-level ECC format: the initial ECC of every Flash page covers
+// everything in front of the delta-record area plus the page footer behind
+// it; appended delta records carry their own ECC slots (Figure 3). This is
+// the "low-level format" parameter of demo scenario 2.
+func (c Config) ftlConfig(flashMode nand.Mode) ftl.Config {
+	scheme := c.Scheme.internal()
+	eccCover, eccTail := c.PageSize, 0
+	if scheme.Enabled() && c.WriteMode != Traditional {
+		eccCover = c.PageSize - pageFooterSize - scheme.AreaSize(pageMetaSize)
+		eccTail = pageFooterSize
+	}
+	return ftl.Config{
+		FlashMode:        flashMode,
+		OverprovisionPct: c.OverprovisionPct,
+		InPlaceMerge:     c.WriteMode == IPAConventionalSSD,
+		EccCoverBytes:    eccCover,
+		EccTailBytes:     eccTail,
+	}
+}
+
+// assemble builds a DB around an existing device, FTL, log and transaction
+// manager. Open uses it on a freshly formatted device; Reopen uses it on a
+// rebuilt FTL and the durable remains of a crashed log.
+func assemble(cfg Config, dev *flashdev.Device, f *ftl.FTL, log *wal.Log, txns *txn.Manager) (*DB, error) {
+	flashMode := cfg.FlashMode.internal()
+	if cfg.SLCCells {
+		flashMode = nand.ModeSLC
+	}
 	regions := region.NewManager(region.Region{
 		Name:      "default",
-		Scheme:    scheme,
+		Scheme:    cfg.Scheme.internal(),
 		FlashMode: flashMode,
 	})
 	store, err := storage.New(f, storage.Config{
@@ -338,24 +364,35 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
+	// Write-ahead rule: no dirty page reaches Flash before the log records
+	// describing its changes are durable. Without this a crash could leave
+	// flushed effects that neither redo nor undo knows about.
+	store.SetWALBarrier(func() error { return log.Flush(0) })
 	pool, err := buffer.New(store, cfg.BufferPoolPages)
 	if err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
-	log := wal.New()
-	if cfg.LogFlushLatency > 0 || cfg.LogFlushWallLatency > 0 {
+	if cfg.LogFlushLatency > 0 || cfg.LogFlushWallLatency > 0 || cfg.Faults != nil {
 		// Model the separate log device: every flush batch costs one
 		// device write — of virtual time and, optionally, of real time the
 		// flush leader spends waiting — regardless of how many commits the
 		// batch carries. That per-batch (not per-commit) cost is the
-		// saving group commit is designed to realise.
-		log.SetFlushHook(func(bytes int) {
+		// saving group commit is designed to realise. With a fault plan
+		// attached, each flush is also a potential power-cut point: a cut
+		// here loses the whole batch, which recovery must roll back.
+		log.SetFlushHook(func(bytes int) error {
+			if cfg.Faults != nil {
+				if err := cfg.Faults.LogFlushPoint(); err != nil {
+					return err
+				}
+			}
 			if cfg.LogFlushLatency > 0 {
 				dev.AdvanceClock(cfg.LogFlushLatency)
 			}
 			if cfg.LogFlushWallLatency > 0 {
 				time.Sleep(cfg.LogFlushWallLatency)
 			}
+			return nil
 		})
 	}
 	return &DB{
@@ -366,7 +403,7 @@ func Open(cfg Config) (*DB, error) {
 		pool:       pool,
 		regions:    regions,
 		log:        log,
-		txns:       txn.NewManager(log),
+		txns:       txns,
 		tables:     make(map[string]*Table),
 		tablesByID: make(map[uint32]*Table),
 		nextObjID:  1,

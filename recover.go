@@ -1,0 +1,247 @@
+package ipa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ipa/internal/core"
+	"ipa/internal/flashdev"
+	"ipa/internal/ftl"
+	"ipa/internal/heap"
+	"ipa/internal/nand"
+	"ipa/internal/page"
+	"ipa/internal/region"
+	"ipa/internal/txn"
+	"ipa/internal/wal"
+)
+
+// CrashImage is what survives a power cut: the Flash device contents, the
+// durable prefix of the write-ahead log and the catalog description (which
+// a real system would store in a system table on the device itself). It is
+// produced by DB.Crash and consumed by Reopen.
+type CrashImage struct {
+	cfg        Config
+	dev        *flashdev.Device
+	records    []wal.Record
+	flushedLSN uint64
+	lastTxnID  uint64
+	tables     []tableSpec
+}
+
+// tableSpec is the durable description of one table.
+type tableSpec struct {
+	name      string
+	id        uint32
+	tupleSize int
+	scheme    core.Scheme
+}
+
+// Crash simulates the host side of a power cut: the database is poisoned
+// (every subsequent operation fails with ErrClosed) WITHOUT flushing dirty
+// buffers, and the surviving state — the Flash image, the durable log
+// records and the catalog — is captured for Reopen. Unlike Close, nothing
+// in volatile memory is saved.
+//
+// Reopen rebuilds the primary-key indexes from the tuples themselves, so
+// crash-recoverable tables must store their int64 key little-endian in the
+// first 8 tuple bytes (the convention all bundled workloads follow), and
+// all data must be written through transactions so the write-ahead log
+// covers it.
+func (db *DB) Crash() *CrashImage {
+	db.closeOnce.Do(func() {
+		db.gate.Lock()
+		db.closed.Store(true)
+		db.gate.Unlock()
+		// No flush: a power cut saves nothing.
+	})
+	db.mu.Lock()
+	specs := make([]tableSpec, 0, len(db.tablesByID))
+	for id, t := range db.tablesByID {
+		specs = append(specs, tableSpec{
+			name:      t.name,
+			id:        id,
+			tupleSize: t.tupleSize,
+			scheme:    db.regions.For(id).Scheme,
+		})
+	}
+	db.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].id < specs[j].id })
+	return &CrashImage{
+		cfg:        db.cfg,
+		dev:        db.dev,
+		records:    db.log.DurableRecords(),
+		flushedLSN: db.log.FlushedLSN(),
+		lastTxnID:  db.txns.LastTxnID(),
+		tables:     specs,
+	}
+}
+
+// Reopen opens a database on the remains of a crash: it power-cycles the
+// device, rebuilds the FTL mapping from the OOB tags on Flash (newest valid
+// copy of every logical page wins), scrubs pages carrying torn in-place
+// appends, recreates the catalog, replays the durable write-ahead log
+// (analysis, redo of committed inserts and updates, undo of losers) and
+// rebuilds the primary-key indexes from the recovered heaps. On success all
+// committed transactions are visible, all losers are rolled back and the
+// database is fully usable.
+//
+// Reopen may itself be interrupted by an armed fault plan (a crash during
+// recovery); recovery is idempotent, so calling Reopen on the same image
+// again continues from the surviving state.
+func Reopen(img *CrashImage) (*DB, error) {
+	cfg := img.cfg
+	if cfg.Faults != nil {
+		cfg.Faults.PowerCycle()
+	}
+	flashMode := cfg.FlashMode.internal()
+	if cfg.SLCCells {
+		flashMode = nand.ModeSLC
+	}
+	f, report, err := ftl.Rebuild(img.dev, cfg.ftlConfig(flashMode))
+	if err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
+	log := wal.NewFromRecords(img.records, img.flushedLSN)
+	db, err := assemble(cfg, img.dev, f, log, txn.NewManagerAt(log, img.lastTxnID))
+	if err != nil {
+		return nil, err
+	}
+	// Recreate the catalog with the original object identifiers so the
+	// region assignments and page ownership line up with the Flash image.
+	for _, spec := range img.tables {
+		db.regions.Assign(spec.id, region.Region{
+			Name:      spec.name,
+			Scheme:    spec.scheme,
+			FlashMode: db.regions.Default().FlashMode,
+		})
+		t := newTable(db, spec.name, spec.id, spec.tupleSize)
+		db.tables[spec.name] = t
+		db.tablesByID[spec.id] = t
+		if spec.id >= db.nextObjID {
+			db.nextObjID = spec.id + 1
+		}
+	}
+	// New page identifiers must not collide with any page on Flash or in
+	// the log (a page the crash took before its first flush still has
+	// insert records that will recreate it).
+	floor := uint64(0)
+	if report.MaxLBA >= 0 {
+		floor = uint64(report.MaxLBA) + 1
+	}
+	for _, r := range img.records {
+		if (r.Type == wal.RecInsert || r.Type == wal.RecUpdate) && r.PageID+1 > floor {
+			floor = r.PageID + 1
+		}
+	}
+	db.store.EnsureAllocated(floor)
+	// Scrub pages whose winning copy carries a torn append before any
+	// ECC-checked read touches them.
+	for _, lba := range report.Scrub {
+		if err := db.store.ScrubPage(uint64(lba)); err != nil {
+			return nil, fmt.Errorf("ipa: reopen: %w", err)
+		}
+	}
+	if err := db.adoptSurvivingPages(floor); err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
+	if err := db.recoverReplay(); err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
+	if err := db.rebuildIndexes(); err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
+	return db, nil
+}
+
+// adoptSurvivingPages assigns every mapped logical page to its owning
+// table's heap file, in ascending page order (allocation order).
+func (db *DB) adoptSurvivingPages(floor uint64) error {
+	perTable := make(map[uint32][]uint64)
+	buf := make([]byte, db.cfg.PageSize)
+	for lba := 0; lba < db.ftl.Capacity() && uint64(lba) < floor; lba++ {
+		if !db.ftl.Mapped(lba) {
+			continue
+		}
+		if err := db.ftl.ReadPage(lba, buf); err != nil {
+			return fmt.Errorf("page %d unreadable: %w", lba, err)
+		}
+		pg, err := page.Wrap(buf)
+		if err != nil {
+			return fmt.Errorf("page %d: %w", lba, err)
+		}
+		perTable[pg.ObjectID()] = append(perTable[pg.ObjectID()], uint64(lba))
+	}
+	for objID, pids := range perTable {
+		t, ok := db.tablesByID[objID]
+		if !ok {
+			return fmt.Errorf("page(s) %v owned by unknown object %d", pids, objID)
+		}
+		t.heap.AdoptPages(pids)
+	}
+	return nil
+}
+
+// rebuildIndexes reconstructs every table's primary-key index and live
+// tuple count by scanning the recovered heap pages. Keys are the first 8
+// tuple bytes (little-endian int64).
+func (db *DB) rebuildIndexes() error {
+	db.mu.Lock()
+	tables := make([]*Table, 0, len(db.tablesByID))
+	for _, t := range db.tablesByID {
+		tables = append(tables, t)
+	}
+	db.mu.Unlock()
+	for _, t := range tables {
+		if t.tupleSize < 8 {
+			return fmt.Errorf("table %q: tuples of %d bytes cannot carry the primary key", t.name, t.tupleSize)
+		}
+		var count uint64
+		err := t.heap.Scan(func(rid heap.RID, tuple []byte) bool {
+			key := int64(binary.LittleEndian.Uint64(tuple[:8]))
+			t.mu.Lock()
+			t.pk.Insert(key, rid.Pack())
+			t.mu.Unlock()
+			count++
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("table %q: %w", t.name, err)
+		}
+		t.heap.SetCount(count)
+	}
+	return nil
+}
+
+// VerifyIntegrity checks the storage stack end to end: the FTL translation
+// invariants hold, every mapped page reads back ECC-clean, carries the page
+// magic and belongs to a known table. The crash-torture harness runs it
+// after every recovery.
+func (db *DB) VerifyIntegrity() error {
+	if err := db.ftl.CheckConsistency(); err != nil {
+		return fmt.Errorf("ipa: %w", err)
+	}
+	buf := make([]byte, db.cfg.PageSize)
+	for lba := 0; lba < db.ftl.Capacity(); lba++ {
+		if !db.ftl.Mapped(lba) {
+			continue
+		}
+		if err := db.ftl.ReadPage(lba, buf); err != nil {
+			return fmt.Errorf("ipa: page %d unreadable: %w", lba, err)
+		}
+		pg, err := page.Wrap(buf)
+		if err != nil {
+			return fmt.Errorf("ipa: page %d: %w", lba, err)
+		}
+		db.mu.Lock()
+		_, known := db.tablesByID[pg.ObjectID()]
+		db.mu.Unlock()
+		if !known {
+			return fmt.Errorf("ipa: page %d owned by unknown object %d", lba, pg.ObjectID())
+		}
+	}
+	return nil
+}

@@ -1,8 +1,12 @@
 package ipa
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 
+	"ipa/internal/core"
+	"ipa/internal/ftl"
 	"ipa/internal/heap"
 	"ipa/internal/page"
 	"ipa/internal/txn"
@@ -25,6 +29,17 @@ type Tx struct {
 	db    *DB
 	inner *txn.Txn
 	done  bool
+	// inserted tracks this transaction's inserts so a rollback can also
+	// remove the primary-key entries (the heap slots are deleted by the
+	// transaction layer's undo).
+	inserted []insertedTuple
+}
+
+// insertedTuple is one insert performed by a transaction.
+type insertedTuple struct {
+	table *Table
+	key   int64
+	rid   heap.RID
 }
 
 // Begin starts a new transaction. On a closed database the returned
@@ -99,10 +114,11 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
 		return err
 	}
-	if _, err := tx.inner.LogInsert(rid.PageID, rid.Slot, tuple); err != nil {
+	if _, err := tx.inner.LogInsert(t.id, rid.PageID, rid.Slot, tuple); err != nil {
 		return err
 	}
 	t.pk.Insert(key, rid.Pack())
+	tx.inserted = append(tx.inserted, insertedTuple{table: t, key: key, rid: rid})
 	return nil
 }
 
@@ -172,6 +188,13 @@ func (tx *Tx) Commit() error {
 	}
 	defer tx.db.release()
 	if err := tx.inner.Commit(); err != nil {
+		if !errors.Is(err, txn.ErrFinished) {
+			// The commit record never became durable (power cut during the
+			// log flush): the transaction is finished as a loser — recovery
+			// rolls its effects back after the restart.
+			tx.done = true
+			tx.db.aborted.Add(1)
+		}
 		return err
 	}
 	tx.done = true
@@ -197,8 +220,19 @@ func (tx *Tx) Abort() error {
 		return derr
 	}
 	defer tx.db.release()
-	if err := tx.inner.Abort(pageUndoer{db: tx.db}); err != nil {
+	if err := tx.inner.Abort(pageUndoer{db: tx.db, undo: true}); err != nil {
 		return err
+	}
+	// The transaction layer deleted the inserted heap tuples; drop their
+	// primary-key entries too, so rolled-back inserts are fully invisible
+	// and their keys can be reused.
+	for _, ins := range tx.inserted {
+		ins.table.mu.Lock()
+		if v, ok := ins.table.pk.Get(ins.key); ok && v == ins.rid.Pack() {
+			ins.table.pk.Delete(ins.key)
+			ins.table.heap.NoteUndoneInsert()
+		}
+		ins.table.mu.Unlock()
 	}
 	tx.done = true
 	tx.db.aborted.Add(1)
@@ -206,14 +240,22 @@ func (tx *Tx) Abort() error {
 }
 
 // pageUndoer applies before/after images directly to buffered pages; it is
-// used both by transaction rollback and by WAL-based recovery.
-type pageUndoer struct{ db *DB }
+// used both by transaction rollback and by WAL-based recovery. With undo
+// set it tolerates pages that no longer exist — a loser transaction's page
+// the crash took before its first flush needs no rollback.
+type pageUndoer struct {
+	db   *DB
+	undo bool
+}
 
 // ApplyUpdate installs image at the byte offset of the tuple in slot on
 // page pid.
 func (u pageUndoer) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error {
 	h, err := u.db.pool.Fetch(pid)
 	if err != nil {
+		if u.undo && errors.Is(err, ftl.ErrUnmapped) {
+			return nil
+		}
 		return err
 	}
 	defer h.Release()
@@ -229,18 +271,137 @@ func (u pageUndoer) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []
 	return nil
 }
 
-// Recover replays the write-ahead log against the current storage state:
-// committed updates are redone and uncommitted ones undone. It is used by
-// the recovery tests to demonstrate that IPA does not interfere with
-// database recovery.
-func (db *DB) Recover() error {
-	analysis := db.log.Analyze()
-	ap := pageUndoer{db: db}
-	if err := db.log.Redo(analysis, ap); err != nil {
+// RedoInsert rematerialises a committed insert: the page is recreated if
+// the crash lost it before its first flush, missing slots are materialised
+// in order (fixed-size tuples make the layout deterministic) and the tuple
+// bytes are installed. It is idempotent.
+func (u pageUndoer) RedoInsert(objectID uint32, pid uint64, slot uint16, tuple []byte) error {
+	h, err := u.db.pool.Fetch(pid)
+	if err != nil && errors.Is(err, ftl.ErrUnmapped) {
+		h, err = u.db.pool.Create(pid, func(buf []byte) (*core.Tracker, error) {
+			return u.db.store.InitPage(buf, pid, objectID)
+		})
+		if err == nil {
+			u.db.store.EnsureAllocated(pid + 1)
+			u.db.mu.Lock()
+			if t := u.db.tablesByID[objectID]; t != nil {
+				t.heap.AdoptPage(pid)
+			}
+			u.db.mu.Unlock()
+		}
+	}
+	if err != nil {
 		return err
 	}
-	if err := db.log.Undo(analysis, ap); err != nil {
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	// Materialise any missing slots in front of this one. Each gap slot
+	// belongs to another logged insert with a LOWER LSN — Tx.Insert holds
+	// the table mutex across slot assignment and log append, so slot order
+	// equals LSN order per page, and a commit flush covering this record
+	// also made every lower-slot record durable. That insert will either
+	// restore the gap slot (committed) or delete it (loser) in its own
+	// turn, so no placeholder survives recovery.
+	for pg.SlotCount() <= int(slot) {
+		if _, err := pg.InsertTuple(make([]byte, len(tuple))); err != nil {
+			return err
+		}
+	}
+	if err := pg.RestoreTuple(int(slot), tuple); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	return nil
+}
+
+// UndoInsert deletes the tuple a rolled-back insert left behind, if it is
+// still present. It is idempotent; pages that never reached Flash are
+// skipped. If the tuple is still indexed (the in-process Recover path,
+// where the primary keys predate the crash simulation), its key entry and
+// the heap count are cleaned up too; during Reopen the indexes are rebuilt
+// from scratch afterwards, so the lookup simply finds nothing.
+func (u pageUndoer) UndoInsert(pid uint64, slot uint16) error {
+	h, err := u.db.pool.Fetch(pid)
+	if err != nil {
+		if errors.Is(err, ftl.ErrUnmapped) {
+			return nil
+		}
+		return err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	if int(slot) >= pg.SlotCount() {
+		return nil
+	}
+	deleted, err := pg.Deleted(int(slot))
+	if err != nil || deleted {
+		return err
+	}
+	tuple, err := pg.Tuple(int(slot))
+	if err != nil {
+		return err
+	}
+	if err := pg.DeleteTuple(int(slot)); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	u.db.forgetIndexEntry(pg.ObjectID(), tuple, heap.RID{PageID: pid, Slot: slot})
+	return nil
+}
+
+// forgetIndexEntry removes the primary-key entry of a tuple deleted by
+// recovery undo, using the first-8-bytes key convention. The entry is only
+// removed when it maps the key to exactly this RID, so tables that do not
+// follow the convention are left untouched (Reopen rebuilds their indexes
+// from scratch afterwards anyway).
+func (db *DB) forgetIndexEntry(objectID uint32, tuple []byte, rid heap.RID) {
+	if len(tuple) < 8 {
+		return
+	}
+	db.mu.Lock()
+	t := db.tablesByID[objectID]
+	db.mu.Unlock()
+	if t == nil {
+		return
+	}
+	key := int64(binary.LittleEndian.Uint64(tuple[:8]))
+	t.mu.Lock()
+	if v, ok := t.pk.Get(key); ok && v == rid.Pack() {
+		t.pk.Delete(key)
+		t.heap.NoteUndoneInsert()
+	}
+	t.mu.Unlock()
+}
+
+// Recover replays the write-ahead log against the current storage state:
+// committed inserts and updates are redone and uncommitted ones undone. It
+// is used by the recovery tests to demonstrate that IPA does not interfere
+// with database recovery; Reopen runs the same passes after rebuilding the
+// FTL mapping from a crashed Flash image.
+func (db *DB) Recover() error {
+	if err := db.recoverReplay(); err != nil {
 		return err
 	}
 	return db.pool.FlushAll()
+}
+
+// recoverReplay runs the redo and undo passes of recovery against the
+// buffer pool without the final flush.
+func (db *DB) recoverReplay() error {
+	analysis := db.log.Analyze()
+	if err := db.log.Redo(analysis, pageUndoer{db: db}); err != nil {
+		return err
+	}
+	if err := db.log.Undo(analysis, pageUndoer{db: db, undo: true}); err != nil {
+		return err
+	}
+	return nil
 }
