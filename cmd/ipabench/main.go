@@ -14,6 +14,7 @@
 //	ipabench -exp concurrent   # concurrency scaling (sharded pool, group commit)
 //	ipabench -exp chips        # chip scaling (per-chip FTL partitions)
 //	ipabench -exp crash        # power-cut torture: crash at every fault point
+//	ipabench -exp index        # index maintenance: IPA vs out-of-place entry pages
 //	ipabench -exp all
 //
 // The -quick flag shrinks every experiment so the whole suite finishes in
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, index, all")
 		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
 		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
 		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
@@ -340,6 +341,37 @@ func main() {
 			if res.Failed() {
 				return fmt.Errorf("recovery invariants violated")
 			}
+			return nil
+		})
+	}
+	if want("index") {
+		run("Index maintenance: IPA vs out-of-place entry pages", func() error {
+			// The index experiment keeps its own small-pool profile (see
+			// bench.IndexProfile): a pool big enough to cache the whole
+			// index would leave no index I/O to measure.
+			o := bench.DefaultIndexOptions()
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops, o.Duration = *ops, 0
+			}
+			if *duration > 0 {
+				o.Duration, o.Ops = *duration, 0
+			}
+			if *quick {
+				o.Profile = bench.SmallProfile
+				o.Profile.BufferPoolPages = 16
+				o.Ops = 4000
+			}
+			res, err := bench.Index(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			report.Add("index", o, res)
 			return nil
 		})
 	}

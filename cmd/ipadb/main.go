@@ -13,6 +13,8 @@
 //	insert <table> <key> <text>
 //	get <table> <key>
 //	update <table> <key> <offset> <text>
+//	delete <table> <key>
+//	scan <table> <from> <to>
 //	tables
 //	stats
 //	flush
@@ -106,7 +108,8 @@ func execute(db *ipa.DB, line string) bool {
 		return true
 	case "help":
 		fmt.Println("commands: create <table> <tupleSize> | insert <t> <key> <text> | get <t> <key> |")
-		fmt.Println("          update <t> <key> <offset> <text> | tables | stats | flush | quit")
+		fmt.Println("          update <t> <key> <offset> <text> | delete <t> <key> |")
+		fmt.Println("          scan <t> <from> <to> | tables | stats | flush | quit")
 	case "create":
 		if len(args) != 2 {
 			return fail("usage: create <table> <tupleSize>")
@@ -119,7 +122,7 @@ func execute(db *ipa.DB, line string) bool {
 			return fail("%v", err)
 		}
 		fmt.Printf("table %s created (%d-byte tuples)\n", args[0], size)
-	case "insert", "update", "get":
+	case "insert", "update", "get", "delete", "scan":
 		return tableCommand(db, cmd, args)
 	case "tables":
 		for _, name := range db.Tables() {
@@ -189,6 +192,33 @@ func tableCommand(db *ipa.DB, cmd string, args []string) bool {
 			return fail("%v", err)
 		}
 		fmt.Println("ok")
+	case "delete":
+		tx := db.Begin()
+		if err := tx.Delete(table, key); err != nil {
+			_ = tx.Abort()
+			return fail("%v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Println("ok")
+	case "scan":
+		if len(args) != 3 {
+			return fail("usage: scan <table> <from> <to>")
+		}
+		to, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fail("bad upper bound: %v", err)
+		}
+		rows := 0
+		if err := table.ScanRange(key, to, func(k int64, row []byte) bool {
+			fmt.Printf("%12d  %q\n", k, strings.TrimRight(string(row), "\x00"))
+			rows++
+			return true
+		}); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Printf("(%d rows in [%d,%d))\n", rows, key, to)
 	}
 	return false
 }

@@ -36,6 +36,9 @@ type Experiment struct {
 	Mode   ipa.WriteMode
 	Scheme ipa.Scheme
 	Flash  ipa.FlashMode
+	// IndexScheme overrides the N×M scheme of index entry pages (zero
+	// inherits Scheme); see ipa.Config.IndexScheme.
+	IndexScheme ipa.Scheme
 
 	// Ops bounds the measurement by committed transactions; Duration
 	// bounds it by virtual device time. At least one must be set.
@@ -148,6 +151,7 @@ func (e Experiment) config() ipa.Config {
 		BufferPoolPages: p.BufferPoolPages,
 		WriteMode:       e.Mode,
 		Scheme:          e.Scheme,
+		IndexScheme:     e.IndexScheme,
 		FlashMode:       e.Flash,
 		Analytic:        e.Analytic,
 		TraceEvictions:  e.TraceEvictions,

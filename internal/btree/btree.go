@@ -1,12 +1,12 @@
 // Package btree implements an in-memory B+ tree keyed by int64 with uint64
-// values, used as the primary-key index of benchmark tables.
+// values: the volatile search structure of the engine's primary-key index.
 //
-// The paper's experiments measure the effect of In-Place Appends on data
-// pages under OLTP workloads; the primary-key indexes of those workloads
-// are essentially read-only after the load phase (keys are never changed),
-// so the index is kept in memory, exactly as a heavily cached index would
-// behave. Keeping it here rather than on Flash isolates the measured
-// effect to data-page updates; see DESIGN.md.
+// Persistence lives one layer down, in internal/index: every key owns a
+// fixed-size entry in Flash-backed entry pages, and this tree is the
+// sorted directory over those entries. Inner nodes are derivable metadata,
+// so they are never written to Flash — the tree is rebuilt from the entry
+// pages (plus the write-ahead log) when a database is reopened, which
+// keeps index recovery free of multi-page structure modifications.
 package btree
 
 import "sort"
@@ -138,9 +138,15 @@ func (n *node) splitInternal() (int64, *node) {
 	return sep, right
 }
 
-// Delete removes key and reports whether it was present. The tree does not
-// rebalance on delete (leaves may underflow); OLTP primary keys are almost
-// never deleted, and lookups remain correct regardless.
+// Delete removes key and reports whether it was present. The tree
+// tolerates underflow instead of rebalancing: leaves may empty out and
+// separator keys may go stale, but Get, Ascend, AscendRange, Min and Max
+// all remain correct (scans skip empty leaves via the leaf chain; see the
+// tests in btree_delete_test.go). The trade-off is memory: node count
+// shrinks only when emptied key ranges are reinserted, so the tree's
+// footprint tracks its high-water mark rather than its live size — fine
+// for a buffer-cached primary-key index whose key space is reused, which
+// is exactly how the engine employs it.
 func (t *Tree) Delete(key int64) bool {
 	n := t.root
 	for !n.leaf {

@@ -25,8 +25,10 @@ import (
 	"ipa"
 )
 
-// Tuple layout of the harness tables: int64 key at offset 0 (the engine's
-// index-rebuild convention), int64 balance at offset 8.
+// Tuple layout of the harness tables: int64 key at offset 0, int64
+// balance at offset 8. (Recovery no longer needs the key embedded in the
+// tuple — indexes are recovered from their own entry pages and the WAL —
+// but the oracle reads both fields back to verify them.)
 const (
 	keyOffset     = 0
 	balanceOffset = 8
@@ -137,6 +139,7 @@ type oracle struct {
 	loadedT  int
 	loadedB  int
 	history  map[int64][2]int64 // history key -> (account, delta)
+	liveHist []int64            // committed, not-yet-deleted history keys in insertion order
 	nextHist int64
 }
 
@@ -251,9 +254,15 @@ func (d *driver) load() error {
 	return nil
 }
 
-// runOne executes one TPC-B style transaction and mirrors it in the oracle
-// if (and only if) the commit succeeded.
+// runOne executes one transaction — usually the TPC-B style
+// update/update/update/insert, but every sixth op (once history rows
+// exist) a transactional delete of a committed history row, so the sweep
+// also enumerates the index-delete and tuple-delete fault points — and
+// mirrors it in the oracle if (and only if) the commit succeeded.
 func (d *driver) runOne(r *rand.Rand) error {
+	if r.Intn(6) == 0 && len(d.ora.liveHist) > 0 {
+		return d.deleteOne(r)
+	}
 	a := r.Intn(d.opts.Accounts)
 	t := r.Intn(d.opts.Tellers)
 	b := r.Intn(d.opts.Branches)
@@ -291,6 +300,24 @@ func (d *driver) runOne(r *rand.Rand) error {
 	d.ora.tellers[t] += delta
 	d.ora.branches[b] += delta
 	d.ora.history[hid] = [2]int64{int64(a), delta}
+	d.ora.liveHist = append(d.ora.liveHist, hid)
+	return nil
+}
+
+// deleteOne removes one committed history row through a transaction and
+// mirrors the deletion in the oracle only if the commit succeeded.
+func (d *driver) deleteOne(r *rand.Rand) error {
+	idx := r.Intn(len(d.ora.liveHist))
+	hid := d.ora.liveHist[idx]
+	tx := d.db.Begin()
+	if err := tx.Delete(d.history, hid); err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	d.ora.liveHist = append(d.ora.liveHist[:idx], d.ora.liveHist[idx+1:]...)
+	delete(d.ora.history, hid)
 	return nil
 }
 

@@ -498,6 +498,30 @@ func (f *FTL) WritePage(lba int, data []byte) (bool, error) {
 	return false, p.writeOutOfPlaceLocked(lba, data)
 }
 
+// WritePageOut writes a full logical page strictly out-of-place, never
+// attempting an in-place merge even if the image happens to be bit-wise
+// programmable onto the mapped physical page. Body rewrites must use this
+// path: only delta-area appends are framed by per-record checksums and
+// commit markers, so only they survive a torn in-place program detectably.
+// A torn in-place BODY program would keep the old mapping tag valid while
+// leaving an old/new byte mix — silent corruption. (Out-of-place programs
+// are safe: a torn copy never validates its tag, so recovery falls back to
+// the previous complete copy.)
+func (f *FTL) WritePageOut(lba int, data []byte) error {
+	if len(data) != f.geo.PageSize {
+		return fmt.Errorf("ftl: WritePageOut buffer %d bytes, want %d", len(data), f.geo.PageSize)
+	}
+	if lba < 0 || lba >= len(f.l2p) {
+		return fmt.Errorf("%w: %d", ErrBadLBA, lba)
+	}
+	p := f.part(lba)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.stats.hostWrites.Add(1)
+	f.stats.hostBytesWritten.Add(uint64(len(data)))
+	return p.writeOutOfPlaceLocked(lba, data)
+}
+
 // tryInPlaceLocked attempts to program data over the existing physical
 // page. The device enforces the bit-clear-only rule, so an image that
 // changed anything besides appended (previously erased) bytes fails and the

@@ -122,6 +122,14 @@ func (f *File) NoteUndoneInsert() {
 	f.mu.Unlock()
 }
 
+// NoteRestoredTuple adjusts the live-tuple count after rollback or
+// recovery re-materialised a deleted tuple directly at the page level.
+func (f *File) NoteRestoredTuple() {
+	f.mu.Lock()
+	f.count++
+	f.mu.Unlock()
+}
+
 // withPage pins a page exclusively, wraps it and attaches the frame's
 // tracker as the change recorder, then runs fn.
 func (f *File) withPage(pid uint64, fn func(h *buffer.Handle, pg *page.Page) error) error {
@@ -262,6 +270,41 @@ func (f *File) Update(rid RID, tuple []byte) error {
 	return f.UpdateAt(rid, 0, tuple)
 }
 
+// Reuse re-materialises a previously deleted slot with a fresh tuple of
+// the same fixed size, reclaiming its space instead of growing the file.
+// The caller must know the slot is deleted (e.g. from its own free list).
+//
+// Heap files addressed by WAL records must NOT reuse slots — recovery's
+// redo relies on a slot belonging to exactly one logged insert ever. The
+// index entry files (internal/index) are exempt: their WAL records are
+// logical (keyed, never slot-addressed), which is what makes entry-slot
+// recycling safe there.
+func (f *File) Reuse(rid RID, tuple []byte) error {
+	if len(tuple) != f.tupleSize {
+		return fmt.Errorf("heap: tuple size %d, want %d", len(tuple), f.tupleSize)
+	}
+	err := f.withPage(rid.PageID, func(h *buffer.Handle, pg *page.Page) error {
+		deleted, err := pg.Deleted(int(rid.Slot))
+		if err != nil {
+			return err
+		}
+		if !deleted {
+			return fmt.Errorf("heap: slot %s is live, cannot reuse", rid)
+		}
+		if err := pg.RestoreTuple(int(rid.Slot), tuple); err != nil {
+			return err
+		}
+		h.MarkDirty()
+		return nil
+	})
+	if err == nil {
+		f.mu.Lock()
+		f.count++
+		f.mu.Unlock()
+	}
+	return err
+}
+
 // Delete removes the tuple at rid.
 func (f *File) Delete(rid RID) error {
 	err := f.withPage(rid.PageID, func(h *buffer.Handle, pg *page.Page) error {
@@ -287,6 +330,19 @@ func (f *File) Delete(rid RID) error {
 // shared latch and must not modify the file (use Table-level scans to
 // combine reading with updates).
 func (f *File) Scan(fn func(rid RID, tuple []byte) bool) error {
+	return f.ScanSlots(func(rid RID, tuple []byte, deleted bool) bool {
+		if deleted {
+			return true
+		}
+		return fn(rid, tuple)
+	})
+}
+
+// ScanSlots calls fn for every slot of the file — live and deleted — in
+// page/slot order, until fn returns false. Deleted slots are reported
+// with a nil tuple. Index recovery uses it to rebuild both the live
+// entries and the reusable-slot free list in one pass.
+func (f *File) ScanSlots(fn func(rid RID, tuple []byte, deleted bool) bool) error {
 	for _, pid := range f.PageIDs() {
 		stop := false
 		err := f.withPageShared(pid, func(pg *page.Page) error {
@@ -295,14 +351,13 @@ func (f *File) Scan(fn func(rid RID, tuple []byte) bool) error {
 				if err != nil {
 					return err
 				}
-				if deleted {
-					continue
+				var t []byte
+				if !deleted {
+					if t, err = pg.Tuple(s); err != nil {
+						return err
+					}
 				}
-				t, err := pg.Tuple(s)
-				if err != nil {
-					return err
-				}
-				if !fn(RID{PageID: pid, Slot: uint16(s)}, t) {
+				if !fn(RID{PageID: pid, Slot: uint16(s)}, t, deleted) {
 					stop = true
 					return nil
 				}

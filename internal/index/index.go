@@ -1,0 +1,201 @@
+// Package index implements the persistent side of the primary-key B-tree
+// index: entry pages that live in the buffer pool and reach Flash through
+// the same storage-manager write paths as heap pages.
+//
+// Each index is stored as a file of fixed 16-byte entries (key, packed
+// RID), one entry per indexed key, kept in slotted pages owned by the
+// index's own object identifier and NoFTL region. Index maintenance is
+// exactly the small-update pattern In-Place Appends targets: an insert
+// appends one entry (a handful of bytes plus a slot), a delete flips one
+// slot marker, a remap rewrites eight bytes in place — all of which the
+// change tracker turns into N×M delta records instead of full page
+// rewrites.
+//
+// The sorted search structure (internal/btree) stays volatile: inner nodes
+// are derivable metadata, rebuilt at open time from the entries themselves,
+// so no inter-page pointers ever reach Flash and recovery never depends on
+// a multi-page structure modification being flushed atomically. After a
+// crash, any subset of flushed entry pages plus the durable write-ahead log
+// reconstructs the exact committed mapping (see ipa.Reopen).
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ipa/internal/buffer"
+	"ipa/internal/heap"
+	"ipa/internal/storage"
+)
+
+// EntrySize is the on-page size of one index entry: int64 key plus packed
+// 48/16-bit RID value, both little-endian.
+const EntrySize = 16
+
+// Entry is one persistent index entry.
+type Entry struct {
+	Key   int64
+	Value uint64
+}
+
+// encodeEntry serialises an entry.
+func encodeEntry(key int64, value uint64) []byte {
+	buf := make([]byte, EntrySize)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(key))
+	binary.LittleEndian.PutUint64(buf[8:], value)
+	return buf
+}
+
+// decodeEntry parses an entry.
+func decodeEntry(buf []byte) Entry {
+	return Entry{
+		Key:   int64(binary.LittleEndian.Uint64(buf[0:])),
+		Value: binary.LittleEndian.Uint64(buf[8:]),
+	}
+}
+
+// File is the persistent entry storage of one index. It tracks where each
+// key's entry lives so deletes and remaps can edit the entry in place,
+// and keeps a free list of tombstoned slots so delete/reinsert churn
+// recycles entry space instead of growing the file without bound. Slot
+// recycling is safe here — unlike heap files — because index WAL records
+// are logical (keyed), never slot-addressed.
+type File struct {
+	mu      sync.Mutex
+	entries *heap.File
+	loc     map[int64]uint64 // key -> packed entry RID
+	free    []uint64         // packed RIDs of tombstoned, reusable entry slots
+}
+
+// New creates an empty index file owned by objectID.
+func New(store *storage.Manager, pool *buffer.Pool, objectID uint32) *File {
+	return &File{
+		entries: heap.New(store, pool, objectID, EntrySize),
+		loc:     make(map[int64]uint64),
+	}
+}
+
+// ObjectID returns the owning object identifier of the index.
+func (f *File) ObjectID() uint32 { return f.entries.ObjectID() }
+
+// Len returns the number of live entries.
+func (f *File) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.loc)
+}
+
+// Pages returns the number of entry pages of the index.
+func (f *File) Pages() int { return len(f.entries.PageIDs()) }
+
+// PageIDs returns the identifiers of all entry pages.
+func (f *File) PageIDs() []uint64 { return f.entries.PageIDs() }
+
+// Set maps key to value, rewriting the existing entry's value bytes in
+// place (an 8-byte patch), recycling a tombstoned slot (a 16-byte entry
+// rewrite plus a 2-byte slot revive), or — only when no slot is free —
+// appending a fresh entry. All three are the small in-place edits the
+// delta-append machinery absorbs.
+func (f *File) Set(key int64, value uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if packed, ok := f.loc[key]; ok {
+		img := make([]byte, 8)
+		binary.LittleEndian.PutUint64(img, value)
+		if err := f.entries.UpdateAt(heap.Unpack(packed), 8, img); err != nil {
+			return fmt.Errorf("index: remap key %d: %w", key, err)
+		}
+		return nil
+	}
+	if n := len(f.free); n > 0 {
+		packed := f.free[n-1]
+		if err := f.entries.Reuse(heap.Unpack(packed), encodeEntry(key, value)); err != nil {
+			return fmt.Errorf("index: reuse slot for key %d: %w", key, err)
+		}
+		f.free = f.free[:n-1]
+		f.loc[key] = packed
+		return nil
+	}
+	rid, err := f.entries.Insert(encodeEntry(key, value))
+	if err != nil {
+		return fmt.Errorf("index: insert key %d: %w", key, err)
+	}
+	f.loc[key] = rid.Pack()
+	return nil
+}
+
+// Delete removes key's entry (tombstoning its slot and queueing it for
+// reuse). Deleting an absent key is a no-op, which recovery relies on for
+// idempotent replay.
+func (f *File) Delete(key int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	packed, ok := f.loc[key]
+	if !ok {
+		return nil
+	}
+	if err := f.entries.Delete(heap.Unpack(packed)); err != nil {
+		return fmt.Errorf("index: delete key %d: %w", key, err)
+	}
+	delete(f.loc, key)
+	f.free = append(f.free, packed)
+	return nil
+}
+
+// Contains reports whether key has a live entry.
+func (f *File) Contains(key int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.loc[key]
+	return ok
+}
+
+// AdoptPages installs the entry pages that survived a crash (ascending
+// order). Load must be called afterwards to rebuild the entry locations.
+func (f *File) AdoptPages(pids []uint64) { f.entries.AdoptPages(pids) }
+
+// Load scans the adopted entry pages, rebuilds the key-to-entry locations
+// and the reusable-slot free list, and returns the surviving live
+// entries. A crash between the flush of two entry pages can leave
+// duplicate entries for one key (delete tombstone unflushed, reinserted
+// entry flushed); Load keeps the first and tombstones the rest — WAL
+// replay then rewrites the survivor with the committed value, so the
+// arbitrary choice never becomes visible.
+func (f *File) Load() ([]Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loc = make(map[int64]uint64)
+	f.free = nil
+	var (
+		out  []Entry
+		dups []heap.RID
+	)
+	err := f.entries.ScanSlots(func(rid heap.RID, tuple []byte, deleted bool) bool {
+		if deleted {
+			f.free = append(f.free, rid.Pack())
+			return true
+		}
+		e := decodeEntry(tuple)
+		if _, seen := f.loc[e.Key]; seen {
+			dups = append(dups, rid)
+			return true
+		}
+		f.loc[e.Key] = rid.Pack()
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	// Fix the live count before tombstoning so the deletes account against
+	// a consistent base.
+	f.entries.SetCount(uint64(len(f.loc) + len(dups)))
+	for _, rid := range dups {
+		if err := f.entries.Delete(rid); err != nil {
+			return nil, fmt.Errorf("index: drop duplicate entry %s: %w", rid, err)
+		}
+		f.free = append(f.free, rid.Pack())
+	}
+	return out, nil
+}

@@ -67,6 +67,9 @@ const (
 	// is buffered once its accumulated changes no longer conform to the
 	// N×M scheme. It is cleared when the page is written out.
 	FlagOutOfPlace uint16 = 1 << 0
+	// FlagIndex marks a primary-key index entry page (the page kind used
+	// by internal/index), distinguishing it from heap pages on Flash.
+	FlagIndex uint16 = 1 << 1
 )
 
 // Errors returned by page operations.

@@ -17,6 +17,29 @@ import (
 	"ipa/internal/nand"
 )
 
+// Kind classifies the database objects a region holds. Index regions let
+// the storage manager account (and a deployment tune) index-page Flash
+// management separately from heap pages: B-tree entry pages absorb tiny
+// slot edits and are therefore the prime delta-append candidates.
+type Kind int
+
+const (
+	// KindHeap regions hold tuple (heap) pages.
+	KindHeap Kind = iota
+	// KindIndex regions hold primary-key index entry pages.
+	KindIndex
+)
+
+// String names the region kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIndex:
+		return "index"
+	default:
+		return "heap"
+	}
+}
+
 // Region describes the Flash-management configuration of a group of
 // database objects.
 type Region struct {
@@ -28,6 +51,8 @@ type Region struct {
 	// FlashMode is the MLC operation mode (pSLC, odd-MLC, ...) requested
 	// for the region's objects.
 	FlashMode nand.Mode
+	// Kind classifies the region's objects (heap pages vs index pages).
+	Kind Kind
 }
 
 // String renders the region for logs and reports.

@@ -100,6 +100,17 @@ type Stats struct {
 	// bytes; HistogramBucketBounds gives the upper bound of each bucket.
 	// It is the distribution behind Figure 1.
 	EvictionSizeHistogram [len(histogramBounds) + 1]uint64
+
+	// Index-page slice of the counters above (pages owned by KindIndex
+	// regions — primary-key entry pages). Index maintenance is
+	// small-update dominated, so the ratio IndexIPAAppends /
+	// IndexDirtyEvictions shows how much of it IPA absorbs.
+	IndexPageLoads        uint64
+	IndexDirtyEvictions   uint64
+	IndexIPAAppends       uint64
+	IndexOutOfPlaceWrites uint64
+	IndexDeltaRecords     uint64
+	IndexDeltaBytes       uint64
 }
 
 // histogramBounds are the upper bounds (inclusive) of the eviction-size
@@ -161,6 +172,13 @@ type managerCounters struct {
 	netChangedBytes atomic.Uint64
 	smallEvictions  atomic.Uint64
 	evictedBytes    atomic.Uint64
+
+	indexPageLoads        atomic.Uint64
+	indexDirtyEvictions   atomic.Uint64
+	indexIPAAppends       atomic.Uint64
+	indexOutOfPlaceWrites atomic.Uint64
+	indexDeltaRecords     atomic.Uint64
+	indexDeltaBytes       atomic.Uint64
 
 	histogram [len(histogramBounds) + 1]atomic.Uint64
 }
@@ -229,6 +247,13 @@ func (m *Manager) Stats() Stats {
 		NetChangedBytes:     m.stats.netChangedBytes.Load(),
 		SmallEvictions:      m.stats.smallEvictions.Load(),
 		EvictedBytes:        m.stats.evictedBytes.Load(),
+
+		IndexPageLoads:        m.stats.indexPageLoads.Load(),
+		IndexDirtyEvictions:   m.stats.indexDirtyEvictions.Load(),
+		IndexIPAAppends:       m.stats.indexIPAAppends.Load(),
+		IndexOutOfPlaceWrites: m.stats.indexOutOfPlaceWrites.Load(),
+		IndexDeltaRecords:     m.stats.indexDeltaRecords.Load(),
+		IndexDeltaBytes:       m.stats.indexDeltaBytes.Load(),
 	}
 	for i := range m.stats.histogram {
 		s.EvictionSizeHistogram[i] = m.stats.histogram[i].Load()
@@ -249,6 +274,12 @@ func (m *Manager) ResetStats() {
 	m.stats.netChangedBytes.Store(0)
 	m.stats.smallEvictions.Store(0)
 	m.stats.evictedBytes.Store(0)
+	m.stats.indexPageLoads.Store(0)
+	m.stats.indexDirtyEvictions.Store(0)
+	m.stats.indexIPAAppends.Store(0)
+	m.stats.indexOutOfPlaceWrites.Store(0)
+	m.stats.indexDeltaRecords.Store(0)
+	m.stats.indexDeltaBytes.Store(0)
 	for i := range m.stats.histogram {
 		m.stats.histogram[i].Store(0)
 	}
@@ -273,6 +304,12 @@ func (m *Manager) effectiveScheme(objectID uint32) core.Scheme {
 		return core.Disabled
 	}
 	return m.cfg.Regions.For(objectID).Scheme
+}
+
+// isIndexObject reports whether objectID belongs to an index region, i.e.
+// whether its pages are primary-key entry pages.
+func (m *Manager) isIndexObject(objectID uint32) bool {
+	return m.cfg.Regions.For(objectID).Kind == region.KindIndex
 }
 
 // AllocatePage reserves a new page identifier for the given object. It is
@@ -355,6 +392,11 @@ func (m *Manager) InitPage(buf []byte, pid uint64, objectID uint32) (*core.Track
 	if err != nil {
 		return nil, err
 	}
+	// Stamp the page kind before the tracker snapshots the metadata, so the
+	// flag is part of the original on-Flash header image.
+	if m.isIndexObject(objectID) {
+		pg.SetFlags(pg.Flags() | page.FlagIndex)
+	}
 	t := core.NewTracker(scheme, page.MetaSize, pg.BodyEnd(), 0)
 	t.SetAnalytic(m.cfg.Analytic)
 	t.SetOriginalMeta(pg.Meta())
@@ -396,6 +438,9 @@ func (m *Manager) LoadPage(pid uint64, buf []byte) (*core.Tracker, error) {
 	t.SetOriginalMeta(rawMeta)
 
 	m.stats.pageLoads.Add(1)
+	if m.isIndexObject(pg.ObjectID()) {
+		m.stats.indexPageLoads.Add(1)
+	}
 	if m.cfg.TraceEvictions {
 		m.traceMu.Lock()
 		m.trace = append(m.trace, TraceEvent{Type: TraceFetch, PID: pid})
@@ -439,7 +484,11 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 		net = t.NetChangedBytes()
 		metaChanged = t.MetaChanged()
 	}
+	isIndex := m.isIndexObject(pg.ObjectID())
 	m.stats.dirtyEvictions.Add(1)
+	if isIndex {
+		m.stats.indexDirtyEvictions.Add(1)
+	}
 	m.stats.evictedBytes.Add(uint64(len(buf)))
 	m.stats.netChangedBytes.Add(uint64(net))
 	if net > 0 && net < SmallEvictionThreshold {
@@ -453,7 +502,7 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 		m.cfg.Mode != WriteTraditional && m.ftl.IsAppendTarget(int(pid))
 
 	if eligible {
-		outcome, err := m.storeAppend(pid, buf, pg, t, scheme)
+		outcome, err := m.storeAppend(pid, buf, pg, t, scheme, isIndex)
 		if err != nil {
 			return err
 		}
@@ -469,7 +518,7 @@ func (m *Manager) StorePage(pid uint64, buf []byte, t *core.Tracker) error {
 			m.stats.appendFallbacks.Add(1)
 		}
 	}
-	if err := m.storeOutOfPlace(pid, buf, pg, t, scheme); err != nil {
+	if err := m.storeOutOfPlace(pid, buf, pg, t, scheme, isIndex); err != nil {
 		return err
 	}
 	m.recordEvictTrace(pid, net, metaChanged, true)
@@ -507,7 +556,7 @@ const (
 )
 
 // storeAppend persists the tracked changes as appended delta records.
-func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tracker, scheme core.Scheme) (appendOutcome, error) {
+func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tracker, scheme core.Scheme, isIndex bool) (appendOutcome, error) {
 	records := t.BuildRecords(pg.Meta())
 	if len(records) == 0 {
 		// Nothing to persist (should have been caught as a clean page).
@@ -559,6 +608,9 @@ func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tra
 			t.Reset(firstSlot + len(records))
 			m.stats.appendFallbacks.Add(1)
 			m.stats.outOfPlaceWrites.Add(1)
+			if isIndex {
+				m.stats.indexOutOfPlaceWrites.Add(1)
+			}
 			return appendFellBack, nil
 		}
 	default:
@@ -569,6 +621,11 @@ func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tra
 	m.stats.ipaAppends.Add(1)
 	m.stats.deltaRecordsWritten.Add(uint64(len(records)))
 	m.stats.deltaBytesWritten.Add(uint64(len(encoded)))
+	if isIndex {
+		m.stats.indexIPAAppends.Add(1)
+		m.stats.indexDeltaRecords.Add(uint64(len(records)))
+		m.stats.indexDeltaBytes.Add(uint64(len(encoded)))
+	}
 	t.Reset(firstSlot + len(records))
 	return appendDone, nil
 }
@@ -580,16 +637,22 @@ func (m *Manager) syncBufferedArea(buf []byte, pg *page.Page, encoded []byte, ar
 }
 
 // storeOutOfPlace writes the whole up-to-date page image out-of-place.
-func (m *Manager) storeOutOfPlace(pid uint64, buf []byte, pg *page.Page, t *core.Tracker, scheme core.Scheme) error {
+// It must never be served by an in-place merge: the image carries body
+// changes, and a torn in-place body program is undetectable (only delta
+// records are checksum-framed), so the write goes through WritePageOut.
+func (m *Manager) storeOutOfPlace(pid uint64, buf []byte, pg *page.Page, t *core.Tracker, scheme core.Scheme, isIndex bool) error {
 	if scheme.Enabled() {
 		// The freshly written copy starts with an empty (erased)
 		// delta-record area so it can take future in-place appends.
 		pg.ResetDeltaArea()
 	}
-	if _, err := m.ftl.WritePage(int(pid), buf); err != nil {
+	if err := m.ftl.WritePageOut(int(pid), buf); err != nil {
 		return fmt.Errorf("storage: page %d: %w", pid, err)
 	}
 	m.stats.outOfPlaceWrites.Add(1)
+	if isIndex {
+		m.stats.indexOutOfPlaceWrites.Add(1)
+	}
 	if t != nil {
 		t.Reset(0)
 		// The freshly written page now carries the current metadata.

@@ -181,6 +181,65 @@ func (t *Txn) LogInsert(objectID uint32, pageID uint64, slot uint16, tuple []byt
 	return lsn, nil
 }
 
+// LogDelete appends a delete record (with the owning object and the full
+// before image, so recovery and rollback can restore the tuple) to the WAL
+// and remembers it for rollback.
+func (t *Txn) LogDelete(objectID uint32, pageID uint64, slot uint16, old []byte) (uint64, error) {
+	if t.status != Active {
+		return 0, ErrFinished
+	}
+	rec := wal.Record{
+		TxnID:    t.id,
+		Type:     wal.RecDelete,
+		PageID:   pageID,
+		Slot:     slot,
+		ObjectID: objectID,
+		Old:      append([]byte(nil), old...),
+	}
+	lsn := t.mgr.log.Append(rec)
+	rec.LSN = lsn
+	t.undo = append(t.undo, rec)
+	return lsn, nil
+}
+
+// LogIndexInsert appends a logical index-insertion record: key now maps to
+// the packed RID value in the index identified by objectID.
+func (t *Txn) LogIndexInsert(objectID uint32, key int64, value uint64) (uint64, error) {
+	if t.status != Active {
+		return 0, ErrFinished
+	}
+	rec := wal.Record{
+		TxnID:    t.id,
+		Type:     wal.RecIndexInsert,
+		ObjectID: objectID,
+		Key:      key,
+		New:      wal.ValueImage(value),
+	}
+	lsn := t.mgr.log.Append(rec)
+	rec.LSN = lsn
+	t.undo = append(t.undo, rec)
+	return lsn, nil
+}
+
+// LogIndexDelete appends a logical index-deletion record; old is the packed
+// RID the key mapped to (the undo image).
+func (t *Txn) LogIndexDelete(objectID uint32, key int64, old uint64) (uint64, error) {
+	if t.status != Active {
+		return 0, ErrFinished
+	}
+	rec := wal.Record{
+		TxnID:    t.id,
+		Type:     wal.RecIndexDelete,
+		ObjectID: objectID,
+		Key:      key,
+		Old:      wal.ValueImage(old),
+	}
+	lsn := t.mgr.log.Append(rec)
+	rec.LSN = lsn
+	t.undo = append(t.undo, rec)
+	return lsn, nil
+}
+
 // Commit appends the commit record, makes the log durable through the
 // group-commit pipeline (concurrent commits share one log flush) and
 // releases all locks. If the log device fails (power cut during the leader
@@ -206,11 +265,15 @@ func (t *Txn) Commit() error {
 type Undoer interface {
 	ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error
 	UndoInsert(pid uint64, slot uint16) error
+	UndoDelete(objectID uint32, pid uint64, slot uint16, tuple []byte) error
+	UndoIndexInsert(objectID uint32, key int64, value uint64) error
+	UndoIndexDelete(objectID uint32, key int64, value uint64) error
 }
 
 // Abort rolls back the transaction in reverse order — update before images
-// are restored, inserted tuples are deleted — then writes an abort record
-// and releases all locks.
+// are restored, inserted tuples are deleted, deleted tuples and index
+// entries are restored — then writes an abort record and releases all
+// locks.
 func (t *Txn) Abort(u Undoer) error {
 	if t.status != Active {
 		return ErrFinished
@@ -224,6 +287,12 @@ func (t *Txn) Abort(u Undoer) error {
 		switch r.Type {
 		case wal.RecInsert:
 			err = u.UndoInsert(r.PageID, r.Slot)
+		case wal.RecDelete:
+			err = u.UndoDelete(r.ObjectID, r.PageID, r.Slot, r.Old)
+		case wal.RecIndexInsert:
+			err = u.UndoIndexInsert(r.ObjectID, r.Key, wal.ValueOf(r.New))
+		case wal.RecIndexDelete:
+			err = u.UndoIndexDelete(r.ObjectID, r.Key, wal.ValueOf(r.Old))
 		default:
 			err = u.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old)
 		}

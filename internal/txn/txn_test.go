@@ -29,6 +29,17 @@ func (u *memUndoer) UndoInsert(pid uint64, slot uint16) error {
 	return nil
 }
 
+func (u *memUndoer) UndoDelete(objectID uint32, pid uint64, slot uint16, tuple []byte) error {
+	p := make([]byte, 64)
+	copy(p, tuple)
+	u.pages[pid] = p
+	return nil
+}
+
+func (u *memUndoer) UndoIndexInsert(objectID uint32, key int64, value uint64) error { return nil }
+
+func (u *memUndoer) UndoIndexDelete(objectID uint32, key int64, value uint64) error { return nil }
+
 func TestBeginAssignsUniqueIDs(t *testing.T) {
 	m := NewManager(wal.New())
 	t1 := m.Begin()

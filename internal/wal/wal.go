@@ -38,6 +38,13 @@ const (
 	RecAbort
 	// RecCheckpoint marks a fuzzy checkpoint.
 	RecCheckpoint
+	// RecIndexInsert describes a logical primary-key index insertion:
+	// ObjectID names the index, Key the indexed key and New the 8-byte
+	// little-endian packed RID the key maps to.
+	RecIndexInsert
+	// RecIndexDelete describes a logical primary-key index deletion;
+	// Old carries the packed RID the key mapped to (the undo image).
+	RecIndexDelete
 )
 
 // String returns a short name for the record type.
@@ -55,6 +62,10 @@ func (t RecordType) String() string {
 		return "ABORT"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecIndexInsert:
+		return "IDX-INSERT"
+	case RecIndexDelete:
+		return "IDX-DELETE"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -68,13 +79,14 @@ type Record struct {
 	PageID   uint64
 	Slot     uint16
 	Offset   uint16 // tuple-relative offset for updates
-	ObjectID uint32 // owning table, set on inserts (recovery may recreate the page)
+	ObjectID uint32 // owning table (inserts/deletes) or index (index records)
+	Key      int64  // indexed key for RecIndexInsert/RecIndexDelete
 	Old      []byte // before image (undo)
 	New      []byte // after image (redo)
 }
 
 // headerSize is the fixed encoded size of a record before the images.
-const headerSize = 8 + 8 + 1 + 8 + 2 + 2 + 4 + 4 + 4
+const headerSize = 8 + 8 + 1 + 8 + 2 + 2 + 4 + 8 + 4 + 4
 
 // EncodedSize returns the serialised size of the record in bytes.
 func (r Record) EncodedSize() int { return headerSize + len(r.Old) + len(r.New) }
@@ -89,8 +101,9 @@ func (r Record) Encode() []byte {
 	binary.LittleEndian.PutUint16(buf[25:], r.Slot)
 	binary.LittleEndian.PutUint16(buf[27:], r.Offset)
 	binary.LittleEndian.PutUint32(buf[29:], r.ObjectID)
-	binary.LittleEndian.PutUint32(buf[33:], uint32(len(r.Old)))
-	binary.LittleEndian.PutUint32(buf[37:], uint32(len(r.New)))
+	binary.LittleEndian.PutUint64(buf[33:], uint64(r.Key))
+	binary.LittleEndian.PutUint32(buf[41:], uint32(len(r.Old)))
+	binary.LittleEndian.PutUint32(buf[45:], uint32(len(r.New)))
 	copy(buf[headerSize:], r.Old)
 	copy(buf[headerSize+len(r.Old):], r.New)
 	return buf
@@ -113,8 +126,9 @@ func Decode(buf []byte) (Record, int, error) {
 	r.Slot = binary.LittleEndian.Uint16(buf[25:])
 	r.Offset = binary.LittleEndian.Uint16(buf[27:])
 	r.ObjectID = binary.LittleEndian.Uint32(buf[29:])
-	oldLen := int(binary.LittleEndian.Uint32(buf[33:]))
-	newLen := int(binary.LittleEndian.Uint32(buf[37:]))
+	r.Key = int64(binary.LittleEndian.Uint64(buf[33:]))
+	oldLen := int(binary.LittleEndian.Uint32(buf[41:]))
+	newLen := int(binary.LittleEndian.Uint32(buf[45:]))
 	total := headerSize + oldLen + newLen
 	if len(buf) < total {
 		return Record{}, 0, ErrShortRecord
@@ -500,11 +514,44 @@ type Applier interface {
 	RedoInsert(objectID uint32, pid uint64, slot uint16, tuple []byte) error
 	// UndoInsert removes the tuple in slot on page pid if it is present.
 	UndoInsert(pid uint64, slot uint16) error
+	// RedoDelete re-applies a committed tuple deletion (idempotent: a
+	// slot that is already deleted or never reached Flash is a no-op).
+	RedoDelete(objectID uint32, pid uint64, slot uint16) error
+	// UndoDelete restores the before image of a deleted tuple, if the
+	// page survived and the slot is still marked deleted.
+	UndoDelete(objectID uint32, pid uint64, slot uint16, tuple []byte) error
+	// RedoIndexInsert re-applies a committed logical index insertion:
+	// key maps to value in the index identified by objectID.
+	RedoIndexInsert(objectID uint32, key int64, value uint64) error
+	// RedoIndexDelete re-applies a committed logical index deletion.
+	RedoIndexDelete(objectID uint32, key int64) error
+	// UndoIndexInsert removes a loser's index entry if (and only if) key
+	// still maps to value.
+	UndoIndexInsert(objectID uint32, key int64, value uint64) error
+	// UndoIndexDelete restores a loser's deleted index entry if the key
+	// is currently unmapped.
+	UndoIndexDelete(objectID uint32, key int64, value uint64) error
+}
+
+// ValueOf decodes the packed RID carried in an index record image.
+func ValueOf(image []byte) uint64 {
+	if len(image) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(image)
+}
+
+// ValueImage encodes a packed RID as the 8-byte image of an index record.
+func ValueImage(value uint64) []byte {
+	img := make([]byte, 8)
+	binary.LittleEndian.PutUint64(img, value)
+	return img
 }
 
 // Redo replays the effects of all committed transactions in LSN order:
 // tuple inserts are rematerialised (recreating pages the crash took before
-// their first flush) and update after-images are re-applied. Redo is
+// their first flush), update after-images are re-applied, deletes are
+// re-marked and logical index operations are re-applied. Redo is
 // unconditional and idempotent; because every committed insert carries the
 // full tuple, replaying it also erases any flushed residue of transactions
 // that were rolled back in memory before the crash.
@@ -521,6 +568,18 @@ func (l *Log) Redo(a Analysis, ap Applier) error {
 		case RecInsert:
 			if err := ap.RedoInsert(r.ObjectID, r.PageID, r.Slot, r.New); err != nil {
 				return fmt.Errorf("wal: redo insert LSN %d: %w", r.LSN, err)
+			}
+		case RecDelete:
+			if err := ap.RedoDelete(r.ObjectID, r.PageID, r.Slot); err != nil {
+				return fmt.Errorf("wal: redo delete LSN %d: %w", r.LSN, err)
+			}
+		case RecIndexInsert:
+			if err := ap.RedoIndexInsert(r.ObjectID, r.Key, ValueOf(r.New)); err != nil {
+				return fmt.Errorf("wal: redo index insert LSN %d: %w", r.LSN, err)
+			}
+		case RecIndexDelete:
+			if err := ap.RedoIndexDelete(r.ObjectID, r.Key); err != nil {
+				return fmt.Errorf("wal: redo index delete LSN %d: %w", r.LSN, err)
 			}
 		}
 	}
@@ -554,6 +613,26 @@ func (l *Log) Undo(a Analysis, ap Applier) error {
 		case r.Type == RecInsert && (a.Losers[r.TxnID] || a.Aborted[r.TxnID]):
 			if err := ap.UndoInsert(r.PageID, r.Slot); err != nil {
 				return fmt.Errorf("wal: undo insert LSN %d: %w", r.LSN, err)
+			}
+		case r.Type == RecDelete && a.Losers[r.TxnID]:
+			// Deletes of transactions that aborted BEFORE the crash need no
+			// undo here: redo repeated the committed insert of the slot,
+			// which re-materialises the tuple (mirroring how aborted
+			// updates are repaired — see the package comment above).
+			if err := ap.UndoDelete(r.ObjectID, r.PageID, r.Slot, r.Old); err != nil {
+				return fmt.Errorf("wal: undo delete LSN %d: %w", r.LSN, err)
+			}
+		case r.Type == RecIndexInsert && (a.Losers[r.TxnID] || a.Aborted[r.TxnID]):
+			// Like heap inserts, index entries flushed on behalf of a
+			// transaction that rolled back (before or by the crash) are
+			// removed; the operation is conditional on the mapping so a
+			// later committed writer of the same key is never clobbered.
+			if err := ap.UndoIndexInsert(r.ObjectID, r.Key, ValueOf(r.New)); err != nil {
+				return fmt.Errorf("wal: undo index insert LSN %d: %w", r.LSN, err)
+			}
+		case r.Type == RecIndexDelete && a.Losers[r.TxnID]:
+			if err := ap.UndoIndexDelete(r.ObjectID, r.Key, ValueOf(r.Old)); err != nil {
+				return fmt.Errorf("wal: undo index delete LSN %d: %w", r.LSN, err)
 			}
 		}
 	}

@@ -146,6 +146,23 @@ func (a *applier) UndoInsert(pid uint64, slot uint16) error {
 	return nil
 }
 
+func (a *applier) RedoDelete(objectID uint32, pid uint64, slot uint16) error {
+	delete(a.pages, pid)
+	return nil
+}
+
+func (a *applier) UndoDelete(objectID uint32, pid uint64, slot uint16, tuple []byte) error {
+	return a.ApplyUpdate(pid, slot, 0, tuple)
+}
+
+func (a *applier) RedoIndexInsert(objectID uint32, key int64, value uint64) error { return nil }
+
+func (a *applier) RedoIndexDelete(objectID uint32, key int64) error { return nil }
+
+func (a *applier) UndoIndexInsert(objectID uint32, key int64, value uint64) error { return nil }
+
+func (a *applier) UndoIndexDelete(objectID uint32, key int64, value uint64) error { return nil }
+
 func TestRedoUndo(t *testing.T) {
 	l := New()
 	// Committed transaction writes 0xAA at offset 0 of page 1.

@@ -164,6 +164,11 @@ type Config struct {
 	// disabled). Individual tables can override it via
 	// CreateTableWithScheme (NoFTL regions).
 	Scheme Scheme
+	// IndexScheme is the N×M scheme applied to primary-key index entry
+	// pages (their own NoFTL regions). The zero value inherits each
+	// table's scheme — index maintenance is small-update dominated, so
+	// index pages are usually the strongest delta-append candidates.
+	IndexScheme Scheme
 	// BufferPoolPages is the buffer pool capacity in pages (default 256).
 	BufferPoolPages int
 	// OverprovisionPct is the FTL over-provisioning fraction (default 0.08).
@@ -256,9 +261,10 @@ type DB struct {
 	log     *wal.Log
 	txns    *txn.Manager
 
-	tables     map[string]*Table
-	tablesByID map[uint32]*Table
-	nextObjID  uint32
+	tables      map[string]*Table
+	tablesByID  map[uint32]*Table
+	indexesByID map[uint32]*Table // index object id -> owning table
+	nextObjID   uint32
 	// closed is atomic so the hot table and transaction paths can reject
 	// use-after-Close without taking the catalog mutex; gate makes Close
 	// wait for in-flight operations before flushing (see acquire).
@@ -313,6 +319,9 @@ func Open(cfg Config) (*DB, error) {
 	if err := scheme.Validate(); err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
+	if err := cfg.IndexScheme.internal().Validate(); err != nil {
+		return nil, fmt.Errorf("ipa: index scheme: %w", err)
+	}
 	f, err := ftl.New(dev, cfg.ftlConfig(flashMode))
 	if err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
@@ -321,16 +330,32 @@ func Open(cfg Config) (*DB, error) {
 	return assemble(cfg, dev, f, log, txn.NewManager(log))
 }
 
+// formatAreaSize returns the delta-record area reserved by the device's
+// low-level format: the larger of the default table scheme and the index
+// scheme. Index regions may run a roomier scheme than heap regions (entry
+// inserts patch ~20 bytes, heap field updates often fewer), so the format
+// must leave the open (delta) window wide enough for both.
+func (c Config) formatAreaSize() int {
+	area := 0
+	if s := c.Scheme.internal(); s.Enabled() {
+		area = s.AreaSize(pageMetaSize)
+	}
+	if s := c.IndexScheme.internal(); s.Enabled() && s.AreaSize(pageMetaSize) > area {
+		area = s.AreaSize(pageMetaSize)
+	}
+	return area
+}
+
 // ftlConfig derives the Flash-management configuration, including the
 // low-level ECC format: the initial ECC of every Flash page covers
 // everything in front of the delta-record area plus the page footer behind
 // it; appended delta records carry their own ECC slots (Figure 3). This is
 // the "low-level format" parameter of demo scenario 2.
 func (c Config) ftlConfig(flashMode nand.Mode) ftl.Config {
-	scheme := c.Scheme.internal()
+	area := c.formatAreaSize()
 	eccCover, eccTail := c.PageSize, 0
-	if scheme.Enabled() && c.WriteMode != Traditional {
-		eccCover = c.PageSize - pageFooterSize - scheme.AreaSize(pageMetaSize)
+	if area > 0 && c.WriteMode != Traditional {
+		eccCover = c.PageSize - pageFooterSize - area
 		eccTail = pageFooterSize
 	}
 	return ftl.Config{
@@ -396,17 +421,18 @@ func assemble(cfg Config, dev *flashdev.Device, f *ftl.FTL, log *wal.Log, txns *
 		})
 	}
 	return &DB{
-		cfg:        cfg,
-		dev:        dev,
-		ftl:        f,
-		store:      store,
-		pool:       pool,
-		regions:    regions,
-		log:        log,
-		txns:       txns,
-		tables:     make(map[string]*Table),
-		tablesByID: make(map[uint32]*Table),
-		nextObjID:  1,
+		cfg:         cfg,
+		dev:         dev,
+		ftl:         f,
+		store:       store,
+		pool:        pool,
+		regions:     regions,
+		log:         log,
+		txns:        txns,
+		tables:      make(map[string]*Table),
+		tablesByID:  make(map[uint32]*Table),
+		indexesByID: make(map[uint32]*Table),
+		nextObjID:   1,
 	}, nil
 }
 
@@ -451,26 +477,50 @@ func (db *DB) CreateTableWithScheme(name string, tupleSize int, scheme Scheme) (
 	if db.cfg.WriteMode == Traditional {
 		internal = core.Disabled
 	}
+	// The primary-key index gets its own region: index entry pages may run
+	// a different scheme than the heap pages (Config.IndexScheme), and the
+	// storage manager accounts them separately.
+	idxScheme := db.cfg.IndexScheme.internal()
+	if !idxScheme.Enabled() {
+		idxScheme = internal
+	}
+	if err := idxScheme.Validate(); err != nil {
+		return nil, fmt.Errorf("ipa: index scheme: %w", err)
+	}
+	if db.cfg.WriteMode == Traditional {
+		idxScheme = core.Disabled
+	}
 	// The low-level format fixes the ECC layout for the whole device, so a
-	// table's delta-record area may not exceed the one implied by the
-	// database default scheme (tables may always opt out of IPA).
-	if internal.Enabled() {
-		defaultArea := db.cfg.Scheme.internal().AreaSize(pageMetaSize)
-		if internal.AreaSize(pageMetaSize) > defaultArea {
-			return nil, fmt.Errorf("ipa: table %q scheme %s needs a %d-byte delta area, exceeding the %d bytes of the device format (default scheme %s)",
-				name, scheme, internal.AreaSize(pageMetaSize), defaultArea, db.cfg.Scheme)
+	// table's (or its index's) delta-record area may not exceed the open
+	// window the format reserved (tables may always opt out of IPA).
+	formatArea := db.cfg.formatAreaSize()
+	for _, part := range []struct {
+		what   string
+		scheme core.Scheme
+	}{{"heap scheme", internal}, {"index scheme", idxScheme}} {
+		if s := part.scheme; s.Enabled() && s.AreaSize(pageMetaSize) > formatArea {
+			return nil, fmt.Errorf("ipa: table %q %s %s needs a %d-byte delta area, exceeding the %d bytes of the device format (Config schemes %s/%s)",
+				name, part.what, s, s.AreaSize(pageMetaSize), formatArea, db.cfg.Scheme, db.cfg.IndexScheme)
 		}
 	}
 	id := db.nextObjID
-	db.nextObjID++
+	idxID := db.nextObjID + 1
+	db.nextObjID += 2
 	db.regions.Assign(id, region.Region{
 		Name:      name,
 		Scheme:    internal,
 		FlashMode: db.regions.Default().FlashMode,
 	})
-	t := newTable(db, name, id, tupleSize)
+	db.regions.Assign(idxID, region.Region{
+		Name:      name + ".pk",
+		Scheme:    idxScheme,
+		FlashMode: db.regions.Default().FlashMode,
+		Kind:      region.KindIndex,
+	})
+	t := newTable(db, name, id, idxID, tupleSize)
 	db.tables[name] = t
 	db.tablesByID[id] = t
+	db.indexesByID[idxID] = t
 	return t, nil
 }
 

@@ -1,7 +1,6 @@
 package ipa
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -29,12 +28,15 @@ type CrashImage struct {
 	tables     []tableSpec
 }
 
-// tableSpec is the durable description of one table.
+// tableSpec is the durable description of one table and its primary-key
+// index.
 type tableSpec struct {
 	name      string
 	id        uint32
+	idxID     uint32
 	tupleSize int
 	scheme    core.Scheme
+	idxScheme core.Scheme
 }
 
 // Crash simulates the host side of a power cut: the database is poisoned
@@ -43,11 +45,11 @@ type tableSpec struct {
 // records and the catalog — is captured for Reopen. Unlike Close, nothing
 // in volatile memory is saved.
 //
-// Reopen rebuilds the primary-key indexes from the tuples themselves, so
-// crash-recoverable tables must store their int64 key little-endian in the
-// first 8 tuple bytes (the convention all bundled workloads follow), and
-// all data must be written through transactions so the write-ahead log
-// covers it.
+// Reopen recovers the primary-key indexes from their surviving entry pages
+// plus the durable write-ahead log; it never scans the heaps. All data
+// must therefore be written through transactions so the write-ahead log
+// covers it — entries of non-transactional inserts survive only if their
+// entry page happened to be flushed (e.g. by Close or FlushAll).
 func (db *DB) Crash() *CrashImage {
 	db.closeOnce.Do(func() {
 		db.gate.Lock()
@@ -61,8 +63,10 @@ func (db *DB) Crash() *CrashImage {
 		specs = append(specs, tableSpec{
 			name:      t.name,
 			id:        id,
+			idxID:     t.idxID,
 			tupleSize: t.tupleSize,
 			scheme:    db.regions.For(id).Scheme,
+			idxScheme: db.regions.For(t.idxID).Scheme,
 		})
 	}
 	db.mu.Unlock()
@@ -80,11 +84,13 @@ func (db *DB) Crash() *CrashImage {
 // Reopen opens a database on the remains of a crash: it power-cycles the
 // device, rebuilds the FTL mapping from the OOB tags on Flash (newest valid
 // copy of every logical page wins), scrubs pages carrying torn in-place
-// appends, recreates the catalog, replays the durable write-ahead log
-// (analysis, redo of committed inserts and updates, undo of losers) and
-// rebuilds the primary-key indexes from the recovered heaps. On success all
-// committed transactions are visible, all losers are rolled back and the
-// database is fully usable.
+// appends, recreates the catalog, adopts the surviving heap and index
+// entry pages, and replays the durable write-ahead log (analysis, redo of
+// committed inserts/updates/deletes and logical index operations, undo of
+// losers). The primary-key indexes come from their own entry pages plus
+// the log — the heaps are never scanned. On success all committed
+// transactions are visible, all losers are rolled back and the database is
+// fully usable.
 //
 // Reopen may itself be interrupted by an armed fault plan (a crash during
 // recovery); recovery is idempotent, so calling Reopen on the same image
@@ -115,11 +121,20 @@ func Reopen(img *CrashImage) (*DB, error) {
 			Scheme:    spec.scheme,
 			FlashMode: db.regions.Default().FlashMode,
 		})
-		t := newTable(db, spec.name, spec.id, spec.tupleSize)
+		db.regions.Assign(spec.idxID, region.Region{
+			Name:      spec.name + ".pk",
+			Scheme:    spec.idxScheme,
+			FlashMode: db.regions.Default().FlashMode,
+			Kind:      region.KindIndex,
+		})
+		t := newTable(db, spec.name, spec.id, spec.idxID, spec.tupleSize)
 		db.tables[spec.name] = t
 		db.tablesByID[spec.id] = t
-		if spec.id >= db.nextObjID {
-			db.nextObjID = spec.id + 1
+		db.indexesByID[spec.idxID] = t
+		for _, id := range []uint32{spec.id, spec.idxID} {
+			if id >= db.nextObjID {
+				db.nextObjID = id + 1
+			}
 		}
 	}
 	// New page identifiers must not collide with any page on Flash or in
@@ -130,8 +145,11 @@ func Reopen(img *CrashImage) (*DB, error) {
 		floor = uint64(report.MaxLBA) + 1
 	}
 	for _, r := range img.records {
-		if (r.Type == wal.RecInsert || r.Type == wal.RecUpdate) && r.PageID+1 > floor {
-			floor = r.PageID + 1
+		switch r.Type {
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+			if r.PageID+1 > floor {
+				floor = r.PageID + 1
+			}
 		}
 	}
 	db.store.EnsureAllocated(floor)
@@ -145,11 +163,21 @@ func Reopen(img *CrashImage) (*DB, error) {
 	if err := db.adoptSurvivingPages(floor); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
 	}
+	// Prime each primary-key B-tree from the index entries that reached
+	// Flash; the log replay below then overlays the exact committed
+	// history (redo) and strips rolled-back residue (undo). No heap scan.
+	if err := db.loadIndexes(); err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
 	if err := db.recoverReplay(); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
 	}
-	if err := db.rebuildIndexes(); err != nil {
-		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	// The live-tuple counts follow from the recovered indexes: every live
+	// tuple owns exactly one live index entry.
+	for _, t := range db.snapshotTables() {
+		t.mu.RLock()
+		t.heap.SetCount(uint64(t.pk.Len()))
+		t.mu.RUnlock()
 	}
 	if err := db.pool.FlushAll(); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
@@ -157,10 +185,40 @@ func Reopen(img *CrashImage) (*DB, error) {
 	return db, nil
 }
 
+// snapshotTables returns the current tables without holding the catalog
+// mutex across any per-table work.
+func (db *DB) snapshotTables() []*Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tables := make([]*Table, 0, len(db.tablesByID))
+	for _, t := range db.tablesByID {
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// loadIndexes rebuilds every table's entry locations and volatile B-tree
+// from the index entry pages that survived on Flash.
+func (db *DB) loadIndexes() error {
+	for _, t := range db.snapshotTables() {
+		entries, err := t.idx.Load()
+		if err != nil {
+			return fmt.Errorf("index of table %q: %w", t.name, err)
+		}
+		t.mu.Lock()
+		for _, e := range entries {
+			t.pk.Insert(e.Key, e.Value)
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
 // adoptSurvivingPages assigns every mapped logical page to its owning
-// table's heap file, in ascending page order (allocation order).
+// table's heap file or index file, in ascending page order (allocation
+// order).
 func (db *DB) adoptSurvivingPages(floor uint64) error {
-	perTable := make(map[uint32][]uint64)
+	perObject := make(map[uint32][]uint64)
 	buf := make([]byte, db.cfg.PageSize)
 	for lba := 0; lba < db.ftl.Capacity() && uint64(lba) < floor; lba++ {
 		if !db.ftl.Mapped(lba) {
@@ -173,53 +231,30 @@ func (db *DB) adoptSurvivingPages(floor uint64) error {
 		if err != nil {
 			return fmt.Errorf("page %d: %w", lba, err)
 		}
-		perTable[pg.ObjectID()] = append(perTable[pg.ObjectID()], uint64(lba))
+		perObject[pg.ObjectID()] = append(perObject[pg.ObjectID()], uint64(lba))
 	}
-	for objID, pids := range perTable {
-		t, ok := db.tablesByID[objID]
-		if !ok {
-			return fmt.Errorf("page(s) %v owned by unknown object %d", pids, objID)
+	for objID, pids := range perObject {
+		if t, ok := db.tablesByID[objID]; ok {
+			t.heap.AdoptPages(pids)
+			continue
 		}
-		t.heap.AdoptPages(pids)
-	}
-	return nil
-}
-
-// rebuildIndexes reconstructs every table's primary-key index and live
-// tuple count by scanning the recovered heap pages. Keys are the first 8
-// tuple bytes (little-endian int64).
-func (db *DB) rebuildIndexes() error {
-	db.mu.Lock()
-	tables := make([]*Table, 0, len(db.tablesByID))
-	for _, t := range db.tablesByID {
-		tables = append(tables, t)
-	}
-	db.mu.Unlock()
-	for _, t := range tables {
-		if t.tupleSize < 8 {
-			return fmt.Errorf("table %q: tuples of %d bytes cannot carry the primary key", t.name, t.tupleSize)
+		if t, ok := db.indexesByID[objID]; ok {
+			t.idx.AdoptPages(pids)
+			continue
 		}
-		var count uint64
-		err := t.heap.Scan(func(rid heap.RID, tuple []byte) bool {
-			key := int64(binary.LittleEndian.Uint64(tuple[:8]))
-			t.mu.Lock()
-			t.pk.Insert(key, rid.Pack())
-			t.mu.Unlock()
-			count++
-			return true
-		})
-		if err != nil {
-			return fmt.Errorf("table %q: %w", t.name, err)
-		}
-		t.heap.SetCount(count)
+		return fmt.Errorf("page(s) %v owned by unknown object %d", pids, objID)
 	}
 	return nil
 }
 
 // VerifyIntegrity checks the storage stack end to end: the FTL translation
 // invariants hold, every mapped page reads back ECC-clean, carries the page
-// magic and belongs to a known table. The crash-torture harness runs it
-// after every recovery.
+// magic and belongs to a known table or index, and — the index/heap
+// cross-check — every table's persistent primary-key index describes
+// exactly its live heap tuples (same cardinality, every entry resolving to
+// a distinct live RID). The heap scan lives here, as a verification
+// cross-check only; the recovery path itself never scans heaps. The
+// crash-torture harness runs this after every recovery.
 func (db *DB) VerifyIntegrity() error {
 	if err := db.ftl.CheckConsistency(); err != nil {
 		return fmt.Errorf("ipa: %w", err)
@@ -237,11 +272,54 @@ func (db *DB) VerifyIntegrity() error {
 			return fmt.Errorf("ipa: page %d: %w", lba, err)
 		}
 		db.mu.Lock()
-		_, known := db.tablesByID[pg.ObjectID()]
+		_, knownTable := db.tablesByID[pg.ObjectID()]
+		_, knownIndex := db.indexesByID[pg.ObjectID()]
 		db.mu.Unlock()
-		if !known {
+		if !knownTable && !knownIndex {
 			return fmt.Errorf("ipa: page %d owned by unknown object %d", lba, pg.ObjectID())
 		}
 	}
+	for _, t := range db.snapshotTables() {
+		if err := t.verifyIndexAgainstHeap(); err != nil {
+			return fmt.Errorf("ipa: table %q: %w", t.name, err)
+		}
+	}
 	return nil
+}
+
+// verifyIndexAgainstHeap scans the table's heap (the cross-check formerly
+// performed by the index rebuild) and confirms the primary-key index is a
+// bijection onto the live tuples.
+func (t *Table) verifyIndexAgainstHeap() error {
+	live := make(map[uint64]bool)
+	err := t.heap.Scan(func(rid heap.RID, tuple []byte) bool {
+		live[rid.Pack()] = true
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("heap scan: %w", err)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pk.Len() != len(live) {
+		return fmt.Errorf("index carries %d keys, heap carries %d live tuples", t.pk.Len(), len(live))
+	}
+	if n := t.idx.Len(); n != t.pk.Len() {
+		return fmt.Errorf("persistent index file carries %d entries, B-tree carries %d keys", n, t.pk.Len())
+	}
+	seen := make(map[uint64]bool, len(live))
+	var verr error
+	t.pk.Ascend(func(key int64, v uint64) bool {
+		if !live[v] {
+			verr = fmt.Errorf("key %d maps to RID %s with no live tuple", key, heap.Unpack(v))
+			return false
+		}
+		if seen[v] {
+			verr = fmt.Errorf("RID %s indexed twice", heap.Unpack(v))
+			return false
+		}
+		seen[v] = true
+		return true
+	})
+	return verr
 }

@@ -64,6 +64,18 @@ type Stats struct {
 	EvictionSizeHistogram   []uint64
 	EvictionHistogramBounds []int
 
+	// Primary-key index maintenance (the index-page slice of the eviction
+	// counters above). Index entry pages absorb tiny slot edits, so under
+	// IPA most index evictions become delta appends instead of full page
+	// writes; IndexDeltaRecords / IndexOutOfPlaceWrites is the number of
+	// delta appends amortised per full index-page rewrite (merge).
+	IndexPageReads        uint64 // index entry pages loaded from Flash
+	IndexPageWrites       uint64 // dirty index-page evictions
+	IndexInPlaceAppends   uint64 // index evictions persisted as delta appends
+	IndexOutOfPlaceWrites uint64 // index evictions written as whole pages
+	IndexDeltaRecords     uint64 // delta records written for index pages
+	IndexDeltaBytes       uint64 // delta bytes written for index pages
+
 	// Buffer pool.
 	BufferHits   uint64
 	BufferMisses uint64
@@ -189,6 +201,13 @@ func (db *DB) Stats() Stats {
 		EvictionSizeHistogram:   ss.EvictionSizeHistogram[:],
 		EvictionHistogramBounds: storage.HistogramBucketBounds(),
 
+		IndexPageReads:        ss.IndexPageLoads,
+		IndexPageWrites:       ss.IndexDirtyEvictions,
+		IndexInPlaceAppends:   ss.IndexIPAAppends,
+		IndexOutOfPlaceWrites: ss.IndexOutOfPlaceWrites,
+		IndexDeltaRecords:     ss.IndexDeltaRecords,
+		IndexDeltaBytes:       ss.IndexDeltaBytes,
+
 		BufferHits:   ps.Hits,
 		BufferMisses: ps.Misses,
 
@@ -230,6 +249,19 @@ func (s Stats) ErasesPerHostWrite() float64 {
 // appends.
 func (s Stats) InPlaceShare() float64 {
 	return ratio(s.InPlaceAppends, s.InPlaceAppends+s.OutOfPlaceWrites)
+}
+
+// IndexInPlaceShare returns the fraction of dirty index-page evictions
+// persisted as in-place delta appends.
+func (s Stats) IndexInPlaceShare() float64 {
+	return ratio(s.IndexInPlaceAppends, s.IndexPageWrites)
+}
+
+// IndexDeltasPerMerge returns how many delta appends one full index-page
+// rewrite (merge) amortises: delta records written per out-of-place index
+// write.
+func (s Stats) IndexDeltasPerMerge() float64 {
+	return ratio(s.IndexDeltaRecords, s.IndexOutOfPlaceWrites)
 }
 
 // CommitsPerFlush returns the average number of commit requests served by
@@ -324,6 +356,8 @@ func (s Stats) String() string {
 		s.GCMigrations, s.GCErases, s.MigrationsPerHostWrite(), s.ErasesPerHostWrite())
 	fmt.Fprintf(&b, "flash: reads=%d programs=%d deltaPrograms=%d erases=%d\n",
 		s.FlashPageReads, s.FlashPagePrograms, s.FlashDeltaPrograms, s.FlashBlockErases)
+	fmt.Fprintf(&b, "index: reads=%d writes=%d in-place=%d out-of-place=%d deltaRecords=%d\n",
+		s.IndexPageReads, s.IndexPageWrites, s.IndexInPlaceAppends, s.IndexOutOfPlaceWrites, s.IndexDeltaRecords)
 	fmt.Fprintf(&b, "txn: committed=%d aborted=%d throughput=%.1f tps elapsed=%s\n",
 		s.CommittedTxns, s.AbortedTxns, s.Throughput(), s.Elapsed)
 	fmt.Fprintf(&b, "wal: flushes=%d commits/flush=%.2f maxBatch=%d shards=%d\n",

@@ -7,6 +7,7 @@ import (
 
 	"ipa/internal/btree"
 	"ipa/internal/heap"
+	"ipa/internal/index"
 	"ipa/internal/page"
 )
 
@@ -25,7 +26,14 @@ var ErrDuplicateKey = errors.New("ipa: duplicate key")
 
 // Table is a collection of fixed-size tuples with an int64 primary key.
 //
-// Tables are safe for concurrent use: the primary-key index is guarded by
+// The primary-key index is persistent and IPA-native: every key owns one
+// 16-byte entry in the table's index file — entry pages that live in the
+// buffer pool, belong to the index's own NoFTL region and reach Flash as
+// N×M delta appends like any other page. The sorted B-tree (pk) is the
+// volatile search structure over those entries; it is rebuilt from the
+// entry pages and the write-ahead log on Reopen, never by scanning heaps.
+//
+// Tables are safe for concurrent use: pk and the index file are guarded by
 // a per-table read/write mutex, while tuple access synchronises at page
 // granularity inside the sharded buffer pool (readers take shared frame
 // latches, writers exclusive ones), so operations on different pages —
@@ -34,22 +42,32 @@ type Table struct {
 	db        *DB
 	name      string
 	id        uint32
+	idxID     uint32 // object identifier of the primary-key index
 	tupleSize int
 
 	heap *heap.File
 
-	mu sync.RWMutex
-	pk *btree.Tree
+	mu  sync.RWMutex
+	pk  *btree.Tree
+	idx *index.File
+	// reserved holds keys deleted by not-yet-committed transactions. The
+	// pk entry stays (reserving the key against concurrent inserts, see
+	// Tx.Delete) but the key must read as absent — Exists consults this
+	// set so it agrees with Get.
+	reserved map[int64]struct{}
 }
 
-func newTable(db *DB, name string, id uint32, tupleSize int) *Table {
+func newTable(db *DB, name string, id, idxID uint32, tupleSize int) *Table {
 	return &Table{
 		db:        db,
 		name:      name,
 		id:        id,
+		idxID:     idxID,
 		tupleSize: tupleSize,
 		heap:      heap.New(db.store, db.pool, id, tupleSize),
 		pk:        btree.New(),
+		idx:       index.New(db.store, db.pool, idxID),
+		reserved:  make(map[int64]struct{}),
 	}
 }
 
@@ -58,6 +76,12 @@ func (t *Table) Name() string { return t.name }
 
 // ID returns the table's object identifier.
 func (t *Table) ID() uint32 { return t.id }
+
+// IndexID returns the object identifier of the table's primary-key index.
+func (t *Table) IndexID() uint32 { return t.idxID }
+
+// IndexPages returns the number of persistent index entry pages.
+func (t *Table) IndexPages() int { return t.idx.Pages() }
 
 // TupleSize returns the fixed tuple size in bytes.
 func (t *Table) TupleSize() int { return t.tupleSize }
@@ -69,7 +93,9 @@ func (t *Table) Count() uint64 { return t.heap.Count() }
 func (t *Table) Pages() int { return len(t.heap.PageIDs()) }
 
 // Insert stores a tuple under the given primary key without transactional
-// overhead (used by benchmark load phases).
+// overhead (used by benchmark load phases). The index entry is written
+// alongside the tuple; neither is covered by the write-ahead log, so
+// crash-recoverable data must go through Tx.Insert instead.
 func (t *Table) Insert(key int64, tuple []byte) error {
 	if err := t.db.acquire(); err != nil {
 		return err
@@ -84,7 +110,26 @@ func (t *Table) Insert(key int64, tuple []byte) error {
 	if err != nil {
 		return err
 	}
-	t.pk.Insert(key, rid.Pack())
+	return t.indexSetLocked(key, rid.Pack())
+}
+
+// indexSetLocked maps key to the packed RID in both the volatile B-tree
+// and the persistent index file. Caller holds t.mu.
+func (t *Table) indexSetLocked(key int64, value uint64) error {
+	if err := t.idx.Set(key, value); err != nil {
+		return err
+	}
+	t.pk.Insert(key, value)
+	return nil
+}
+
+// indexClearLocked removes key from both index structures. Caller holds
+// t.mu. Clearing an absent key is a no-op.
+func (t *Table) indexClearLocked(key int64) error {
+	if err := t.idx.Delete(key); err != nil {
+		return err
+	}
+	t.pk.Delete(key)
 	return nil
 }
 
@@ -109,13 +154,23 @@ func (t *Table) Get(key int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.heap.Get(rid)
+	tuple, err := t.heap.Get(rid)
+	if err != nil && errors.Is(err, heap.ErrNotFound) {
+		// The index entry is a reservation of a not-yet-committed delete
+		// (the tuple is already gone); the key reads as absent.
+		return nil, fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+	}
+	return tuple, err
 }
 
-// Exists reports whether key is present.
+// Exists reports whether key is present. Keys deleted by a transaction
+// that has not committed yet read as absent, matching Get.
 func (t *Table) Exists(key int64) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if _, pending := t.reserved[key]; pending {
+		return false
+	}
 	_, ok := t.pk.Get(key)
 	return ok
 }
@@ -134,7 +189,8 @@ func (t *Table) UpdateAt(key int64, offset int, data []byte) error {
 	return t.heap.UpdateAt(rid, offset, data)
 }
 
-// Delete removes the tuple stored under key (non-transactional).
+// Delete removes the tuple stored under key (non-transactional). Like
+// Insert, the index entry is removed alongside the tuple without logging.
 func (t *Table) Delete(key int64) error {
 	if err := t.db.acquire(); err != nil {
 		return err
@@ -149,8 +205,7 @@ func (t *Table) Delete(key int64) error {
 	if err := t.heap.Delete(heap.Unpack(v)); err != nil {
 		return err
 	}
-	t.pk.Delete(key)
-	return nil
+	return t.indexClearLocked(key)
 }
 
 // Scan calls fn for every tuple in primary-key order until fn returns
@@ -193,7 +248,10 @@ type scanPair struct {
 }
 
 // scanPairs fetches each snapshot entry under the close gate and hands it
-// to fn with no lock held, so fn may call back into the table.
+// to fn with no lock held, so fn may call back into the table. Rows whose
+// tuple vanished between the snapshot and the fetch — a concurrent or
+// not-yet-committed delete — are skipped, matching the READ UNCOMMITTED
+// visibility of plain Get.
 func (t *Table) scanPairs(pairs []scanPair, fn func(key int64, tuple []byte) bool) error {
 	for _, p := range pairs {
 		if err := t.db.acquire(); err != nil {
@@ -202,6 +260,9 @@ func (t *Table) scanPairs(pairs []scanPair, fn func(key int64, tuple []byte) boo
 		tuple, err := t.heap.Get(p.rid)
 		t.db.release()
 		if err != nil {
+			if errors.Is(err, heap.ErrNotFound) {
+				continue
+			}
 			return err
 		}
 		if !fn(p.key, tuple) {

@@ -1,7 +1,6 @@
 package ipa
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -16,10 +15,11 @@ import (
 // OLTP drivers abort and retry the transaction.
 var ErrConflict = txn.ErrConflict
 
-// Tx is a database transaction. All updates are logged to the WAL before
-// they touch the buffered page, and record locks are held until Commit or
-// Abort (strict two-phase locking). In-Place Appends is entirely invisible
-// at this level, exactly as the paper requires.
+// Tx is a database transaction. All updates — tuple bytes and logical
+// index operations alike — are logged to the WAL before they touch the
+// buffered pages, and record locks are held until Commit or Abort (strict
+// two-phase locking). In-Place Appends is entirely invisible at this
+// level, exactly as the paper requires.
 //
 // Isolation: writes follow strict 2PL, but plain Get takes no record
 // lock — concurrent transactions read at READ UNCOMMITTED and may observe
@@ -29,17 +29,20 @@ type Tx struct {
 	db    *DB
 	inner *txn.Txn
 	done  bool
-	// inserted tracks this transaction's inserts so a rollback can also
-	// remove the primary-key entries (the heap slots are deleted by the
-	// transaction layer's undo).
-	inserted []insertedTuple
+	// pendingDeletes are keys this transaction deleted. Their index
+	// entries stay in place until Commit so the key remains reserved —
+	// a concurrent insert of the same key must fail the duplicate check
+	// (or conflict on the record lock), otherwise an abort of this
+	// transaction could resurrect a tuple whose key was re-taken. Commit
+	// removes the entries; Abort simply drops the list (the undo pass
+	// restores the tuples and the entries were never touched).
+	pendingDeletes []pendingDelete
 }
 
-// insertedTuple is one insert performed by a transaction.
-type insertedTuple struct {
+// pendingDelete is one key deletion awaiting commit.
+type pendingDelete struct {
 	table *Table
 	key   int64
-	rid   heap.RID
 }
 
 // Begin starts a new transaction. On a closed database the returned
@@ -90,7 +93,12 @@ func (tx *Tx) GetForUpdate(t *Table, key int64) ([]byte, error) {
 	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
 		return nil, err
 	}
-	return t.heap.Get(rid)
+	tuple, err := t.heap.Get(rid)
+	if err != nil && errors.Is(err, heap.ErrNotFound) {
+		// A reservation entry of a pending delete: the key reads as absent.
+		return nil, fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+	}
+	return tuple, err
 }
 
 // Insert stores a new tuple under key in table t.
@@ -117,8 +125,60 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 	if _, err := tx.inner.LogInsert(t.id, rid.PageID, rid.Slot, tuple); err != nil {
 		return err
 	}
-	t.pk.Insert(key, rid.Pack())
-	tx.inserted = append(tx.inserted, insertedTuple{table: t, key: key, rid: rid})
+	if _, err := tx.inner.LogIndexInsert(t.idxID, key, rid.Pack()); err != nil {
+		return err
+	}
+	return t.indexSetLocked(key, rid.Pack())
+}
+
+// Delete removes the tuple stored under key in table t. The before image
+// and the index entry are logged, so rollback and recovery can restore
+// both the tuple and its primary-key mapping.
+//
+// The key stays reserved until Commit: the tuple is deleted immediately
+// (readers see the key as gone), but the index entry is removed only when
+// the transaction commits, so a concurrent Insert of the same key fails
+// with ErrDuplicateKey instead of racing the uncommitted delete — the
+// key-level analogue of strict 2PL. Deleting the same key twice (or
+// reinserting it) within one transaction therefore also fails.
+func (tx *Tx) Delete(t *Table, key int64) error {
+	if tx.done {
+		return txn.ErrFinished
+	}
+	if err := tx.db.acquire(); err != nil {
+		return err
+	}
+	defer tx.db.release()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.pk.Get(key)
+	if !ok {
+		return fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+	}
+	rid := heap.Unpack(v)
+	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
+		return err
+	}
+	old, err := t.heap.Get(rid)
+	if err != nil {
+		if errors.Is(err, heap.ErrNotFound) {
+			// The entry is a reservation of our own (or another) pending
+			// delete; the tuple itself is already gone.
+			return fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+		}
+		return err
+	}
+	if _, err := tx.inner.LogDelete(t.id, rid.PageID, rid.Slot, old); err != nil {
+		return err
+	}
+	if _, err := tx.inner.LogIndexDelete(t.idxID, key, v); err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	t.reserved[key] = struct{}{}
+	tx.pendingDeletes = append(tx.pendingDeletes, pendingDelete{table: t, key: key})
 	return nil
 }
 
@@ -198,6 +258,19 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	tx.done = true
+	// The transaction is durable; release the deleted keys by removing
+	// their index entries. An error here (only an injected power cut
+	// while tombstoning an entry page can cause one) must NOT fail the
+	// commit — the commit record is already durable, recovery will
+	// re-apply the index deletion from the log, and the in-memory
+	// reservation conservatively stays in place (the key keeps reading
+	// as absent; after a power cut the engine is unusable anyway).
+	for _, pd := range tx.pendingDeletes {
+		pd.table.mu.Lock()
+		_ = pd.table.indexClearLocked(pd.key)
+		delete(pd.table.reserved, pd.key)
+		pd.table.mu.Unlock()
+	}
 	tx.db.dev.AdvanceClock(tx.db.cfg.TxnCPUCost)
 	tx.db.committed.Add(1)
 	return nil
@@ -223,16 +296,11 @@ func (tx *Tx) Abort() error {
 	if err := tx.inner.Abort(pageUndoer{db: tx.db, undo: true}); err != nil {
 		return err
 	}
-	// The transaction layer deleted the inserted heap tuples; drop their
-	// primary-key entries too, so rolled-back inserts are fully invisible
-	// and their keys can be reused.
-	for _, ins := range tx.inserted {
-		ins.table.mu.Lock()
-		if v, ok := ins.table.pk.Get(ins.key); ok && v == ins.rid.Pack() {
-			ins.table.pk.Delete(ins.key)
-			ins.table.heap.NoteUndoneInsert()
-		}
-		ins.table.mu.Unlock()
+	// The undo pass restored the deleted tuples; the keys are live again.
+	for _, pd := range tx.pendingDeletes {
+		pd.table.mu.Lock()
+		delete(pd.table.reserved, pd.key)
+		pd.table.mu.Unlock()
 	}
 	tx.done = true
 	tx.db.aborted.Add(1)
@@ -320,10 +388,8 @@ func (u pageUndoer) RedoInsert(objectID uint32, pid uint64, slot uint16, tuple [
 
 // UndoInsert deletes the tuple a rolled-back insert left behind, if it is
 // still present. It is idempotent; pages that never reached Flash are
-// skipped. If the tuple is still indexed (the in-process Recover path,
-// where the primary keys predate the crash simulation), its key entry and
-// the heap count are cleaned up too; during Reopen the indexes are rebuilt
-// from scratch afterwards, so the lookup simply finds nothing.
+// skipped. The primary-key entry is removed separately by the
+// transaction's RecIndexInsert undo record.
 func (u pageUndoer) UndoInsert(pid uint64, slot uint16) error {
 	h, err := u.db.pool.Fetch(pid)
 	if err != nil {
@@ -345,40 +411,155 @@ func (u pageUndoer) UndoInsert(pid uint64, slot uint16) error {
 	if err != nil || deleted {
 		return err
 	}
-	tuple, err := pg.Tuple(int(slot))
+	if err := pg.DeleteTuple(int(slot)); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	if t := u.db.tableByID(pg.ObjectID()); t != nil {
+		t.heap.NoteUndoneInsert()
+	}
+	return nil
+}
+
+// RedoDelete re-applies a committed tuple deletion. It is idempotent:
+// slots that are already deleted, never reached Flash or never existed
+// (non-transactional residue) are skipped.
+func (u pageUndoer) RedoDelete(objectID uint32, pid uint64, slot uint16) error {
+	h, err := u.db.pool.Fetch(pid)
 	if err != nil {
+		if errors.Is(err, ftl.ErrUnmapped) {
+			return nil
+		}
+		return err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	if int(slot) >= pg.SlotCount() {
+		return nil
+	}
+	deleted, err := pg.Deleted(int(slot))
+	if err != nil || deleted {
 		return err
 	}
 	if err := pg.DeleteTuple(int(slot)); err != nil {
 		return err
 	}
 	h.MarkDirty()
-	u.db.forgetIndexEntry(pg.ObjectID(), tuple, heap.RID{PageID: pid, Slot: slot})
+	if t := u.db.tableByID(objectID); t != nil {
+		t.heap.NoteUndoneInsert()
+	}
 	return nil
 }
 
-// forgetIndexEntry removes the primary-key entry of a tuple deleted by
-// recovery undo, using the first-8-bytes key convention. The entry is only
-// removed when it maps the key to exactly this RID, so tables that do not
-// follow the convention are left untouched (Reopen rebuilds their indexes
-// from scratch afterwards anyway).
-func (db *DB) forgetIndexEntry(objectID uint32, tuple []byte, rid heap.RID) {
-	if len(tuple) < 8 {
-		return
+// UndoDelete restores the before image of a tuple a rolled-back delete
+// removed, if the deletion reached the surviving state at all.
+func (u pageUndoer) UndoDelete(objectID uint32, pid uint64, slot uint16, tuple []byte) error {
+	h, err := u.db.pool.Fetch(pid)
+	if err != nil {
+		if u.undo && errors.Is(err, ftl.ErrUnmapped) {
+			return nil
+		}
+		return err
 	}
-	db.mu.Lock()
-	t := db.tablesByID[objectID]
-	db.mu.Unlock()
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	if int(slot) >= pg.SlotCount() {
+		return nil
+	}
+	deleted, err := pg.Deleted(int(slot))
+	if err != nil {
+		return err
+	}
+	if !deleted {
+		return nil
+	}
+	if err := pg.RestoreTuple(int(slot), tuple); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	if t := u.db.tableByID(objectID); t != nil {
+		t.heap.NoteRestoredTuple()
+	}
+	return nil
+}
+
+// RedoIndexInsert re-applies a committed logical index insertion: the key
+// maps to the packed RID in both the B-tree and the persistent entry file.
+// Re-applying an existing mapping rewrites the entry's value bytes in
+// place, so replay is idempotent.
+func (u pageUndoer) RedoIndexInsert(objectID uint32, key int64, value uint64) error {
+	t := u.db.tableByIndexID(objectID)
 	if t == nil {
-		return
+		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
 	}
-	key := int64(binary.LittleEndian.Uint64(tuple[:8]))
 	t.mu.Lock()
-	if v, ok := t.pk.Get(key); ok && v == rid.Pack() {
-		t.pk.Delete(key)
-		t.heap.NoteUndoneInsert()
+	defer t.mu.Unlock()
+	return t.indexSetLocked(key, value)
+}
+
+// RedoIndexDelete re-applies a committed logical index deletion
+// (idempotent: deleting an absent key is a no-op).
+func (u pageUndoer) RedoIndexDelete(objectID uint32, key int64) error {
+	t := u.db.tableByIndexID(objectID)
+	if t == nil {
+		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
 	}
-	t.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.indexClearLocked(key)
+}
+
+// UndoIndexInsert removes a rolled-back insertion's index entry, but only
+// while key still maps to exactly the rolled-back RID — a later committed
+// writer of the same key is never clobbered.
+func (u pageUndoer) UndoIndexInsert(objectID uint32, key int64, value uint64) error {
+	t := u.db.tableByIndexID(objectID)
+	if t == nil {
+		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.pk.Get(key); !ok || v != value {
+		return nil
+	}
+	return t.indexClearLocked(key)
+}
+
+// UndoIndexDelete restores a rolled-back deletion's index entry if the key
+// is currently unmapped (a later committed writer wins otherwise).
+func (u pageUndoer) UndoIndexDelete(objectID uint32, key int64, value uint64) error {
+	t := u.db.tableByIndexID(objectID)
+	if t == nil {
+		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.pk.Get(key); ok {
+		return nil
+	}
+	return t.indexSetLocked(key, value)
+}
+
+// tableByID returns the table owning the given heap object, or nil.
+func (db *DB) tableByID(objectID uint32) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tablesByID[objectID]
+}
+
+// tableByIndexID returns the table owning the given index object, or nil.
+func (db *DB) tableByIndexID(objectID uint32) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.indexesByID[objectID]
 }
 
 // Recover replays the write-ahead log against the current storage state:
