@@ -15,6 +15,7 @@
 //	ipabench -exp chips        # chip scaling (per-chip FTL partitions)
 //	ipabench -exp crash        # power-cut torture: crash at every fault point
 //	ipabench -exp index        # index maintenance: IPA vs out-of-place entry pages
+//	ipabench -exp secondary    # secondary-index maintenance: IPA vs out-of-place
 //	ipabench -exp all
 //
 // The -quick flag shrinks every experiment so the whole suite finishes in
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, index, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, index, secondary, all")
 		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
 		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
 		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
@@ -372,6 +373,37 @@ func main() {
 			}
 			res.Write(os.Stdout)
 			report.Add("index", o, res)
+			return nil
+		})
+	}
+	if want("secondary") {
+		run("Secondary indexes: IPA vs out-of-place entry pages", func() error {
+			// Same small-pool profile rationale as -exp index: a pool big
+			// enough to cache every entry page would leave nothing to
+			// measure.
+			o := bench.DefaultSecondaryOptions()
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *scale > 0 {
+				o.Scale = *scale
+			}
+			if *ops > 0 {
+				o.Ops, o.Duration = *ops, 0
+			}
+			if *duration > 0 {
+				o.Duration, o.Ops = *duration, 0
+			}
+			if *quick {
+				o.Profile = bench.SmallProfile
+				o.Profile.BufferPoolPages = 16
+				o.Ops = 4000
+			}
+			res, err := bench.Secondary(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			report.Add("secondary", o, res)
 			return nil
 		})
 	}

@@ -15,6 +15,10 @@
 //	update <table> <key> <offset> <text>
 //	delete <table> <key>
 //	scan <table> <from> <to>
+//	index <table> <name> <offset>     create a secondary index over the
+//	                                  little-endian int64 at the offset
+//	indexes <table>                   list the table's secondary indexes
+//	get-by <table> <index> <key>      look tuples up by secondary key
 //	tables
 //	stats
 //	flush
@@ -109,7 +113,8 @@ func execute(db *ipa.DB, line string) bool {
 	case "help":
 		fmt.Println("commands: create <table> <tupleSize> | insert <t> <key> <text> | get <t> <key> |")
 		fmt.Println("          update <t> <key> <offset> <text> | delete <t> <key> |")
-		fmt.Println("          scan <t> <from> <to> | tables | stats | flush | quit")
+		fmt.Println("          scan <t> <from> <to> | index <t> <name> <offset> | indexes <t> |")
+		fmt.Println("          get-by <t> <index> <key> | tables | stats | flush | quit")
 	case "create":
 		if len(args) != 2 {
 			return fail("usage: create <table> <tupleSize>")
@@ -124,6 +129,59 @@ func execute(db *ipa.DB, line string) bool {
 		fmt.Printf("table %s created (%d-byte tuples)\n", args[0], size)
 	case "insert", "update", "get", "delete", "scan":
 		return tableCommand(db, cmd, args)
+	case "index":
+		if len(args) != 3 {
+			return fail("usage: index <table> <name> <offset>")
+		}
+		table, ok := db.Table(args[0])
+		if !ok {
+			return fail("no such table %q", args[0])
+		}
+		off, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fail("bad offset: %v", err)
+		}
+		if off < 0 || off+8 > table.TupleSize() {
+			return fail("offset %d outside the %d-byte tuples of %s (need offset+8 <= size)", off, table.TupleSize(), args[0])
+		}
+		if _, err := table.CreateSecondaryIndex(args[1], ipa.Int64Field(off)); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Printf("secondary index %s.%s created (int64 at offset %d)\n", args[0], args[1], off)
+	case "indexes":
+		if len(args) != 1 {
+			return fail("usage: indexes <table>")
+		}
+		table, ok := db.Table(args[0])
+		if !ok {
+			return fail("no such table %q", args[0])
+		}
+		fmt.Printf("  %-24s %8s\n", args[0]+".pk", "(primary)")
+		for _, name := range table.SecondaryIndexes() {
+			s, _ := table.SecondaryIndex(name)
+			fmt.Printf("  %-24s %8d entries %6d keys %6d pages\n",
+				args[0]+"."+name, s.Len(), s.Keys(), s.Pages())
+		}
+	case "get-by":
+		if len(args) != 3 {
+			return fail("usage: get-by <table> <index> <key>")
+		}
+		table, ok := db.Table(args[0])
+		if !ok {
+			return fail("no such table %q", args[0])
+		}
+		key, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fail("bad key: %v", err)
+		}
+		rows, err := table.GetBySecondary(args[1], key)
+		if err != nil {
+			return fail("%v", err)
+		}
+		for _, row := range rows {
+			fmt.Printf("%q\n", strings.TrimRight(string(row), "\x00"))
+		}
+		fmt.Printf("(%d rows under %s.%s = %d)\n", len(rows), args[0], args[1], key)
 	case "tables":
 		for _, name := range db.Tables() {
 			t, _ := db.Table(name)

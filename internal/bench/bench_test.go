@@ -14,7 +14,7 @@ var tinyProfile = DeviceProfile{
 }
 
 func TestNewWorkloadNames(t *testing.T) {
-	for _, name := range []string{"tpcb", "tpcc", "tatp", "linkbench"} {
+	for _, name := range []string{"tpcb", "tpcc", "tatp", "linkbench", "tatpsec", "linkbenchsec", "secchurn"} {
 		w, err := NewWorkload(name, 1, 1)
 		if err != nil {
 			t.Fatalf("NewWorkload(%s): %v", name, err)

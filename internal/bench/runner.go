@@ -26,7 +26,10 @@ import (
 type Experiment struct {
 	// Name labels the run in reports.
 	Name string
-	// Workload selects the driver: "tpcb", "tpcc", "tatp" or "linkbench".
+	// Workload selects the driver: "tpcb", "tpcc", "tatp", "linkbench",
+	// or a secondary-index variant — "tatpsec" (sub_nbr lookups),
+	// "linkbenchsec" (assoc-by-id2) or "secchurn" (isolated
+	// secondary-entry churn).
 	Workload string
 	// Scale is the workload scale factor (branches, warehouses,
 	// subscribers/10000, nodes/10000 depending on the driver).
@@ -114,16 +117,23 @@ func NewWorkload(name string, scale int, seed int64) (workload.Workload, error) 
 		cfg.Warehouses = scale
 		cfg.Seed = seed
 		return workload.NewTPCC(cfg), nil
-	case "tatp":
+	case "tatp", "tatpsec":
 		cfg := workload.DefaultTATPConfig()
 		cfg.Subscribers = scale * 5000
 		cfg.Seed = seed
+		cfg.SecondaryLookups = name == "tatpsec"
 		return workload.NewTATP(cfg), nil
-	case "linkbench":
+	case "linkbench", "linkbenchsec":
 		cfg := workload.DefaultLinkBenchConfig()
 		cfg.Nodes = scale * 5000
 		cfg.Seed = seed
+		cfg.AssocByID2 = name == "linkbenchsec"
 		return workload.NewLinkBench(cfg), nil
+	case "secchurn":
+		cfg := workload.DefaultSecondaryChurnConfig()
+		cfg.Rows = scale * 10000
+		cfg.Seed = seed
+		return workload.NewSecondaryChurn(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown workload %q", name)
 	}

@@ -1,14 +1,18 @@
 // Package crash implements the deterministic power-cut torture harness:
-// it runs a TPC-B style workload against an engine with a fault plan
-// attached, crashes the simulated device at every enumerated fault point
-// (every program, erase and log flush — optionally torn mid-operation),
-// reopens the database from the surviving Flash image and durable log, and
-// verifies the recovery invariants against an exact oracle:
+// it runs a TPC-B style workload — with secondary-index maintenance mixed
+// in (accounts indexed by balance, history rows by account) — against an
+// engine with a fault plan attached, crashes the simulated device at
+// every enumerated fault point (every program, erase and log flush —
+// optionally torn mid-operation), reopens the database from the surviving
+// Flash image and durable log, and verifies the recovery invariants
+// against an exact oracle:
 //
 //   - every transaction whose Commit returned success is fully visible,
 //   - every in-flight, aborted or commit-interrupted transaction is fully
-//     rolled back (updates restored, inserted tuples gone),
-//   - the FTL mapping and every page checksum validate, and
+//     rolled back (updates restored, inserted tuples gone, index entries
+//     reversed — secondary entry moves included),
+//   - the FTL mapping and every page checksum validate, every index is a
+//     bijection onto the live heap tuples (VerifyIntegrity), and
 //   - the reopened database keeps working (more transactions commit).
 //
 // The oracle is exact because the workload is single-threaded and seeded:
@@ -32,8 +36,12 @@ import (
 const (
 	keyOffset     = 0
 	balanceOffset = 8
-	accountSize   = 64
-	historySize   = 48
+	// historyAccountOffset is where history rows store their account id;
+	// it coincides with balanceOffset numerically but names a different
+	// field of a different layout (runOne writes the account id there).
+	historyAccountOffset = 8
+	accountSize          = 64
+	historySize          = 48
 
 	initialBalance = int64(1_000_000_007)
 	loadBatch      = 32
@@ -204,6 +212,12 @@ func fillRow(row []byte, seed int64) {
 // load creates the schema and populates it through transactions (crash
 // recovery only covers logged work), committing in small batches so load
 // crashes leave a recoverable prefix.
+//
+// Two secondary indexes are created before any row exists, so every one
+// of their maintenance operations is transactional and enumerable as a
+// fault point: accounts are indexed by balance (every TPC-B update moves
+// the entry — the update-ripple path), history rows by their account
+// (insert/delete churn).
 func (d *driver) load() error {
 	var err error
 	if d.accounts, err = d.db.CreateTable("accounts", accountSize); err != nil {
@@ -216,6 +230,12 @@ func (d *driver) load() error {
 		return err
 	}
 	if d.history, err = d.db.CreateTableWithScheme("history", historySize, ipa.Scheme{}); err != nil {
+		return err
+	}
+	if _, err = d.accounts.CreateSecondaryIndex("balance", ipa.Int64Field(balanceOffset)); err != nil {
+		return err
+	}
+	if _, err = d.history.CreateSecondaryIndex("by_account", ipa.Int64Field(historyAccountOffset)); err != nil {
 		return err
 	}
 	load := func(t *ipa.Table, n int, loaded *int) error {
@@ -288,7 +308,7 @@ func (d *driver) runOne(r *rand.Rand) error {
 	hrow := make([]byte, historySize)
 	fillRow(hrow, hid)
 	putKey(hrow, keyOffset, hid)
-	putKey(hrow, balanceOffset, int64(a))
+	putKey(hrow, historyAccountOffset, int64(a))
 	putKey(hrow, 16, delta)
 	if err := tx.Insert(d.history, hid, hrow); err != nil {
 		return err
@@ -386,7 +406,7 @@ func verify(db *ipa.DB, o Options, ora *oracle) error {
 			if err != nil {
 				return fmt.Errorf("committed history row %d lost: %w", hid, err)
 			}
-			if getKey(row, balanceOffset) != want[0] || getKey(row, 16) != want[1] {
+			if getKey(row, historyAccountOffset) != want[0] || getKey(row, 16) != want[1] {
 				return fmt.Errorf("history row %d corrupted", hid)
 			}
 		} else if err == nil {
@@ -397,6 +417,32 @@ func verify(db *ipa.DB, o Options, ora *oracle) error {
 	}
 	if got := hist.Count(); got != uint64(len(ora.history)) {
 		return fmt.Errorf("history count %d, committed state says %d", got, len(ora.history))
+	}
+	// The secondary access path must agree with the committed state:
+	// every live history row is reachable under its account id — one
+	// lookup per account, not per row. (VerifyIntegrity above already
+	// cross-checked both secondary indexes entry-by-entry against the
+	// heap.)
+	perAccount := make(map[int64]map[int64]bool)
+	for hid, want := range ora.history {
+		set := perAccount[want[0]]
+		if set == nil {
+			set = make(map[int64]bool)
+			perAccount[want[0]] = set
+		}
+		set[hid] = true
+	}
+	for account, hids := range perAccount {
+		rows, err := hist.GetBySecondary("by_account", account)
+		if err != nil {
+			return fmt.Errorf("history by_account %d: %w", account, err)
+		}
+		for _, row := range rows {
+			delete(hids, getKey(row, keyOffset))
+		}
+		for hid := range hids {
+			return fmt.Errorf("history row %d not reachable via by_account %d", hid, account)
+		}
 	}
 	return nil
 }

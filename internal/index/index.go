@@ -1,15 +1,17 @@
-// Package index implements the persistent side of the primary-key B-tree
-// index: entry pages that live in the buffer pool and reach Flash through
-// the same storage-manager write paths as heap pages.
+// Package index implements the persistent side of the engine's indexes —
+// the unique primary-key index (File) and non-unique secondary indexes
+// (Secondary): entry pages that live in the buffer pool and reach Flash
+// through the same storage-manager write paths as heap pages.
 //
 // Each index is stored as a file of fixed 16-byte entries (key, packed
-// RID), one entry per indexed key, kept in slotted pages owned by the
-// index's own object identifier and NoFTL region. Index maintenance is
-// exactly the small-update pattern In-Place Appends targets: an insert
-// appends one entry (a handful of bytes plus a slot), a delete flips one
-// slot marker, a remap rewrites eight bytes in place — all of which the
-// change tracker turns into N×M delta records instead of full page
-// rewrites.
+// RID) kept in slotted pages owned by the index's own object identifier
+// and NoFTL region. The primary-key file holds one entry per key; a
+// secondary file holds one entry per (key, RID) pair, so many tuples may
+// share a key. Index maintenance is exactly the small-update pattern
+// In-Place Appends targets: an insert appends one entry (a handful of
+// bytes plus a slot), a delete flips one slot marker, a remap rewrites
+// eight bytes in place — all of which the change tracker turns into N×M
+// delta records instead of full page rewrites.
 //
 // The sorted search structure (internal/btree) stays volatile: inner nodes
 // are derivable metadata, rebuilt at open time from the entries themselves,

@@ -563,6 +563,21 @@ func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tra
 		t.Reset(t.Existing())
 		return appendDone, nil
 	}
+	if isIndex && len(records) > 1 {
+		// Index pages may append only when the residency's changes fit ONE
+		// delta record. A record is atomic (its checksum and commit marker
+		// are programmed last), but a torn append of several concatenated
+		// records can persist a valid prefix — a byte-subset of one logical
+		// index operation. Heap pages survive that because recovery replays
+		// their bytes from the WAL images; entry pages are recovered
+		// LOGICALLY (entries are decoded, keyed records replayed), so a
+		// half-rewritten entry would surface as a garbage key no log record
+		// ever names. The exhaustive power-cut sweep caught exactly that:
+		// a secondary entry move split across two records, torn after the
+		// first, decoding as an old/new key mix. Falling back to the
+		// out-of-place write keeps the page atomic (mapping-tag ECC).
+		return appendRefused, nil
+	}
 	firstSlot := t.Existing()
 	recordSize := scheme.RecordSize(page.MetaSize)
 	encoded := make([]byte, recordSize*len(records))

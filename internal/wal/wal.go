@@ -38,12 +38,14 @@ const (
 	RecAbort
 	// RecCheckpoint marks a fuzzy checkpoint.
 	RecCheckpoint
-	// RecIndexInsert describes a logical primary-key index insertion:
-	// ObjectID names the index, Key the indexed key and New the 8-byte
-	// little-endian packed RID the key maps to.
+	// RecIndexInsert describes a logical index insertion: ObjectID names
+	// the index (primary-key or secondary), Key the indexed key and New
+	// the 8-byte little-endian packed RID of the indexed tuple.
 	RecIndexInsert
-	// RecIndexDelete describes a logical primary-key index deletion;
-	// Old carries the packed RID the key mapped to (the undo image).
+	// RecIndexDelete describes a logical index deletion; Old carries the
+	// packed RID of the removed entry. The primary key ignores the RID on
+	// redo (keys are unique); non-unique secondary indexes need it to name
+	// which of a key's entries is removed.
 	RecIndexDelete
 )
 
@@ -524,7 +526,9 @@ type Applier interface {
 	// key maps to value in the index identified by objectID.
 	RedoIndexInsert(objectID uint32, key int64, value uint64) error
 	// RedoIndexDelete re-applies a committed logical index deletion.
-	RedoIndexDelete(objectID uint32, key int64) error
+	// value is the packed RID of the removed entry: unique indexes may
+	// ignore it, non-unique ones use it to select the entry.
+	RedoIndexDelete(objectID uint32, key int64, value uint64) error
 	// UndoIndexInsert removes a loser's index entry if (and only if) key
 	// still maps to value.
 	UndoIndexInsert(objectID uint32, key int64, value uint64) error
@@ -578,7 +582,7 @@ func (l *Log) Redo(a Analysis, ap Applier) error {
 				return fmt.Errorf("wal: redo index insert LSN %d: %w", r.LSN, err)
 			}
 		case RecIndexDelete:
-			if err := ap.RedoIndexDelete(r.ObjectID, r.Key); err != nil {
+			if err := ap.RedoIndexDelete(r.ObjectID, r.Key, ValueOf(r.Old)); err != nil {
 				return fmt.Errorf("wal: redo index delete LSN %d: %w", r.LSN, err)
 			}
 		}

@@ -157,7 +157,7 @@ func (a *applier) UndoDelete(objectID uint32, pid uint64, slot uint16, tuple []b
 
 func (a *applier) RedoIndexInsert(objectID uint32, key int64, value uint64) error { return nil }
 
-func (a *applier) RedoIndexDelete(objectID uint32, key int64) error { return nil }
+func (a *applier) RedoIndexDelete(objectID uint32, key int64, value uint64) error { return nil }
 
 func (a *applier) UndoIndexInsert(objectID uint32, key int64, value uint64) error { return nil }
 

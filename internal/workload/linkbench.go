@@ -27,6 +27,11 @@ type LinkBenchConfig struct {
 	LinksPerNode int
 	// Seed drives the load-phase generator.
 	Seed int64
+	// AssocByID2 switches the driver to the secondary-index variant
+	// ("linkbenchsec"): links carry a secondary index on their target
+	// node (id2), link reads become reverse-association lookups through
+	// it, and link inserts churn the index transactionally.
+	AssocByID2 bool
 }
 
 // DefaultLinkBenchConfig returns the configuration used by the experiments.
@@ -64,7 +69,12 @@ type LinkBench struct {
 func NewLinkBench(cfg LinkBenchConfig) *LinkBench { return &LinkBench{cfg: cfg.withDefaults()} }
 
 // Name implements Workload.
-func (w *LinkBench) Name() string { return "linkbench" }
+func (w *LinkBench) Name() string {
+	if w.cfg.AssocByID2 {
+		return "linkbenchsec"
+	}
+	return "linkbench"
+}
 
 // Config returns the effective configuration.
 func (w *LinkBench) Config() LinkBenchConfig { return w.cfg }
@@ -77,6 +87,13 @@ func (w *LinkBench) Load(db *ipa.DB) error {
 	}
 	if w.links, err = db.CreateTable("lb_links", lbLinkSize); err != nil {
 		return err
+	}
+	if w.cfg.AssocByID2 {
+		// Created before any link exists, so all maintenance during the
+		// measured run is transactional and WAL-covered.
+		if _, err = w.links.CreateSecondaryIndex("id2", ipa.Int64Field(8)); err != nil {
+			return err
+		}
 	}
 	r := rand.New(rand.NewSource(w.cfg.Seed))
 	for n := int64(0); n < int64(w.cfg.Nodes); n++ {
@@ -126,7 +143,13 @@ func (w *LinkBench) RunOne(db *ipa.DB, r *rand.Rand) (bool, error) {
 		if _, err := tx.Get(w.nodes, node); err != nil {
 			return abort(err)
 		}
-	case p < 70: // get link
+	case p < 70: // get link (by id, or reverse-assoc by target in the variant)
+		if w.cfg.AssocByID2 {
+			if _, err := w.links.GetBySecondary("id2", randInt64(r, int64(w.cfg.Nodes))); err != nil {
+				return abort(err)
+			}
+			break
+		}
 		link := 1 + randInt64(r, w.nextLinkID)
 		if _, err := tx.Get(w.links, link); err != nil {
 			return abort(err)

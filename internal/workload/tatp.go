@@ -20,7 +20,17 @@ const (
 	tatpDataAOffset   = 9  // UPDATE_SUBSCRIBER_DATA: data_a in special_facility (1 byte)
 	tatpVLRLocOffset  = 16 // UPDATE_LOCATION: vlr_location (4 bytes)
 	tatpEndTimeOffset = 20 // INSERT_CALL_FORWARDING: end_time (1 byte)
+	// tatpSubNbrOffset holds the subscriber's sub_nbr: the non-primary
+	// identifier the TATP specification routes most lookups through. The
+	// secondary-index variant indexes it (and the forwarding table's
+	// owning subscriber at offset 0).
+	tatpSubNbrOffset = 24
 )
+
+// subNbr derives the (unique) sub_nbr of a subscriber: an injective
+// permutation of s_id, so drivers can compute the lookup key without a
+// table of their own.
+func subNbr(s int64) int64 { return s*7919 + 13 }
 
 // TATPConfig scales the TATP database.
 type TATPConfig struct {
@@ -28,6 +38,13 @@ type TATPConfig struct {
 	Subscribers int
 	// Seed drives the load-phase generator.
 	Seed int64
+	// SecondaryLookups switches the driver to the secondary-index variant
+	// ("tatpsec"): subscribers are found by sub_nbr through a secondary
+	// index instead of by primary key, and call-forwarding rows are
+	// additionally indexed by their owning subscriber — so the
+	// insert/delete call-forwarding transactions churn a secondary index
+	// transactionally.
+	SecondaryLookups bool
 }
 
 // DefaultTATPConfig returns the configuration used by the experiments.
@@ -61,7 +78,12 @@ type TATP struct {
 func NewTATP(cfg TATPConfig) *TATP { return &TATP{cfg: cfg.withDefaults()} }
 
 // Name implements Workload.
-func (w *TATP) Name() string { return "tatp" }
+func (w *TATP) Name() string {
+	if w.cfg.SecondaryLookups {
+		return "tatpsec"
+	}
+	return "tatp"
+}
 
 // Config returns the effective configuration.
 func (w *TATP) Config() TATPConfig { return w.cfg }
@@ -87,11 +109,22 @@ func (w *TATP) Load(db *ipa.DB) error {
 	if w.forwarding, err = db.CreateTableWithScheme("tatp_call_forwarding", tatpForwardingSize, ipa.Scheme{}); err != nil {
 		return err
 	}
+	if w.cfg.SecondaryLookups {
+		// Indexes are created before any row exists, so all maintenance
+		// during the measured run is transactional and WAL-covered.
+		if _, err = w.subscribers.CreateSecondaryIndex("sub_nbr", ipa.Int64Field(tatpSubNbrOffset)); err != nil {
+			return err
+		}
+		if _, err = w.forwarding.CreateSecondaryIndex("by_sub", ipa.Int64Field(0)); err != nil {
+			return err
+		}
+	}
 	r := rand.New(rand.NewSource(w.cfg.Seed))
 	for s := int64(0); s < int64(w.cfg.Subscribers); s++ {
 		row := make([]byte, tatpSubscriberSize)
 		fill(row, s+5000)
 		putInt64(row, 0, s)
+		putInt64(row, tatpSubNbrOffset, subNbr(s))
 		if err := w.subscribers.Insert(s, row); err != nil {
 			return fmt.Errorf("tatp load subscriber: %w", err)
 		}
@@ -137,7 +170,7 @@ func (w *TATP) RunOne(db *ipa.DB, r *rand.Rand) (bool, error) {
 	case p < 98:
 		return w.insertCallForwarding(db, r, sub)
 	default:
-		return w.deleteCallForwarding()
+		return w.deleteCallForwarding(db)
 	}
 }
 
@@ -160,6 +193,18 @@ func (w *TATP) readCommit(db *ipa.DB, read func(tx *ipa.Tx) error) (bool, error)
 
 func (w *TATP) getSubscriberData(db *ipa.DB, sub int64) (bool, error) {
 	return w.readCommit(db, func(tx *ipa.Tx) error {
+		if w.cfg.SecondaryLookups {
+			// The TATP spec routes this lookup through sub_nbr, not the
+			// primary key: resolve it via the secondary index.
+			rows, err := w.subscribers.GetBySecondary("sub_nbr", subNbr(sub))
+			if err != nil {
+				return err
+			}
+			if len(rows) == 0 {
+				return ipa.ErrKeyNotFound
+			}
+			return nil
+		}
 		_, err := tx.Get(w.subscribers, sub)
 		return err
 	})
@@ -172,6 +217,10 @@ func (w *TATP) getNewDestination(db *ipa.DB, r *rand.Rand, sub int64) (bool, err
 		}
 		// A matching call_forwarding row frequently does not exist; that is
 		// a valid empty result, not an error.
+		if w.cfg.SecondaryLookups {
+			_, _ = w.forwarding.GetBySecondary("by_sub", sub)
+			return nil
+		}
 		_, _ = tx.Get(w.forwarding, sub*8+int64(r.Intn(3)))
 		return nil
 	})
@@ -216,13 +265,32 @@ func (w *TATP) insertCallForwarding(db *ipa.DB, r *rand.Rand, sub int64) (bool, 
 	})
 }
 
-func (w *TATP) deleteCallForwarding() (bool, error) {
+func (w *TATP) deleteCallForwarding(db *ipa.DB) (bool, error) {
 	// Deletes are rare and target recently inserted rows; deleting a
 	// non-existent row is an acceptable no-op per the TATP specification.
 	if w.nextForwardID == 0 {
 		return true, nil
 	}
 	key := w.nextForwardID
+	if w.cfg.SecondaryLookups {
+		// The variant deletes transactionally so the by_sub secondary
+		// maintenance is WAL-covered like the rest of its churn.
+		tx := db.Begin()
+		if err := tx.Delete(w.forwarding, key); err != nil {
+			if abortErr := tx.Abort(); abortErr != nil {
+				return false, abortErr
+			}
+			if errors.Is(err, ipa.ErrKeyNotFound) || errors.Is(err, ipa.ErrConflict) {
+				return true, nil
+			}
+			return false, err
+		}
+		if err := tx.Commit(); err != nil {
+			return false, err
+		}
+		w.nextForwardID--
+		return true, nil
+	}
 	if err := w.forwarding.Delete(key); err != nil {
 		if errors.Is(err, ipa.ErrKeyNotFound) {
 			return true, nil

@@ -190,11 +190,86 @@ func TestRunOptionValidation(t *testing.T) {
 	}
 }
 
+func TestTATPSecondaryRuns(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	w := NewTATP(TATPConfig{Subscribers: 2000, Seed: 5, SecondaryLookups: true})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	db.ResetStats()
+	res, err := Run(db, w, RunOptions{MaxOps: 600, Seed: 11})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 600 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	// The sub_nbr index resolves every subscriber injectively.
+	subs, _ := db.Table("tatp_subscriber")
+	rows, err := subs.GetBySecondary("sub_nbr", subNbr(42))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("sub_nbr lookup: %d rows (%v), want 1", len(rows), err)
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Fatalf("VerifyIntegrity: %v", err)
+	}
+}
+
+func TestSecondaryChurnRuns(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	w := NewSecondaryChurn(SecondaryChurnConfig{Rows: 2000, Groups: 64, Seed: 5})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	db.ResetStats()
+	res, err := Run(db, w, RunOptions{MaxOps: 600, Seed: 19})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 600 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	// Group moves must not lose entries: the index still carries one
+	// entry per row.
+	items, _ := db.Table("sec_items")
+	s, ok := items.SecondaryIndex("group")
+	if !ok || s.Len() != 2000 {
+		t.Fatalf("group index carries %d entries (ok=%v), want 2000", s.Len(), ok)
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Fatalf("VerifyIntegrity: %v", err)
+	}
+}
+
+func TestLinkBenchSecondaryRuns(t *testing.T) {
+	db := testDB(t, ipa.IPANativeFlash)
+	defer db.Close()
+	w := NewLinkBench(LinkBenchConfig{Nodes: 1000, LinksPerNode: 2, Seed: 5, AssocByID2: true})
+	if err := w.Load(db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := Run(db, w, RunOptions{MaxOps: 400, Seed: 17})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed != 400 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Fatalf("VerifyIntegrity: %v", err)
+	}
+}
+
 func TestWorkloadNames(t *testing.T) {
 	if NewTPCB(TPCBConfig{}).Name() != "tpcb" ||
 		NewTPCC(TPCCConfig{}).Name() != "tpcc" ||
 		NewTATP(TATPConfig{}).Name() != "tatp" ||
-		NewLinkBench(LinkBenchConfig{}).Name() != "linkbench" {
+		NewLinkBench(LinkBenchConfig{}).Name() != "linkbench" ||
+		NewTATP(TATPConfig{SecondaryLookups: true}).Name() != "tatpsec" ||
+		NewLinkBench(LinkBenchConfig{AssocByID2: true}).Name() != "linkbenchsec" ||
+		NewSecondaryChurn(SecondaryChurnConfig{}).Name() != "secchurn" {
 		t.Fatalf("workload names wrong")
 	}
 }

@@ -164,10 +164,11 @@ type Config struct {
 	// disabled). Individual tables can override it via
 	// CreateTableWithScheme (NoFTL regions).
 	Scheme Scheme
-	// IndexScheme is the N×M scheme applied to primary-key index entry
-	// pages (their own NoFTL regions). The zero value inherits each
-	// table's scheme — index maintenance is small-update dominated, so
-	// index pages are usually the strongest delta-append candidates.
+	// IndexScheme is the N×M scheme applied to index entry pages —
+	// primary-key and secondary alike (each index owns a NoFTL region).
+	// The zero value inherits each table's scheme — index maintenance is
+	// small-update dominated, so index pages are usually the strongest
+	// delta-append candidates.
 	IndexScheme Scheme
 	// BufferPoolPages is the buffer pool capacity in pages (default 256).
 	BufferPoolPages int
@@ -250,7 +251,7 @@ var ErrClosed = errors.New("ipa: database closed")
 // page access or I/O, so concurrent readers and writers on different pages
 // proceed in parallel.
 type DB struct {
-	mu  sync.Mutex // catalog only: tables, tablesByID, nextObjID, closed
+	mu  sync.Mutex // catalog only: table and index maps, nextObjID, closed
 	cfg Config
 
 	dev     *flashdev.Device
@@ -261,10 +262,12 @@ type DB struct {
 	log     *wal.Log
 	txns    *txn.Manager
 
-	tables      map[string]*Table
-	tablesByID  map[uint32]*Table
-	indexesByID map[uint32]*Table // index object id -> owning table
-	nextObjID   uint32
+	tables          map[string]*Table
+	tablesByID      map[uint32]*Table
+	indexesByID     map[uint32]*Table          // pk index object id -> owning table
+	secondaryByID   map[uint32]*SecondaryIndex // secondary index object id
+	secondaryByName map[string]*SecondaryIndex // "<table>.<index>" -> index
+	nextObjID       uint32
 	// closed is atomic so the hot table and transaction paths can reject
 	// use-after-Close without taking the catalog mutex; gate makes Close
 	// wait for in-flight operations before flushing (see acquire).
@@ -421,18 +424,20 @@ func assemble(cfg Config, dev *flashdev.Device, f *ftl.FTL, log *wal.Log, txns *
 		})
 	}
 	return &DB{
-		cfg:         cfg,
-		dev:         dev,
-		ftl:         f,
-		store:       store,
-		pool:        pool,
-		regions:     regions,
-		log:         log,
-		txns:        txns,
-		tables:      make(map[string]*Table),
-		tablesByID:  make(map[uint32]*Table),
-		indexesByID: make(map[uint32]*Table),
-		nextObjID:   1,
+		cfg:             cfg,
+		dev:             dev,
+		ftl:             f,
+		store:           store,
+		pool:            pool,
+		regions:         regions,
+		log:             log,
+		txns:            txns,
+		tables:          make(map[string]*Table),
+		tablesByID:      make(map[uint32]*Table),
+		indexesByID:     make(map[uint32]*Table),
+		secondaryByID:   make(map[uint32]*SecondaryIndex),
+		secondaryByName: make(map[string]*SecondaryIndex),
+		nextObjID:       1,
 	}, nil
 }
 
@@ -522,6 +527,13 @@ func (db *DB) CreateTableWithScheme(name string, tupleSize int, scheme Scheme) (
 	db.tablesByID[id] = t
 	db.indexesByID[idxID] = t
 	return t, nil
+}
+
+// secondaryCount returns the number of secondary indexes in the catalog.
+func (db *DB) secondaryCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.secondaryByID)
 }
 
 // Table returns the named table.

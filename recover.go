@@ -8,6 +8,7 @@ import (
 	"ipa/internal/flashdev"
 	"ipa/internal/ftl"
 	"ipa/internal/heap"
+	"ipa/internal/index"
 	"ipa/internal/nand"
 	"ipa/internal/page"
 	"ipa/internal/region"
@@ -28,15 +29,28 @@ type CrashImage struct {
 	tables     []tableSpec
 }
 
-// tableSpec is the durable description of one table and its primary-key
-// index.
+// tableSpec is the durable description of one table, its primary-key
+// index and its secondary indexes.
 type tableSpec struct {
-	name      string
-	id        uint32
-	idxID     uint32
-	tupleSize int
-	scheme    core.Scheme
-	idxScheme core.Scheme
+	name        string
+	id          uint32
+	idxID       uint32
+	tupleSize   int
+	scheme      core.Scheme
+	idxScheme   core.Scheme
+	secondaries []secondarySpec
+}
+
+// secondarySpec is the durable description of one secondary index. The
+// extract function rides along in process memory — a real system would
+// store the indexed column in a system table; the simulated crash stays
+// within one process, so the function pointer survives like the rest of
+// the catalog description.
+type secondarySpec struct {
+	name    string
+	id      uint32
+	scheme  core.Scheme
+	extract ExtractFunc
 }
 
 // Crash simulates the host side of a power cut: the database is poisoned
@@ -45,11 +59,13 @@ type tableSpec struct {
 // records and the catalog — is captured for Reopen. Unlike Close, nothing
 // in volatile memory is saved.
 //
-// Reopen recovers the primary-key indexes from their surviving entry pages
-// plus the durable write-ahead log; it never scans the heaps. All data
-// must therefore be written through transactions so the write-ahead log
-// covers it — entries of non-transactional inserts survive only if their
-// entry page happened to be flushed (e.g. by Close or FlushAll).
+// Reopen recovers the primary-key and secondary indexes from their
+// surviving entry pages plus the durable write-ahead log; it never scans
+// the heaps. All data must therefore be written through transactions so
+// the write-ahead log covers it — entries of non-transactional inserts
+// (including secondary-index backfills over pre-existing rows) survive
+// only if their entry page happened to be flushed (e.g. by Close or
+// FlushAll).
 func (db *DB) Crash() *CrashImage {
 	db.closeOnce.Do(func() {
 		db.gate.Lock()
@@ -60,14 +76,25 @@ func (db *DB) Crash() *CrashImage {
 	db.mu.Lock()
 	specs := make([]tableSpec, 0, len(db.tablesByID))
 	for id, t := range db.tablesByID {
-		specs = append(specs, tableSpec{
+		spec := tableSpec{
 			name:      t.name,
 			id:        id,
 			idxID:     t.idxID,
 			tupleSize: t.tupleSize,
 			scheme:    db.regions.For(id).Scheme,
 			idxScheme: db.regions.For(t.idxID).Scheme,
-		})
+		}
+		t.mu.RLock()
+		for _, s := range t.secondaries {
+			spec.secondaries = append(spec.secondaries, secondarySpec{
+				name:    s.name,
+				id:      s.id,
+				scheme:  db.regions.For(s.id).Scheme,
+				extract: s.extract,
+			})
+		}
+		t.mu.RUnlock()
+		specs = append(specs, spec)
 	}
 	db.mu.Unlock()
 	sort.Slice(specs, func(i, j int) bool { return specs[i].id < specs[j].id })
@@ -85,12 +112,12 @@ func (db *DB) Crash() *CrashImage {
 // device, rebuilds the FTL mapping from the OOB tags on Flash (newest valid
 // copy of every logical page wins), scrubs pages carrying torn in-place
 // appends, recreates the catalog, adopts the surviving heap and index
-// entry pages, and replays the durable write-ahead log (analysis, redo of
-// committed inserts/updates/deletes and logical index operations, undo of
-// losers). The primary-key indexes come from their own entry pages plus
-// the log — the heaps are never scanned. On success all committed
-// transactions are visible, all losers are rolled back and the database is
-// fully usable.
+// entry pages (primary-key and secondary alike), and replays the durable
+// write-ahead log (analysis, redo of committed inserts/updates/deletes and
+// logical index operations, undo of losers). Every index comes from its
+// own entry pages plus the log — the heaps are never scanned. On success
+// all committed transactions are visible, all losers are rolled back and
+// the database is fully usable.
 //
 // Reopen may itself be interrupted by an armed fault plan (a crash during
 // recovery); recovery is idempotent, so calling Reopen on the same image
@@ -134,6 +161,21 @@ func Reopen(img *CrashImage) (*DB, error) {
 		for _, id := range []uint32{spec.id, spec.idxID} {
 			if id >= db.nextObjID {
 				db.nextObjID = id + 1
+			}
+		}
+		for _, ss := range spec.secondaries {
+			db.regions.Assign(ss.id, region.Region{
+				Name:      spec.name + "." + ss.name,
+				Scheme:    ss.scheme,
+				FlashMode: db.regions.Default().FlashMode,
+				Kind:      region.KindIndex,
+			})
+			s := newSecondaryIndex(t, ss.name, ss.id, ss.extract)
+			t.secondaries = append(t.secondaries, s)
+			db.secondaryByID[ss.id] = s
+			db.secondaryByName[spec.name+"."+ss.name] = s
+			if ss.id >= db.nextObjID {
+				db.nextObjID = ss.id + 1
 			}
 		}
 	}
@@ -197,8 +239,9 @@ func (db *DB) snapshotTables() []*Table {
 	return tables
 }
 
-// loadIndexes rebuilds every table's entry locations and volatile B-tree
-// from the index entry pages that survived on Flash.
+// loadIndexes rebuilds every table's entry locations and volatile
+// directories — the primary-key B-tree and each secondary index — from
+// the index entry pages that survived on Flash.
 func (db *DB) loadIndexes() error {
 	for _, t := range db.snapshotTables() {
 		entries, err := t.idx.Load()
@@ -209,7 +252,19 @@ func (db *DB) loadIndexes() error {
 		for _, e := range entries {
 			t.pk.Insert(e.Key, e.Value)
 		}
+		secs := append([]*SecondaryIndex(nil), t.secondaries...)
 		t.mu.Unlock()
+		for _, s := range secs {
+			sentries, err := s.file.Load()
+			if err != nil {
+				return fmt.Errorf("secondary index %q of table %q: %w", s.name, t.name, err)
+			}
+			t.mu.Lock()
+			for _, e := range sentries {
+				s.noteLocked(e.Key, e.Value)
+			}
+			t.mu.Unlock()
+		}
 	}
 	return nil
 }
@@ -242,6 +297,10 @@ func (db *DB) adoptSurvivingPages(floor uint64) error {
 			t.idx.AdoptPages(pids)
 			continue
 		}
+		if s, ok := db.secondaryByID[objID]; ok {
+			s.file.AdoptPages(pids)
+			continue
+		}
 		return fmt.Errorf("page(s) %v owned by unknown object %d", pids, objID)
 	}
 	return nil
@@ -252,9 +311,11 @@ func (db *DB) adoptSurvivingPages(floor uint64) error {
 // magic and belongs to a known table or index, and — the index/heap
 // cross-check — every table's persistent primary-key index describes
 // exactly its live heap tuples (same cardinality, every entry resolving to
-// a distinct live RID). The heap scan lives here, as a verification
-// cross-check only; the recovery path itself never scans heaps. The
-// crash-torture harness runs this after every recovery.
+// a distinct live RID) and every secondary index describes exactly the
+// (extracted key, RID) pairs of the live tuples (no dangling entries, no
+// missing ones). The heap scan lives here, as a verification cross-check
+// only; the recovery path itself never scans heaps. The crash-torture
+// harness runs this after every recovery.
 func (db *DB) VerifyIntegrity() error {
 	if err := db.ftl.CheckConsistency(); err != nil {
 		return fmt.Errorf("ipa: %w", err)
@@ -274,8 +335,9 @@ func (db *DB) VerifyIntegrity() error {
 		db.mu.Lock()
 		_, knownTable := db.tablesByID[pg.ObjectID()]
 		_, knownIndex := db.indexesByID[pg.ObjectID()]
+		_, knownSecondary := db.secondaryByID[pg.ObjectID()]
 		db.mu.Unlock()
-		if !knownTable && !knownIndex {
+		if !knownTable && !knownIndex && !knownSecondary {
 			return fmt.Errorf("ipa: page %d owned by unknown object %d", lba, pg.ObjectID())
 		}
 	}
@@ -288,12 +350,22 @@ func (db *DB) VerifyIntegrity() error {
 }
 
 // verifyIndexAgainstHeap scans the table's heap (the cross-check formerly
-// performed by the index rebuild) and confirms the primary-key index is a
-// bijection onto the live tuples.
+// performed by the index rebuild) and confirms that the primary-key index
+// is a bijection onto the live tuples and that every secondary index is a
+// bijection onto the pairs (extracted key, RID) of the live tuples — each
+// live tuple appears under exactly its extracted key, and no entry dangles.
 func (t *Table) verifyIndexAgainstHeap() error {
+	secs := t.secondarySnapshot()
 	live := make(map[uint64]bool)
+	wantSec := make([]map[index.Entry]bool, len(secs))
+	for i := range wantSec {
+		wantSec[i] = make(map[index.Entry]bool)
+	}
 	err := t.heap.Scan(func(rid heap.RID, tuple []byte) bool {
 		live[rid.Pack()] = true
+		for i, s := range secs {
+			wantSec[i][index.Entry{Key: s.extract(tuple), Value: rid.Pack()}] = true
+		}
 		return true
 	})
 	if err != nil {
@@ -321,5 +393,45 @@ func (t *Table) verifyIndexAgainstHeap() error {
 		seen[v] = true
 		return true
 	})
-	return verr
+	if verr != nil {
+		return verr
+	}
+	for i, s := range secs {
+		if err := s.verifyAgainstLocked(wantSec[i]); err != nil {
+			return fmt.Errorf("secondary index %q: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// verifyAgainstLocked checks the secondary index against the expected
+// (key, RID) pair set derived from the live heap tuples. Caller holds the
+// table mutex (read).
+func (s *SecondaryIndex) verifyAgainstLocked(want map[index.Entry]bool) error {
+	if n := s.lenLocked(); n != len(want) {
+		for key, set := range s.rids {
+			for v := range set {
+				if !want[index.Entry{Key: key, Value: v}] {
+					return fmt.Errorf("directory carries %d entries, heap extraction yields %d (e.g. stale entry (key %d, RID %s))",
+						n, len(want), key, heap.Unpack(v))
+				}
+			}
+		}
+		return fmt.Errorf("directory carries %d entries, heap extraction yields %d", n, len(want))
+	}
+	if n := s.file.Len(); n != len(want) {
+		return fmt.Errorf("persistent entry file carries %d entries, heap extraction yields %d", n, len(want))
+	}
+	for key, set := range s.rids {
+		for v := range set {
+			e := index.Entry{Key: key, Value: v}
+			if !want[e] {
+				return fmt.Errorf("entry (key %d, RID %s) has no matching live tuple", key, heap.Unpack(v))
+			}
+			if !s.file.Contains(key, v) {
+				return fmt.Errorf("entry (key %d, RID %s) missing from the persistent file", key, heap.Unpack(v))
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,179 @@
+package ipa_test
+
+import (
+	"sync"
+	"testing"
+
+	"ipa"
+)
+
+// scanFixture builds a table of 40 rows (pk 0..39, secondary group k%4)
+// with a secondary index, for the scan edge-case tests.
+func scanFixture(t *testing.T) (*ipa.DB, *ipa.Table) {
+	t.Helper()
+	db, err := ipa.Open(secCfg())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("events", 64)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := tbl.CreateSecondaryIndex("group", ipa.Int64Field(8)); err != nil {
+		t.Fatalf("CreateSecondaryIndex: %v", err)
+	}
+	for k := int64(0); k < 40; k++ {
+		tx := db.Begin()
+		if err := tx.Insert(tbl, k, secRow(k%4, 1)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	return db, tbl
+}
+
+func countRange(t *testing.T, tbl *ipa.Table, from, to int64) int {
+	t.Helper()
+	n := 0
+	if err := tbl.ScanRange(from, to, func(int64, []byte) bool { n++; return true }); err != nil {
+		t.Fatalf("ScanRange[%d,%d): %v", from, to, err)
+	}
+	return n
+}
+
+func countSecondary(t *testing.T, tbl *ipa.Table, from, to int64) int {
+	t.Helper()
+	n := 0
+	if err := tbl.ScanSecondary("group", from, to, func(int64, []byte) bool { n++; return true }); err != nil {
+		t.Fatalf("ScanSecondary[%d,%d): %v", from, to, err)
+	}
+	return n
+}
+
+func TestScanEmptyAndInvertedRanges(t *testing.T) {
+	_, tbl := scanFixture(t)
+	// Empty ranges: from == to, and ranges beyond the key space.
+	if n := countRange(t, tbl, 7, 7); n != 0 {
+		t.Fatalf("ScanRange[7,7) visited %d rows, want 0", n)
+	}
+	if n := countRange(t, tbl, 1000, 2000); n != 0 {
+		t.Fatalf("ScanRange beyond keys visited %d rows, want 0", n)
+	}
+	// Inverted range: from > to must visit nothing (not wrap around).
+	if n := countRange(t, tbl, 30, 10); n != 0 {
+		t.Fatalf("ScanRange[30,10) visited %d rows, want 0", n)
+	}
+	if n := countSecondary(t, tbl, 2, 2); n != 0 {
+		t.Fatalf("ScanSecondary[2,2) visited %d rows, want 0", n)
+	}
+	if n := countSecondary(t, tbl, 3, 1); n != 0 {
+		t.Fatalf("ScanSecondary[3,1) visited %d rows, want 0", n)
+	}
+	if n := countSecondary(t, tbl, 500, 600); n != 0 {
+		t.Fatalf("ScanSecondary beyond keys visited %d rows, want 0", n)
+	}
+}
+
+func TestScanSkipsTombstonesInsideRange(t *testing.T) {
+	db, tbl := scanFixture(t)
+	// Delete keys 10..19 (committed): the tombstoned keys lie inside the
+	// scanned range and must be skipped without ending the scan early.
+	for k := int64(10); k < 20; k++ {
+		tx := db.Begin()
+		if err := tx.Delete(tbl, k); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if n := countRange(t, tbl, 5, 25); n != 10 {
+		t.Fatalf("ScanRange[5,25) visited %d rows, want 10 (10 tombstoned)", n)
+	}
+	// Each group lost either 2 or 3 of its 10 members.
+	if n := countSecondary(t, tbl, 0, 4); n != 30 {
+		t.Fatalf("ScanSecondary[0,4) visited %d rows, want 30", n)
+	}
+	// A pending (uncommitted) delete inside the range also reads as gone.
+	tx := db.Begin()
+	if err := tx.Delete(tbl, 5); err != nil {
+		t.Fatalf("pending delete: %v", err)
+	}
+	if n := countRange(t, tbl, 0, 40); n != 29 {
+		t.Fatalf("ScanRange with pending delete visited %d rows, want 29", n)
+	}
+	if n := countSecondary(t, tbl, 0, 4); n != 29 {
+		t.Fatalf("ScanSecondary with pending delete visited %d rows, want 29", n)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	// Rollback restores the row for both access paths.
+	if n := countRange(t, tbl, 0, 40); n != 30 {
+		t.Fatalf("ScanRange after rollback visited %d rows, want 30", n)
+	}
+	if n := countSecondary(t, tbl, 0, 4); n != 30 {
+		t.Fatalf("ScanSecondary after rollback visited %d rows, want 30", n)
+	}
+}
+
+// TestScanRacesConcurrentDelete drives range and secondary scans against
+// concurrent transactional deletes. Scans snapshot the directory up
+// front, so a row deleted mid-scan is either delivered (snapshot before
+// the delete) or skipped (tuple already gone) — never an error, never a
+// torn read.
+func TestScanRacesConcurrentDelete(t *testing.T) {
+	db, tbl := scanFixture(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := int64(0); k < 40; k += 2 {
+			tx := db.Begin()
+			if err := tx.Delete(tbl, k); err != nil {
+				t.Errorf("Delete %d: %v", k, err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("Commit %d: %v", k, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		n := 0
+		if err := tbl.ScanRange(0, 40, func(k int64, tuple []byte) bool {
+			if len(tuple) != 64 {
+				t.Errorf("torn tuple of %d bytes at key %d", len(tuple), k)
+				return false
+			}
+			n++
+			return true
+		}); err != nil {
+			t.Fatalf("ScanRange during deletes: %v", err)
+		}
+		if n < 20 || n > 40 {
+			t.Fatalf("ScanRange saw %d rows, want within [20,40]", n)
+		}
+		m := 0
+		if err := tbl.ScanSecondary("group", 0, 4, func(int64, []byte) bool { m++; return true }); err != nil {
+			t.Fatalf("ScanSecondary during deletes: %v", err)
+		}
+		if m < 20 || m > 40 {
+			t.Fatalf("ScanSecondary saw %d rows, want within [20,40]", m)
+		}
+	}
+	wg.Wait()
+	if n := countRange(t, tbl, 0, 40); n != 20 {
+		t.Fatalf("after deletes: %d rows, want 20", n)
+	}
+	if n := countSecondary(t, tbl, 0, 4); n != 20 {
+		t.Fatalf("after deletes (secondary): %d rows, want 20", n)
+	}
+	if err := db.VerifyIntegrity(); err != nil {
+		t.Fatalf("VerifyIntegrity: %v", err)
+	}
+}

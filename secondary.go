@@ -1,0 +1,332 @@
+package ipa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ipa/internal/btree"
+	"ipa/internal/core"
+	"ipa/internal/heap"
+	"ipa/internal/index"
+	"ipa/internal/region"
+)
+
+// ErrIndexNotFound is returned when a named secondary index does not exist.
+var ErrIndexNotFound = errors.New("ipa: secondary index not found")
+
+// ExtractFunc derives the secondary key of a tuple. It must be a pure
+// function of the tuple bytes: the engine re-extracts keys during update
+// maintenance, integrity verification and crash recovery, and all call
+// sites must agree.
+type ExtractFunc func(tuple []byte) int64
+
+// Int64Field returns an ExtractFunc reading a little-endian int64 at the
+// given tuple-relative offset — the common secondary-key shape of the
+// benchmark schemas (TATP sub_nbr, LinkBench id2). An offset outside the
+// tuple extracts key 0 for every row; callers that know the tuple size
+// should validate the offset up front (cmd/ipadb does).
+func Int64Field(offset int) ExtractFunc {
+	return func(tuple []byte) int64 {
+		if offset < 0 || offset+8 > len(tuple) {
+			return 0
+		}
+		return int64(binary.LittleEndian.Uint64(tuple[offset:]))
+	}
+}
+
+// SecondaryIndex is a transactional, persistent, non-unique secondary
+// index over one table: every live tuple owns one 16-byte entry
+// (extracted key, packed RID) in the index's own entry pages, which
+// belong to a dedicated `<table>.<index>` NoFTL region (KindIndex) and
+// reach Flash as delta appends through the same storage→FTL→device paths
+// as the primary key. The sorted key directory is volatile (derivable)
+// and is rebuilt from the entry pages plus the write-ahead log on Reopen,
+// exactly like the primary-key B-tree — never by scanning the heap.
+//
+// Maintenance is fully logged: Tx.Insert, Tx.Delete and Tx.UpdateAt
+// ripple into every secondary index via logical RecIndexInsert /
+// RecIndexDelete records (carrying the index object id, key and RID), so
+// rollback and crash recovery reverse or replay it together with the
+// tuple change. Unlike the primary key there is no uniqueness to defend,
+// so deletions take effect immediately instead of reserving the key
+// until commit.
+type SecondaryIndex struct {
+	table   *Table
+	name    string
+	id      uint32
+	extract ExtractFunc
+	file    *index.Secondary
+
+	// Volatile search structure, guarded by table.mu like the pk B-tree:
+	// keys is the sorted set of live secondary keys (the stored value is
+	// unused), rids the live RID set per key.
+	keys *btree.Tree
+	rids map[int64]map[uint64]struct{}
+}
+
+// Name returns the index name (unique per table).
+func (s *SecondaryIndex) Name() string { return s.name }
+
+// ID returns the index's object identifier.
+func (s *SecondaryIndex) ID() uint32 { return s.id }
+
+// Table returns the indexed table.
+func (s *SecondaryIndex) Table() *Table { return s.table }
+
+// Pages returns the number of persistent entry pages of the index.
+func (s *SecondaryIndex) Pages() int { return s.file.Pages() }
+
+// Len returns the number of live (key, RID) entries.
+func (s *SecondaryIndex) Len() int {
+	s.table.mu.RLock()
+	defer s.table.mu.RUnlock()
+	return s.lenLocked()
+}
+
+// Keys returns the number of distinct live secondary keys.
+func (s *SecondaryIndex) Keys() int {
+	s.table.mu.RLock()
+	defer s.table.mu.RUnlock()
+	return s.keys.Len()
+}
+
+// lenLocked counts live entries. Caller holds table.mu.
+func (s *SecondaryIndex) lenLocked() int {
+	n := 0
+	for _, set := range s.rids {
+		n += len(set)
+	}
+	return n
+}
+
+// noteLocked records the (key, value) pair in the volatile structures
+// only (used when priming from recovered entry pages). Caller holds
+// table.mu. Idempotent.
+func (s *SecondaryIndex) noteLocked(key int64, value uint64) {
+	set := s.rids[key]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		s.rids[key] = set
+		s.keys.Insert(key, 0)
+	}
+	set[value] = struct{}{}
+}
+
+// addLocked inserts the (key, value) pair into the persistent entry file
+// and the volatile directory. Caller holds table.mu. Idempotent, so WAL
+// redo can replay it.
+func (s *SecondaryIndex) addLocked(key int64, value uint64) error {
+	if err := s.file.Add(key, value); err != nil {
+		return err
+	}
+	s.noteLocked(key, value)
+	return nil
+}
+
+// removeLocked deletes the (key, value) pair from both structures.
+// Caller holds table.mu. Removing an absent pair is a no-op.
+func (s *SecondaryIndex) removeLocked(key int64, value uint64) error {
+	if err := s.file.Remove(key, value); err != nil {
+		return err
+	}
+	if set := s.rids[key]; set != nil {
+		delete(set, value)
+		if len(set) == 0 {
+			delete(s.rids, key)
+			s.keys.Delete(key)
+		}
+	}
+	return nil
+}
+
+// pairsLocked appends the (key, rid) scan pairs of every key in
+// [from, to) to out, keys ascending and RIDs ascending within a key.
+// Caller holds table.mu.
+func (s *SecondaryIndex) pairsLocked(from, to int64, out []scanPair) []scanPair {
+	s.keys.AscendRange(from, to, func(k int64, _ uint64) bool {
+		set := s.rids[k]
+		packed := make([]uint64, 0, len(set))
+		for v := range set {
+			packed = append(packed, v)
+		}
+		sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
+		for _, v := range packed {
+			out = append(out, scanPair{key: k, rid: heap.Unpack(v)})
+		}
+		return true
+	})
+	return out
+}
+
+// CreateSecondaryIndex builds a transactional, persistent secondary index
+// named name over the table, extracting each tuple's secondary key with
+// extract. The index gets its own `<table>.<name>` NoFTL region running
+// the Config.IndexScheme (falling back to the table's scheme), so its
+// entry pages are delta-append candidates independent of the heap.
+//
+// Existing rows are backfilled by one heap scan. Like Table.Insert, the
+// backfilled entries are not covered by the write-ahead log — create
+// indexes before loading data (all transactional maintenance is then
+// logged), or call FlushAll afterwards to persist the backfill.
+//
+// CreateSecondaryIndex is a DDL operation: it must not run concurrently
+// with writes to the table. A transaction updating a tuple while the
+// backfill scans could have captured its index snapshot before this
+// index existed, leaving the backfilled entry stale.
+func (t *Table) CreateSecondaryIndex(name string, extract ExtractFunc) (*SecondaryIndex, error) {
+	if name == "" || name == "pk" {
+		return nil, fmt.Errorf("ipa: invalid secondary index name %q", name)
+	}
+	if extract == nil {
+		return nil, fmt.Errorf("ipa: secondary index %q needs an extract function", name)
+	}
+	if err := t.db.acquire(); err != nil {
+		return nil, err
+	}
+	defer t.db.release()
+
+	db := t.db
+	db.mu.Lock()
+	if _, dup := db.secondaryByName[t.name+"."+name]; dup {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("ipa: secondary index %q on table %q already exists", name, t.name)
+	}
+	id := db.nextObjID
+	db.nextObjID++
+	idxScheme := db.cfg.IndexScheme.internal()
+	if !idxScheme.Enabled() {
+		idxScheme = db.regions.For(t.id).Scheme
+	}
+	if db.cfg.WriteMode == Traditional {
+		idxScheme = core.Disabled
+	}
+	db.regions.Assign(id, region.Region{
+		Name:      t.name + "." + name,
+		Scheme:    idxScheme,
+		FlashMode: db.regions.Default().FlashMode,
+		Kind:      region.KindIndex,
+	})
+	s := newSecondaryIndex(t, name, id, extract)
+	db.secondaryByID[id] = s
+	db.secondaryByName[t.name+"."+name] = s
+	db.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// The index joins the catalog before the backfill: if the backfill
+	// fails part-way (an injected power cut, a full device), entry pages
+	// it already pushed to Flash must stay owned by a known object so
+	// integrity checks and crash adoption keep working — the failure then
+	// surfaces loudly as an incomplete index (VerifyIntegrity reports the
+	// missing entries), not as orphaned pages.
+	t.secondaries = append(t.secondaries, s)
+	// Backfill from the live heap tuples (empty for indexes created
+	// before the load phase, the recommended order).
+	var backfillErr error
+	err := t.heap.Scan(func(rid heap.RID, tuple []byte) bool {
+		if backfillErr = s.addLocked(extract(tuple), rid.Pack()); backfillErr != nil {
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = backfillErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ipa: backfill secondary index %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// newSecondaryIndex constructs the in-memory object (no backfill, no
+// registration); Reopen uses it to recreate crashed indexes.
+func newSecondaryIndex(t *Table, name string, id uint32, extract ExtractFunc) *SecondaryIndex {
+	return &SecondaryIndex{
+		table:   t,
+		name:    name,
+		id:      id,
+		extract: extract,
+		file:    index.NewSecondary(t.db.store, t.db.pool, id),
+		keys:    btree.New(),
+		rids:    make(map[int64]map[uint64]struct{}),
+	}
+}
+
+// SecondaryIndex returns the named secondary index of the table.
+func (t *Table) SecondaryIndex(name string) (*SecondaryIndex, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, s := range t.secondaries {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// SecondaryIndexes returns the names of the table's secondary indexes in
+// creation order.
+func (t *Table) SecondaryIndexes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.secondaries))
+	for i, s := range t.secondaries {
+		out[i] = s.name
+	}
+	return out
+}
+
+// secondarySnapshot returns the current secondary indexes without holding
+// the table mutex across any per-index work.
+func (t *Table) secondarySnapshot() []*SecondaryIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.secondaries) == 0 {
+		return nil
+	}
+	return append([]*SecondaryIndex(nil), t.secondaries...)
+}
+
+// GetBySecondary returns copies of every tuple whose extracted key equals
+// key in the named secondary index, in RID order. A key with no entries
+// yields an empty result, not an error. Visibility matches Get: tuples
+// deleted by a not-yet-committed transaction are skipped.
+func (t *Table) GetBySecondary(indexName string, key int64) ([][]byte, error) {
+	s, ok := t.SecondaryIndex(indexName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrIndexNotFound, t.name, indexName)
+	}
+	if err := t.db.checkOpen(); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	pairs := s.pairsLocked(key, key+1, nil)
+	t.mu.RUnlock()
+	var out [][]byte
+	err := t.scanPairs(pairs, func(_ int64, tuple []byte) bool {
+		out = append(out, tuple)
+		return true
+	})
+	return out, err
+}
+
+// ScanSecondary calls fn for every (secondary key, tuple) with a key in
+// [from, to), keys ascending (RID order within one key), until fn returns
+// false. Like ScanRange, the snapshot is taken up front and the close
+// gate is never held across fn; rows whose tuple vanished between
+// snapshot and fetch (a concurrent or uncommitted delete) are skipped.
+func (t *Table) ScanSecondary(indexName string, from, to int64, fn func(key int64, tuple []byte) bool) error {
+	s, ok := t.SecondaryIndex(indexName)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrIndexNotFound, t.name, indexName)
+	}
+	if err := t.db.checkOpen(); err != nil {
+		return err
+	}
+	t.mu.RLock()
+	pairs := s.pairsLocked(from, to, nil)
+	t.mu.RUnlock()
+	return t.scanPairs(pairs, fn)
+}

@@ -64,17 +64,19 @@ type Stats struct {
 	EvictionSizeHistogram   []uint64
 	EvictionHistogramBounds []int
 
-	// Primary-key index maintenance (the index-page slice of the eviction
-	// counters above). Index entry pages absorb tiny slot edits, so under
-	// IPA most index evictions become delta appends instead of full page
-	// writes; IndexDeltaRecords / IndexOutOfPlaceWrites is the number of
-	// delta appends amortised per full index-page rewrite (merge).
+	// Index maintenance (the index-page slice of the eviction counters
+	// above, covering primary-key and secondary entry pages — both live in
+	// KindIndex regions). Index entry pages absorb tiny slot edits, so
+	// under IPA most index evictions become delta appends instead of full
+	// page writes; IndexDeltaRecords / IndexOutOfPlaceWrites is the number
+	// of delta appends amortised per full index-page rewrite (merge).
 	IndexPageReads        uint64 // index entry pages loaded from Flash
 	IndexPageWrites       uint64 // dirty index-page evictions
 	IndexInPlaceAppends   uint64 // index evictions persisted as delta appends
 	IndexOutOfPlaceWrites uint64 // index evictions written as whole pages
 	IndexDeltaRecords     uint64 // delta records written for index pages
 	IndexDeltaBytes       uint64 // delta bytes written for index pages
+	SecondaryIndexes      int    // secondary indexes in the catalog (echo)
 
 	// Buffer pool.
 	BufferHits   uint64
@@ -207,6 +209,7 @@ func (db *DB) Stats() Stats {
 		IndexOutOfPlaceWrites: ss.IndexOutOfPlaceWrites,
 		IndexDeltaRecords:     ss.IndexDeltaRecords,
 		IndexDeltaBytes:       ss.IndexDeltaBytes,
+		SecondaryIndexes:      db.secondaryCount(),
 
 		BufferHits:   ps.Hits,
 		BufferMisses: ps.Misses,
@@ -356,8 +359,8 @@ func (s Stats) String() string {
 		s.GCMigrations, s.GCErases, s.MigrationsPerHostWrite(), s.ErasesPerHostWrite())
 	fmt.Fprintf(&b, "flash: reads=%d programs=%d deltaPrograms=%d erases=%d\n",
 		s.FlashPageReads, s.FlashPagePrograms, s.FlashDeltaPrograms, s.FlashBlockErases)
-	fmt.Fprintf(&b, "index: reads=%d writes=%d in-place=%d out-of-place=%d deltaRecords=%d\n",
-		s.IndexPageReads, s.IndexPageWrites, s.IndexInPlaceAppends, s.IndexOutOfPlaceWrites, s.IndexDeltaRecords)
+	fmt.Fprintf(&b, "index: reads=%d writes=%d in-place=%d out-of-place=%d deltaRecords=%d secondaries=%d\n",
+		s.IndexPageReads, s.IndexPageWrites, s.IndexInPlaceAppends, s.IndexOutOfPlaceWrites, s.IndexDeltaRecords, s.SecondaryIndexes)
 	fmt.Fprintf(&b, "txn: committed=%d aborted=%d throughput=%.1f tps elapsed=%s\n",
 		s.CommittedTxns, s.AbortedTxns, s.Throughput(), s.Elapsed)
 	fmt.Fprintf(&b, "wal: flushes=%d commits/flush=%.2f maxBatch=%d shards=%d\n",

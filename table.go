@@ -32,6 +32,8 @@ var ErrDuplicateKey = errors.New("ipa: duplicate key")
 // N×M delta appends like any other page. The sorted B-tree (pk) is the
 // volatile search structure over those entries; it is rebuilt from the
 // entry pages and the write-ahead log on Reopen, never by scanning heaps.
+// Non-unique secondary indexes (CreateSecondaryIndex) follow the same
+// architecture with (key, RID) entries; see SecondaryIndex.
 //
 // Tables are safe for concurrent use: pk and the index file are guarded by
 // a per-table read/write mutex, while tuple access synchronises at page
@@ -50,6 +52,9 @@ type Table struct {
 	mu  sync.RWMutex
 	pk  *btree.Tree
 	idx *index.File
+	// secondaries are the table's secondary indexes in creation order;
+	// their volatile directories share t.mu with the pk B-tree.
+	secondaries []*SecondaryIndex
 	// reserved holds keys deleted by not-yet-committed transactions. The
 	// pk entry stays (reserving the key against concurrent inserts, see
 	// Tx.Delete) but the key must read as absent — Exists consults this
@@ -93,9 +98,10 @@ func (t *Table) Count() uint64 { return t.heap.Count() }
 func (t *Table) Pages() int { return len(t.heap.PageIDs()) }
 
 // Insert stores a tuple under the given primary key without transactional
-// overhead (used by benchmark load phases). The index entry is written
-// alongside the tuple; neither is covered by the write-ahead log, so
-// crash-recoverable data must go through Tx.Insert instead.
+// overhead (used by benchmark load phases). The index entries — primary
+// key and every secondary — are written alongside the tuple; none are
+// covered by the write-ahead log, so crash-recoverable data must go
+// through Tx.Insert instead.
 func (t *Table) Insert(key int64, tuple []byte) error {
 	if err := t.db.acquire(); err != nil {
 		return err
@@ -110,7 +116,15 @@ func (t *Table) Insert(key int64, tuple []byte) error {
 	if err != nil {
 		return err
 	}
-	return t.indexSetLocked(key, rid.Pack())
+	if err := t.indexSetLocked(key, rid.Pack()); err != nil {
+		return err
+	}
+	for _, s := range t.secondaries {
+		if err := s.addLocked(s.extract(tuple), rid.Pack()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // indexSetLocked maps key to the packed RID in both the volatile B-tree
@@ -177,6 +191,11 @@ func (t *Table) Exists(key int64) bool {
 
 // UpdateAt overwrites len(data) bytes of the tuple stored under key,
 // starting at the tuple-relative offset, without transactional overhead.
+// Updates that change a tuple's extracted secondary keys ripple into the
+// affected secondary indexes (an entry move per changed key); on tables
+// with secondary indexes the whole read-compare-write runs under the
+// table mutex, so concurrent UpdateAt calls on the same key cannot leave
+// a stale entry behind.
 func (t *Table) UpdateAt(key int64, offset int, data []byte) error {
 	if err := t.db.acquire(); err != nil {
 		return err
@@ -186,11 +205,79 @@ func (t *Table) UpdateAt(key int64, offset int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return t.heap.UpdateAt(rid, offset, data)
+	if len(t.secondarySnapshot()) == 0 {
+		return t.heap.UpdateAt(rid, offset, data)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	moves := secondaryMoves(t.secondaries, old, offset, data)
+	if err := t.heap.UpdateAt(rid, offset, data); err != nil {
+		return err
+	}
+	return applySecondaryMovesLocked(moves, rid.Pack())
+}
+
+// secondaryMove is one pending secondary-index entry relocation caused by
+// an update that changed the tuple's extracted key.
+type secondaryMove struct {
+	sec    *SecondaryIndex
+	oldKey int64
+	newKey int64
+}
+
+// secondaryMoves computes which secondary keys an update of old (patching
+// data at offset) changes.
+func secondaryMoves(secs []*SecondaryIndex, old []byte, offset int, data []byte) []secondaryMove {
+	if offset < 0 || offset+len(data) > len(old) {
+		return nil // the heap update will reject the range
+	}
+	var moves []secondaryMove
+	var updated []byte
+	for _, s := range secs {
+		before := s.extract(old)
+		if updated == nil {
+			updated = append([]byte(nil), old...)
+			copy(updated[offset:], data)
+		}
+		if after := s.extract(updated); after != before {
+			moves = append(moves, secondaryMove{sec: s, oldKey: before, newKey: after})
+		}
+	}
+	return moves
+}
+
+// applySecondaryMoves relocates the secondary entries of the tuple with
+// the given packed RID, taking the table mutex.
+func (t *Table) applySecondaryMoves(moves []secondaryMove, packed uint64) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return applySecondaryMovesLocked(moves, packed)
+}
+
+// applySecondaryMovesLocked is applySecondaryMoves with the table mutex
+// already held.
+func applySecondaryMovesLocked(moves []secondaryMove, packed uint64) error {
+	for _, mv := range moves {
+		if err := mv.sec.removeLocked(mv.oldKey, packed); err != nil {
+			return err
+		}
+		if err := mv.sec.addLocked(mv.newKey, packed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Delete removes the tuple stored under key (non-transactional). Like
-// Insert, the index entry is removed alongside the tuple without logging.
+// Insert, the index entries — primary key and every secondary — are
+// removed alongside the tuple without logging.
 func (t *Table) Delete(key int64) error {
 	if err := t.db.acquire(); err != nil {
 		return err
@@ -202,10 +289,25 @@ func (t *Table) Delete(key int64) error {
 	if !ok {
 		return fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
 	}
+	var old []byte
+	if len(t.secondaries) > 0 {
+		var err error
+		if old, err = t.heap.Get(heap.Unpack(v)); err != nil {
+			return err
+		}
+	}
 	if err := t.heap.Delete(heap.Unpack(v)); err != nil {
 		return err
 	}
-	return t.indexClearLocked(key)
+	if err := t.indexClearLocked(key); err != nil {
+		return err
+	}
+	for _, s := range t.secondaries {
+		if err := s.removeLocked(s.extract(old), v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Scan calls fn for every tuple in primary-key order until fn returns

@@ -128,7 +128,19 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 	if _, err := tx.inner.LogIndexInsert(t.idxID, key, rid.Pack()); err != nil {
 		return err
 	}
-	return t.indexSetLocked(key, rid.Pack())
+	if err := t.indexSetLocked(key, rid.Pack()); err != nil {
+		return err
+	}
+	for _, s := range t.secondaries {
+		skey := s.extract(tuple)
+		if _, err := tx.inner.LogIndexInsert(s.id, skey, rid.Pack()); err != nil {
+			return err
+		}
+		if err := s.addLocked(skey, rid.Pack()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Delete removes the tuple stored under key in table t. The before image
@@ -173,6 +185,18 @@ func (tx *Tx) Delete(t *Table, key int64) error {
 	}
 	if _, err := tx.inner.LogIndexDelete(t.idxID, key, v); err != nil {
 		return err
+	}
+	// Secondary entries are removed immediately: with nothing unique to
+	// reserve, readers should stop finding the tuple by its secondary
+	// keys right away. Rollback restores them through the logged records.
+	for _, s := range t.secondaries {
+		skey := s.extract(old)
+		if _, err := tx.inner.LogIndexDelete(s.id, skey, v); err != nil {
+			return err
+		}
+		if err := s.removeLocked(skey, v); err != nil {
+			return err
+		}
 	}
 	if err := t.heap.Delete(rid); err != nil {
 		return err
@@ -220,7 +244,23 @@ func (tx *Tx) UpdateRIDAt(t *Table, rid heap.RID, offset int, data []byte) error
 	if _, err := tx.inner.LogUpdate(rid.PageID, rid.Slot, uint16(offset), before, data); err != nil {
 		return err
 	}
-	return t.heap.UpdateAt(rid, offset, data)
+	// Updates that change an extracted secondary key move the tuple's
+	// entry under the new key: one logical delete + insert pair per
+	// affected index, logged before the bytes change so rollback and
+	// recovery reverse or replay the move with the tuple update.
+	moves := secondaryMoves(t.secondarySnapshot(), old, offset, data)
+	for _, mv := range moves {
+		if _, err := tx.inner.LogIndexDelete(mv.sec.id, mv.oldKey, rid.Pack()); err != nil {
+			return err
+		}
+		if _, err := tx.inner.LogIndexInsert(mv.sec.id, mv.newKey, rid.Pack()); err != nil {
+			return err
+		}
+	}
+	if err := t.heap.UpdateAt(rid, offset, data); err != nil {
+		return err
+	}
+	return t.applySecondaryMoves(moves, rid.Pack())
 }
 
 // RIDFor returns the RID of key in table t (for drivers that cache RIDs).
@@ -492,60 +532,84 @@ func (u pageUndoer) UndoDelete(objectID uint32, pid uint64, slot uint16, tuple [
 }
 
 // RedoIndexInsert re-applies a committed logical index insertion: the key
-// maps to the packed RID in both the B-tree and the persistent entry file.
-// Re-applying an existing mapping rewrites the entry's value bytes in
-// place, so replay is idempotent.
+// maps to the packed RID in both the volatile directory and the
+// persistent entry file of the index named by objectID — the primary key
+// of a table or one of its secondary indexes. Re-applying an existing
+// mapping is idempotent (a pk remap rewrites the entry's value bytes in
+// place; an existing secondary pair is a no-op).
 func (u pageUndoer) RedoIndexInsert(objectID uint32, key int64, value uint64) error {
-	t := u.db.tableByIndexID(objectID)
-	if t == nil {
-		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
+	if t := u.db.tableByIndexID(objectID); t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.indexSetLocked(key, value)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.indexSetLocked(key, value)
+	if s := u.db.secondaryByObjID(objectID); s != nil {
+		s.table.mu.Lock()
+		defer s.table.mu.Unlock()
+		return s.addLocked(key, value)
+	}
+	return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
 }
 
 // RedoIndexDelete re-applies a committed logical index deletion
-// (idempotent: deleting an absent key is a no-op).
-func (u pageUndoer) RedoIndexDelete(objectID uint32, key int64) error {
-	t := u.db.tableByIndexID(objectID)
-	if t == nil {
-		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
+// (idempotent: deleting an absent entry is a no-op). The primary key is
+// unique, so the key alone names the entry; a secondary index removes
+// exactly the (key, RID) pair the record carries.
+func (u pageUndoer) RedoIndexDelete(objectID uint32, key int64, value uint64) error {
+	if t := u.db.tableByIndexID(objectID); t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.indexClearLocked(key)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.indexClearLocked(key)
+	if s := u.db.secondaryByObjID(objectID); s != nil {
+		s.table.mu.Lock()
+		defer s.table.mu.Unlock()
+		return s.removeLocked(key, value)
+	}
+	return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
 }
 
 // UndoIndexInsert removes a rolled-back insertion's index entry, but only
 // while key still maps to exactly the rolled-back RID — a later committed
-// writer of the same key is never clobbered.
+// writer of the same key is never clobbered. Secondary entries are
+// (key, RID) pairs and heap slots are never reused, so pair-exact removal
+// gives the same guarantee there.
 func (u pageUndoer) UndoIndexInsert(objectID uint32, key int64, value uint64) error {
-	t := u.db.tableByIndexID(objectID)
-	if t == nil {
-		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
+	if t := u.db.tableByIndexID(objectID); t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if v, ok := t.pk.Get(key); !ok || v != value {
+			return nil
+		}
+		return t.indexClearLocked(key)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if v, ok := t.pk.Get(key); !ok || v != value {
-		return nil
+	if s := u.db.secondaryByObjID(objectID); s != nil {
+		s.table.mu.Lock()
+		defer s.table.mu.Unlock()
+		return s.removeLocked(key, value)
 	}
-	return t.indexClearLocked(key)
+	return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
 }
 
 // UndoIndexDelete restores a rolled-back deletion's index entry if the key
-// is currently unmapped (a later committed writer wins otherwise).
+// is currently unmapped (a later committed writer wins otherwise). For a
+// secondary index the pair itself is restored; no later writer can own it
+// because heap slots are never reused.
 func (u pageUndoer) UndoIndexDelete(objectID uint32, key int64, value uint64) error {
-	t := u.db.tableByIndexID(objectID)
-	if t == nil {
-		return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
+	if t := u.db.tableByIndexID(objectID); t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if _, ok := t.pk.Get(key); ok {
+			return nil
+		}
+		return t.indexSetLocked(key, value)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.pk.Get(key); ok {
-		return nil
+	if s := u.db.secondaryByObjID(objectID); s != nil {
+		s.table.mu.Lock()
+		defer s.table.mu.Unlock()
+		return s.addLocked(key, value)
 	}
-	return t.indexSetLocked(key, value)
+	return fmt.Errorf("ipa: index record for unknown index object %d", objectID)
 }
 
 // tableByID returns the table owning the given heap object, or nil.
@@ -555,11 +619,20 @@ func (db *DB) tableByID(objectID uint32) *Table {
 	return db.tablesByID[objectID]
 }
 
-// tableByIndexID returns the table owning the given index object, or nil.
+// tableByIndexID returns the table owning the given primary-key index
+// object, or nil.
 func (db *DB) tableByIndexID(objectID uint32) *Table {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.indexesByID[objectID]
+}
+
+// secondaryByObjID returns the secondary index owning the given object,
+// or nil.
+func (db *DB) secondaryByObjID(objectID uint32) *SecondaryIndex {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.secondaryByID[objectID]
 }
 
 // Recover replays the write-ahead log against the current storage state:
