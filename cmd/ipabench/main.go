@@ -288,6 +288,29 @@ func main() {
 			report.Add("concurrent", o, res)
 			return nil
 		})
+		run("Read-skew ladder: MVCC snapshot reads vs 2PL locked reads", func() error {
+			o := bench.DefaultReadMixOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *threads > 0 {
+				o.Goroutines = *threads
+			}
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 1500
+				o.Tuples = 512
+			}
+			res, err := bench.ReadMix(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			report.Add("readmix", o, res)
+			return nil
+		})
 	}
 	if want("chips") {
 		run("Chip scaling: per-chip FTL partitions", func() error {

@@ -234,12 +234,13 @@ func TestTxDeleteReservesKeyUntilCommit(t *testing.T) {
 	if err := deleter.Delete(tbl, 7); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	// The key reads as absent but stays reserved.
-	if _, err := tbl.Get(7); !errors.Is(err, ipa.ErrKeyNotFound) {
+	// Snapshot readers still see the committed row (the delete is pending,
+	// not committed), and the key stays reserved against rival inserts.
+	if _, err := tbl.Get(7); err != nil {
 		t.Fatalf("Get during pending delete: %v", err)
 	}
-	if tbl.Exists(7) {
-		t.Fatalf("Exists must agree with Get during a pending delete")
+	if !tbl.Exists(7) {
+		t.Fatalf("Exists must report the committed row during a pending delete")
 	}
 	rival := db.Begin()
 	if err := rival.Insert(tbl, 7, make([]byte, 32)); !errors.Is(err, ipa.ErrDuplicateKey) {
@@ -305,8 +306,10 @@ func TestTxDeleteRollback(t *testing.T) {
 	if err := tx.Delete(tbl, 7); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if _, err := tbl.Get(7); !errors.Is(err, ipa.ErrKeyNotFound) {
-		t.Fatalf("key visible mid-delete: %v", err)
+	// A snapshot read still sees the committed row while the delete is
+	// uncommitted.
+	if _, err := tbl.Get(7); err != nil {
+		t.Fatalf("Get mid-delete: %v", err)
 	}
 	if err := tx.Abort(); err != nil {
 		t.Fatalf("Abort: %v", err)

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadMixScenario runs a shrunken read-skew ladder and checks the
+// accounting of every (mix, mode) cell — in particular that the snapshot
+// rows are lock-free in proportion to their read share and the locked
+// rows are not.
+func TestReadMixScenario(t *testing.T) {
+	res, err := ReadMix(ReadMixOptions{
+		Goroutines:          4,
+		ReadPcts:            []int{100},
+		Tuples:              256,
+		TupleSize:           64,
+		Ops:                 200,
+		OpsPerTxn:           4,
+		Profile:             SmallProfile,
+		LogFlushLatency:     10 * time.Microsecond,
+		LogFlushWallLatency: time.Microsecond,
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatalf("ReadMix: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (snapshot + locked)", len(res.Rows))
+	}
+	snap, lock := res.Rows[0], res.Rows[1]
+	if snap.Locked || !lock.Locked {
+		t.Fatalf("row order = (%v, %v), want (snapshot, locked)", snap.Locked, lock.Locked)
+	}
+	for _, row := range res.Rows {
+		if row.Committed != 200 {
+			t.Errorf("locked=%v committed %d, want 200", row.Locked, row.Committed)
+		}
+		if row.OpsPerSec <= 0 {
+			t.Errorf("locked=%v reported no throughput", row.Locked)
+		}
+	}
+	// A 100%-read snapshot run takes no record locks at all; the locked
+	// baseline takes one per read.
+	if snap.LockAcquisitions != 0 {
+		t.Errorf("snapshot run acquired %d record locks, want 0", snap.LockAcquisitions)
+	}
+	if snap.SnapshotReads == 0 {
+		t.Errorf("snapshot run recorded no snapshot reads")
+	}
+	if lock.LockAcquisitions == 0 {
+		t.Errorf("locked run acquired no record locks")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	if !strings.Contains(sb.String(), "read%") {
+		t.Errorf("Write produced no table:\n%s", sb.String())
+	}
+}

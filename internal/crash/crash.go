@@ -15,9 +15,17 @@
 //     bijection onto the live heap tuples (VerifyIntegrity), and
 //   - the reopened database keeps working (more transactions commit).
 //
-// The oracle is exact because the workload is single-threaded and seeded:
-// the harness mirrors every committed transaction's effect in memory and
-// compares the recovered database against it key by key.
+// The oracle is exact because the *writing* workload is single-threaded
+// and seeded: the harness mirrors every committed transaction's effect in
+// memory and compares the recovered database against it key by key. On
+// top of the writer, concurrent snapshot readers (Options.Readers) run
+// lock-free MVCC read transactions during the crash-prone phase: each
+// sums every account, teller and branch balance inside one transaction
+// and checks that the three totals describe the same committed prefix of
+// the workload — a torn read (a cut through the middle of a transaction)
+// or a total the single-threaded oracle never produced fails the run.
+// The readers stop when the injected fault fires and are joined before
+// the crash, so the oracle stays exact.
 package crash
 
 import (
@@ -25,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"ipa"
 )
@@ -71,6 +81,11 @@ type Options struct {
 	// PostOps is the number of extra transactions committed on the
 	// reopened database to prove it stays usable (default 8).
 	PostOps int
+	// Readers is the number of concurrent snapshot-reader goroutines that
+	// audit TPC-B conservation during the crash-prone transaction phase
+	// (default 2; negative disables them). Readers use lock-free MVCC
+	// reads only, so the single-threaded write oracle stays exact.
+	Readers int
 }
 
 // DefaultOptions returns a small-device configuration whose exhaustive
@@ -95,6 +110,7 @@ func DefaultOptions() Options {
 		Seed:     7,
 		Modes:    []ipa.FaultMode{ipa.CrashBefore, ipa.CrashTorn, ipa.CrashAfter},
 		PostOps:  8,
+		Readers:  2,
 	}
 }
 
@@ -119,6 +135,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PostOps <= 0 {
 		o.PostOps = 8
+	}
+	if o.Readers == 0 {
+		o.Readers = 2
 	}
 	return o
 }
@@ -149,6 +168,19 @@ type oracle struct {
 	history  map[int64][2]int64 // history key -> (account, delta)
 	liveHist []int64            // committed, not-yet-deleted history keys in insertion order
 	nextHist int64
+
+	// totals is the audit ledger for the concurrent snapshot readers: the
+	// cumulative TPC-B delta sum after every prefix of attempted commits.
+	// An entry is recorded BEFORE Commit is called — a committed state
+	// becomes reader-visible inside Commit, so recording after it returns
+	// would race the reader that snapshots in between. The cost is a
+	// phantom entry when a commit fails (its state never becomes visible,
+	// so no reader can match it; the check merely has one dead entry).
+	// cum is the confirmed cumulative delta; only the writer thread
+	// touches it, so it needs no lock.
+	totalsMu sync.Mutex
+	totals   []int64
+	cum      int64
 }
 
 func newOracle(o Options) *oracle {
@@ -157,6 +189,7 @@ func newOracle(o Options) *oracle {
 		tellers:  make([]int64, o.Tellers),
 		branches: make([]int64, o.Branches),
 		history:  make(map[int64][2]int64),
+		totals:   []int64{0},
 	}
 	for i := range ora.accounts {
 		ora.accounts[i] = initialBalance
@@ -170,12 +203,35 @@ func newOracle(o Options) *oracle {
 	return ora
 }
 
+// noteTotal records a cumulative delta total the database may expose from
+// now on (called by the writer just before each balance-moving Commit).
+func (o *oracle) noteTotal(v int64) {
+	o.totalsMu.Lock()
+	o.totals = append(o.totals, v)
+	o.totalsMu.Unlock()
+}
+
+// totalSeen reports whether v is the cumulative total of some prefix of
+// the attempted commits. Newest-first: readers usually observe a recent
+// state.
+func (o *oracle) totalSeen(v int64) bool {
+	o.totalsMu.Lock()
+	defer o.totalsMu.Unlock()
+	for i := len(o.totals) - 1; i >= 0; i-- {
+		if o.totals[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
 // driver runs the workload against one database instance.
 type driver struct {
 	opts   Options
 	db     *ipa.DB
 	ora    *oracle
 	loaded bool
+	audits uint64 // successful snapshot-reader audit passes of the last run
 
 	accounts *ipa.Table
 	tellers  *ipa.Table
@@ -313,9 +369,11 @@ func (d *driver) runOne(r *rand.Rand) error {
 	if err := tx.Insert(d.history, hid, hrow); err != nil {
 		return err
 	}
+	d.ora.noteTotal(d.ora.cum + delta)
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	d.ora.cum += delta
 	d.ora.accounts[a] += delta
 	d.ora.tellers[t] += delta
 	d.ora.branches[b] += delta
@@ -341,13 +399,133 @@ func (d *driver) deleteOne(r *rand.Rand) error {
 	return nil
 }
 
-// run executes ops transactions.
-func (d *driver) run(ops int) error {
+// run executes ops transactions. With readers > 0 (and the schema fully
+// loaded) that many concurrent snapshot readers audit TPC-B conservation
+// while the writer works; they are joined before run returns, so the
+// caller can crash the device with no goroutine still touching it. An
+// audit violation is reported even when the writer ended with the
+// expected injected power cut — a torn snapshot must fail the point.
+func (d *driver) run(ops, readers int) error {
+	var pool *readerPool
+	if readers > 0 && d.loaded {
+		pool = d.startReaders(readers)
+	}
 	r := rand.New(rand.NewSource(d.opts.Seed))
+	var err error
 	for i := 0; i < ops; i++ {
-		if err := d.runOne(r); err != nil {
-			return err
+		if err = d.runOne(r); err != nil {
+			break
 		}
+	}
+	if pool != nil {
+		verr := pool.stopAndJoin()
+		d.audits = pool.passes.Load()
+		if verr != nil && (err == nil || isPowerLoss(err)) {
+			return verr
+		}
+	}
+	return err
+}
+
+// errTornSnapshot tags an invariant violation observed by a concurrent
+// snapshot reader.
+var errTornSnapshot = errors.New("crash: snapshot reader observed inconsistent state")
+
+// readerPool manages the concurrent snapshot-reader goroutines.
+type readerPool struct {
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	passes atomic.Uint64
+
+	mu        sync.Mutex
+	violation error
+}
+
+// startReaders launches n goroutines that repeatedly audit the TPC-B
+// conservation invariant through lock-free snapshot reads. A reader exits
+// on the first device error (the injected power cut reaches readers too)
+// or on the first violation, which stopAndJoin reports.
+func (d *driver) startReaders(n int) *readerPool {
+	p := &readerPool{stop: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.stop:
+					return
+				default:
+				}
+				err := d.auditOnce()
+				if err == nil {
+					p.passes.Add(1)
+					continue
+				}
+				if isPowerLoss(err) || errors.Is(err, ipa.ErrClosed) {
+					return // the fault fired; the device is gone
+				}
+				p.mu.Lock()
+				if p.violation == nil {
+					p.violation = err
+				}
+				p.mu.Unlock()
+				return
+			}
+		}()
+	}
+	return p
+}
+
+// stopAndJoin stops the readers, waits for them and returns the first
+// violation any of them observed.
+func (p *readerPool) stopAndJoin() error {
+	close(p.stop)
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.violation
+}
+
+// auditOnce sums every account, teller and branch balance inside ONE read
+// transaction — a single MVCC snapshot — and checks that the three delta
+// sums agree and describe a prefix of the attempted commits. The
+// transaction is aborted, not committed: a read-only abort touches no
+// device (no log flush), so readers add no fault points of their own.
+func (d *driver) auditOnce() error {
+	tx := d.db.Begin()
+	defer func() { _ = tx.Abort() }()
+	sum := func(t *ipa.Table, n int) (int64, error) {
+		var s int64
+		for k := 0; k < n; k++ {
+			row, err := tx.Get(t, int64(k))
+			if err != nil {
+				return 0, err
+			}
+			s += getKey(row, balanceOffset)
+		}
+		return s, nil
+	}
+	sa, err := sum(d.accounts, d.opts.Accounts)
+	if err != nil {
+		return err
+	}
+	st, err := sum(d.tellers, d.opts.Tellers)
+	if err != nil {
+		return err
+	}
+	sb, err := sum(d.branches, d.opts.Branches)
+	if err != nil {
+		return err
+	}
+	da := sa - int64(d.opts.Accounts)*initialBalance
+	dt := st - int64(d.opts.Tellers)*initialBalance
+	db := sb - int64(d.opts.Branches)*initialBalance
+	if da != dt || dt != db {
+		return fmt.Errorf("%w: torn cut — account/teller/branch delta sums %d/%d/%d diverge", errTornSnapshot, da, dt, db)
+	}
+	if !d.ora.totalSeen(da) {
+		return fmt.Errorf("%w: delta total %d matches no prefix of the committed transactions", errTornSnapshot, da)
 	}
 	return nil
 }
@@ -494,7 +672,9 @@ func Enumerate(o Options) (uint64, error) {
 	if err := d.load(); err != nil {
 		return 0, err
 	}
-	if err := d.run(o.Ops); err != nil {
+	// No readers: the enumeration must stay deterministic, and reader-
+	// driven buffer-pool traffic would perturb the eviction order.
+	if err := d.run(o.Ops, 0); err != nil {
 		return 0, err
 	}
 	return plan.Ops(), nil
@@ -517,7 +697,7 @@ func RunPoint(o Options, k uint64, mode ipa.FaultMode) (gcRuns uint64, tripped b
 	}
 	runErr := d.load()
 	if runErr == nil {
-		runErr = d.run(o.Ops)
+		runErr = d.run(o.Ops, o.Readers)
 	}
 	if runErr != nil && !isPowerLoss(runErr) {
 		d.db.Close()
@@ -595,7 +775,8 @@ func ReferenceRun(o Options) (*ipa.DB, ipa.Stats, error) {
 	if err := d.load(); err != nil {
 		return d.db, d.db.Stats(), err
 	}
-	if err := d.run(o.Ops); err != nil {
+	// No readers: reference statistics calibrate device activity.
+	if err := d.run(o.Ops, 0); err != nil {
 		return d.db, d.db.Stats(), err
 	}
 	return d.db, d.db.Stats(), nil

@@ -18,8 +18,11 @@ func TestCleanCrashRecovers(t *testing.T) {
 	if err := d.load(); err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if err := d.run(o.Ops); err != nil {
+	if err := d.run(o.Ops, o.Readers); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if d.audits == 0 {
+		t.Fatalf("snapshot readers completed no audit pass")
 	}
 	img := d.db.Crash()
 	db2, err := ipa.Reopen(img)

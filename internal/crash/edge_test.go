@@ -211,7 +211,7 @@ func TestDoubleCrashDuringRecovery(t *testing.T) {
 	}
 	runErr := d.load()
 	if runErr == nil {
-		runErr = d.run(o.Ops)
+		runErr = d.run(o.Ops, o.Readers)
 	}
 	if runErr != nil && !isPowerLoss(runErr) {
 		t.Fatalf("workload: %v", runErr)

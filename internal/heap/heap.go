@@ -6,6 +6,14 @@
 // frame's change tracker to the page, so the byte-level effects of tuple
 // updates are visible to the In-Place Appends machinery without the heap
 // layer knowing anything about Flash.
+//
+// Under MVCC (internal/txn's VersionCache) a heap slot always holds the
+// newest bytes of its record — superseded committed versions live only in
+// the in-memory version cache, never in the heap. Slots of WAL-addressed
+// heaps are never reused after a delete (Reuse is reserved for
+// non-transactional callers), so a packed RID uniquely names one record
+// for the lifetime of the database and can key version chains without ABA
+// hazards.
 package heap
 
 import (

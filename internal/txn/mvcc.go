@@ -1,0 +1,462 @@
+package txn
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The version cache gives every record a version chain keyed by its packed
+// RID (RIDs are globally unique: page IDs are never reused across tables
+// and heap slots of WAL-covered tables are never recycled). The heap slot
+// always holds the NEWEST bytes of a record — uncommitted while a writer
+// is pending, the latest committed state otherwise — and the chain holds
+// the commit-timestamp metadata plus the superseded committed versions
+// that older snapshots still need. A record with no chain is in its only
+// committed state, timestamp zero (pre-transactional data, or history
+// fully reclaimed by GC).
+//
+// The cache is volatile by design: after a crash all snapshots are dead,
+// so recovery conservatively truncates every chain to its newest committed
+// version — which is exactly the heap image the WAL redo/undo pass
+// produces. Only the commit timestamps themselves are durable (carried in
+// the Key field of each RecCommit record) so the oracle can restart past
+// them.
+
+// ResKind classifies how a snapshot read resolves against a chain.
+type ResKind uint8
+
+const (
+	// ResHeap: the heap slot's current bytes are the visible version.
+	ResHeap ResKind = iota
+	// ResData: an older version's bytes (returned inline) are visible.
+	ResData
+	// ResAbsent: the record does not exist at the snapshot.
+	ResAbsent
+)
+
+// Resolution is the outcome of VersionCache.Resolve.
+type Resolution struct {
+	Kind ResKind
+	Data []byte // valid when Kind == ResData; owned by the cache, do not modify
+}
+
+// version is one superseded committed state of a record.
+type version struct {
+	ts      uint64 // commit timestamp of this state
+	deleted bool   // the record did not exist in this state
+	data    []byte
+}
+
+// chain is the version metadata of one record. The head fields describe
+// the state of the heap slot; olds lists superseded committed versions,
+// newest first.
+type chain struct {
+	writer        uint64 // txn holding the heap slot uncommitted; 0 = committed
+	inserted      bool   // writer created the record (no committed state exists)
+	pendingDelete bool   // writer's uncommitted change is a delete
+	pushed        bool   // writer pushed olds[0] (false for adopted dead-writer chains)
+	headTS        uint64 // commit timestamp of the heap bytes (writer == 0)
+	headDeleted   bool   // the committed head state is a delete (zombie)
+	olds          []version
+}
+
+const versionStripes = 64
+
+type vstripe struct {
+	mu     sync.Mutex
+	seq    atomic.Uint64 // bumped on every chain mutation in this stripe
+	chains map[uint64]*chain
+}
+
+// gcMark parks one chain for trimming once no snapshot predates ts.
+type gcMark struct {
+	ts  uint64
+	rid uint64
+}
+
+// VersionCache is the engine-global store of version chains, striped for
+// concurrency. Writers mutate chains under their record locks (plus the
+// stripe mutex); readers resolve lock-free via a per-stripe sequence
+// number (see Resolve/Validate).
+type VersionCache struct {
+	stripes [versionStripes]vstripe
+
+	txMu   sync.Mutex
+	txRIDs map[uint64][]uint64 // txn id -> packed RIDs it has written
+
+	gcMu    sync.Mutex
+	gcQueue []gcMark
+
+	chainsLive        atomic.Int64
+	versionsCreated   atomic.Uint64
+	versionsReclaimed atomic.Uint64
+	resolves          atomic.Uint64
+	versionReads      atomic.Uint64
+}
+
+// NewVersionCache creates an empty cache.
+func NewVersionCache() *VersionCache {
+	c := &VersionCache{txRIDs: make(map[uint64][]uint64)}
+	for i := range c.stripes {
+		c.stripes[i].chains = make(map[uint64]*chain)
+	}
+	return c
+}
+
+func (c *VersionCache) stripe(rid uint64) *vstripe {
+	// Same multiplicative hash as the lock table, over the packed RID.
+	h := rid * 0x9E3779B97F4A7C15
+	return &c.stripes[h>>58&(versionStripes-1)]
+}
+
+func (c *VersionCache) noteTxn(txnID, rid uint64) {
+	c.txMu.Lock()
+	c.txRIDs[txnID] = append(c.txRIDs[txnID], rid)
+	c.txMu.Unlock()
+}
+
+func (c *VersionCache) takeTxn(txnID uint64) []uint64 {
+	c.txMu.Lock()
+	rids := c.txRIDs[txnID]
+	delete(c.txRIDs, txnID)
+	c.txMu.Unlock()
+	return rids
+}
+
+// OnInsert registers a freshly inserted record: the heap slot holds
+// txnID's uncommitted bytes and no committed state exists, so the record
+// is invisible to every other transaction. The caller holds the record
+// lock; rid must be a fresh heap slot (never previously used).
+func (c *VersionCache) OnInsert(rid, txnID uint64) {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	s.chains[rid] = &chain{writer: txnID, inserted: true}
+	s.seq.Add(1)
+	s.mu.Unlock()
+	c.chainsLive.Add(1)
+	c.noteTxn(txnID, rid)
+}
+
+// OnWrite registers an update (del=false) or delete (del=true) of a
+// committed record: prev is the committed tuple image being superseded
+// (the cache keeps its own copy). The caller holds the record lock and
+// must call OnWrite BEFORE overwriting or deleting the heap slot, so
+// readers never see the new bytes attributed to the old version.
+//
+// If the chain still carries a dead writer (a transaction whose commit
+// flush failed, leaving its heap bytes uncommitted forever), the new
+// writer adopts the chain without pushing a pre-image: olds[0] already
+// holds the last committed state, and prev — read from the heap — is the
+// dead writer's residue, not a committed version.
+func (c *VersionCache) OnWrite(rid, txnID uint64, prev []byte, del bool) {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	defer func() {
+		s.seq.Add(1)
+		s.mu.Unlock()
+	}()
+	ch := s.chains[rid]
+	if ch == nil {
+		ch = &chain{}
+		s.chains[rid] = ch
+		c.chainsLive.Add(1)
+	}
+	if ch.writer == txnID {
+		// Second write by the same transaction: the pre-image pushed by
+		// the first write stays the rollback target.
+		ch.pendingDelete = del
+		return
+	}
+	if ch.writer != 0 {
+		ch.writer = txnID
+		ch.inserted = false
+		ch.pendingDelete = del
+		ch.pushed = false
+		c.noteTxn(txnID, rid)
+		return
+	}
+	ch.olds = append([]version{{ts: ch.headTS, deleted: ch.headDeleted, data: append([]byte(nil), prev...)}}, ch.olds...)
+	ch.writer = txnID
+	ch.inserted = false
+	ch.pendingDelete = del
+	ch.pushed = true
+	c.versionsCreated.Add(1)
+	c.noteTxn(txnID, rid)
+}
+
+// CommitTxn stamps every chain written by txnID with its commit timestamp
+// and parks each for garbage collection. Must run after the commit record
+// is durable and BEFORE the transaction's record locks are released and
+// before Oracle.EndCommit(ts) — otherwise a reader could acquire a
+// snapshot >= ts while the chains still look uncommitted.
+func (c *VersionCache) CommitTxn(txnID, ts uint64) {
+	rids := c.takeTxn(txnID)
+	if len(rids) == 0 {
+		return
+	}
+	marks := make([]gcMark, 0, len(rids))
+	for _, rid := range rids {
+		s := c.stripe(rid)
+		s.mu.Lock()
+		if ch := s.chains[rid]; ch != nil && ch.writer == txnID {
+			ch.writer = 0
+			ch.headTS = ts
+			ch.headDeleted = ch.pendingDelete
+			ch.pendingDelete = false
+			ch.inserted = false
+			ch.pushed = false
+			s.seq.Add(1)
+			marks = append(marks, gcMark{ts: ts, rid: rid})
+		}
+		s.mu.Unlock()
+	}
+	c.gcMu.Lock()
+	c.gcQueue = append(c.gcQueue, marks...)
+	c.gcMu.Unlock()
+}
+
+// AbortTxn rolls the chains written by txnID back to their committed
+// state. The caller must restore the heap slots (undo) BEFORE calling
+// AbortTxn and must still hold the record locks, so a chain flipping back
+// to "heap is committed" always points at restored bytes.
+func (c *VersionCache) AbortTxn(txnID uint64) {
+	for _, rid := range c.takeTxn(txnID) {
+		s := c.stripe(rid)
+		s.mu.Lock()
+		ch := s.chains[rid]
+		if ch == nil || ch.writer != txnID {
+			s.mu.Unlock()
+			continue
+		}
+		switch {
+		case ch.inserted:
+			// The undo removed the inserted tuple; no committed state ever
+			// existed, so the whole chain goes.
+			delete(s.chains, rid)
+			c.chainsLive.Add(-1)
+		case ch.pushed:
+			// The undo restored the pre-image into the heap slot; pop it
+			// back off the chain.
+			head := ch.olds[0]
+			ch.olds = ch.olds[1:]
+			ch.writer = 0
+			ch.headTS = head.ts
+			ch.headDeleted = head.deleted
+			ch.pendingDelete = false
+			ch.pushed = false
+			c.versionsReclaimed.Add(1)
+		default:
+			// Adopted dead-writer chain: the heap bytes were never a
+			// committed state, so the chain stays pending forever and
+			// readers keep resolving to olds[0]. (Only reachable after a
+			// commit-flush failure, which poisons the engine anyway.)
+		}
+		s.seq.Add(1)
+		s.mu.Unlock()
+	}
+}
+
+// AbandonTxn forgets txnID's write set without touching the chains. Used
+// when a transaction detaches (commit-flush failure, engine close): the
+// heap keeps its uncommitted bytes, the chains stay pending, and readers
+// keep resolving to the last committed version.
+func (c *VersionCache) AbandonTxn(txnID uint64) {
+	c.takeTxn(txnID)
+}
+
+// Resolve reads the chain of rid at snapshot snap and returns how the
+// read resolves plus the stripe sequence observed. self is the reading
+// transaction's id (0 for table-level reads): a transaction always sees
+// its own uncommitted writes.
+//
+// When Kind == ResHeap the caller fetches the heap slot WITHOUT holding
+// any cache lock and then calls Validate(rid, seq): if the sequence is
+// unchanged the chain did not move while the heap was read, so the bytes
+// belong to the resolved version. On a sequence change, retry (or fall
+// back to ResolveFenced).
+func (c *VersionCache) Resolve(rid, snap, self uint64) (Resolution, uint64) {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	seq := s.seq.Load()
+	res := c.resolveLocked(s, rid, snap, self)
+	s.mu.Unlock()
+	return res, seq
+}
+
+func (c *VersionCache) resolveLocked(s *vstripe, rid, snap, self uint64) Resolution {
+	c.resolves.Add(1)
+	ch := s.chains[rid]
+	if ch == nil {
+		// No chain: committed at timestamp zero, visible to any snapshot.
+		return Resolution{Kind: ResHeap}
+	}
+	if self != 0 && ch.writer == self {
+		if ch.pendingDelete {
+			return Resolution{Kind: ResAbsent}
+		}
+		return Resolution{Kind: ResHeap}
+	}
+	if ch.writer == 0 && ch.headTS <= snap {
+		if ch.headDeleted {
+			return Resolution{Kind: ResAbsent}
+		}
+		return Resolution{Kind: ResHeap}
+	}
+	// The heap state is invisible (uncommitted by another txn, or too
+	// new): chase the chain for the newest version at or before snap.
+	for i := range ch.olds {
+		v := &ch.olds[i]
+		if v.ts <= snap {
+			if v.deleted {
+				return Resolution{Kind: ResAbsent}
+			}
+			c.versionReads.Add(1)
+			return Resolution{Kind: ResData, Data: v.data}
+		}
+	}
+	// Record did not exist at snap (created later, or pending insert).
+	return Resolution{Kind: ResAbsent}
+}
+
+// Validate reports whether the stripe of rid is unchanged since seq.
+func (c *VersionCache) Validate(rid, seq uint64) bool {
+	return c.stripe(rid).seq.Load() == seq
+}
+
+// ResolveFenced is the contended-path fallback: it resolves rid under the
+// stripe mutex and, for a ResHeap outcome, invokes fetch while STILL
+// holding the mutex, so no chain mutation can slip between resolution and
+// heap read. fetch must not call back into the cache.
+func (c *VersionCache) ResolveFenced(rid, snap, self uint64, fetch func(Resolution) error) error {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fetch(c.resolveLocked(s, rid, snap, self))
+}
+
+// CommittedLive reports whether the latest COMMITTED state of rid is a
+// live tuple — the visibility rule of Table.Exists: pending writes by
+// other transactions do not count, committed deletes (zombies) do.
+func (c *VersionCache) CommittedLive(rid uint64) bool {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rid]
+	if ch == nil {
+		return true
+	}
+	if ch.writer != 0 {
+		return len(ch.olds) > 0 && !ch.olds[0].deleted
+	}
+	return !ch.headDeleted
+}
+
+// CommittedDeleted reports whether rid's latest committed state is a
+// delete — i.e. the record is a zombie whose index entries survive only
+// for older snapshots. Insert-over-delete uses this to allow overwriting
+// such an entry.
+func (c *VersionCache) CommittedDeleted(rid uint64) bool {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rid]
+	return ch != nil && ch.writer == 0 && ch.headDeleted
+}
+
+// HasChain reports whether rid currently has a version chain — integrity
+// verification uses it to justify index entries retained for old
+// snapshots (a retained entry without a chain is a leak).
+func (c *VersionCache) HasChain(rid uint64) bool {
+	s := c.stripe(rid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chains[rid] != nil
+}
+
+// GC trims every parked chain whose commit timestamp is invisible to all
+// snapshots older than oldest (= Oracle.OldestActive): superseded
+// versions at or before oldest are dropped, and chains whose newest
+// committed state is itself at or before oldest collapse entirely —
+// committed-deleted chains vanish (the heap slot is gone; a chainless
+// miss reads as absent) and live ones become chainless heap records.
+func (c *VersionCache) GC(oldest uint64) {
+	c.gcMu.Lock()
+	if len(c.gcQueue) == 0 {
+		c.gcMu.Unlock()
+		return
+	}
+	var ready, keep []gcMark
+	for _, m := range c.gcQueue {
+		if m.ts <= oldest {
+			ready = append(ready, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	c.gcQueue = keep
+	c.gcMu.Unlock()
+
+	for _, m := range ready {
+		s := c.stripe(m.rid)
+		s.mu.Lock()
+		ch := s.chains[m.rid]
+		if ch == nil {
+			s.mu.Unlock()
+			continue
+		}
+		reclaimed := 0
+		if ch.writer == 0 && ch.headTS <= oldest {
+			// The head itself satisfies every snapshot: the whole history
+			// — and for still-live records the chain itself — can go.
+			reclaimed = len(ch.olds)
+			delete(s.chains, m.rid)
+			c.chainsLive.Add(-1)
+		} else {
+			// Keep everything newer than oldest plus the one boundary
+			// version a snapshot at exactly `oldest` resolves to.
+			cut := sort.Search(len(ch.olds), func(i int) bool { return ch.olds[i].ts <= oldest })
+			if cut < len(ch.olds)-1 {
+				reclaimed = len(ch.olds) - cut - 1
+				ch.olds = ch.olds[: cut+1 : cut+1]
+			}
+		}
+		if reclaimed > 0 {
+			c.versionsReclaimed.Add(uint64(reclaimed))
+		}
+		s.seq.Add(1)
+		s.mu.Unlock()
+	}
+}
+
+// VersionStats is a point-in-time snapshot of the cache counters.
+type VersionStats struct {
+	ChainsLive        uint64 // gauge: records with version metadata
+	VersionsCreated   uint64 // superseded committed versions materialized
+	VersionsReclaimed uint64 // versions dropped by GC or rollback
+	SnapshotReads     uint64 // chain resolutions on behalf of readers
+	VersionReads      uint64 // reads served from a superseded version's bytes
+}
+
+// Stats returns the current counter values.
+func (c *VersionCache) Stats() VersionStats {
+	live := c.chainsLive.Load()
+	if live < 0 {
+		live = 0
+	}
+	return VersionStats{
+		ChainsLive:        uint64(live),
+		VersionsCreated:   c.versionsCreated.Load(),
+		VersionsReclaimed: c.versionsReclaimed.Load(),
+		SnapshotReads:     c.resolves.Load(),
+		VersionReads:      c.versionReads.Load(),
+	}
+}
+
+// ResetStats zeroes the monotonic counters (gauges are left alone).
+func (c *VersionCache) ResetStats() {
+	c.versionsCreated.Store(0)
+	c.versionsReclaimed.Store(0)
+	c.resolves.Store(0)
+	c.versionReads.Store(0)
+}

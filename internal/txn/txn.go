@@ -1,5 +1,8 @@
-// Package txn implements transactions with record-level locking and
-// WAL-based rollback.
+// Package txn implements transactions with record-level locking for
+// writers, WAL-based rollback, and multi-version concurrency control for
+// readers: a commit-timestamp Oracle and a VersionCache of superseded
+// tuple versions let snapshot reads run without touching the lock table
+// while writers keep strict two-phase locking among themselves.
 //
 // The transaction layer is part of the Shore-MT-like substrate the paper's
 // prototype runs on. In-Place Appends is transparent to it: transactions
@@ -60,16 +63,23 @@ type lockStripe struct {
 
 // Manager coordinates transactions. Transaction identifiers are handed out
 // with an atomic counter and the lock table is striped, so Begin and Lock
-// scale with concurrent transactions.
+// scale with concurrent transactions. The manager also owns the two MVCC
+// singletons — the commit-timestamp Oracle and the VersionCache — which
+// commit and abort keep in lockstep with the lock table.
 type Manager struct {
 	nextID  atomic.Uint64
 	stripes [lockStripes]lockStripe
 	log     *wal.Log
+	oracle  *Oracle
+	cache   *VersionCache
+
+	lockAcquisitions atomic.Uint64
+	lockConflicts    atomic.Uint64
 }
 
 // NewManager creates a transaction manager writing to log.
 func NewManager(log *wal.Log) *Manager {
-	m := &Manager{log: log}
+	m := &Manager{log: log, oracle: NewOracle(), cache: NewVersionCache()}
 	for i := range m.stripes {
 		m.stripes[i].locks = make(map[LockKey]uint64)
 	}
@@ -99,13 +109,32 @@ func (m *Manager) stripeFor(key LockKey) *lockStripe {
 // Log returns the write-ahead log used by the manager.
 func (m *Manager) Log() *wal.Log { return m.log }
 
+// Oracle returns the commit-timestamp oracle.
+func (m *Manager) Oracle() *Oracle { return m.oracle }
+
+// Versions returns the version cache.
+func (m *Manager) Versions() *VersionCache { return m.cache }
+
+// LockStats returns the cumulative record-lock acquisition and conflict
+// counts — the evidence that snapshot readers take zero record locks.
+func (m *Manager) LockStats() (acquisitions, conflicts uint64) {
+	return m.lockAcquisitions.Load(), m.lockConflicts.Load()
+}
+
+// ResetLockStats zeroes the lock counters.
+func (m *Manager) ResetLockStats() {
+	m.lockAcquisitions.Store(0)
+	m.lockConflicts.Store(0)
+}
+
 // Txn is one transaction.
 type Txn struct {
-	mgr    *Manager
-	id     uint64
-	status Status
-	locks  []LockKey
-	undo   []wal.Record
+	mgr      *Manager
+	id       uint64
+	status   Status
+	locks    []LockKey
+	undo     []wal.Record
+	commitTS uint64
 }
 
 // Begin starts a new transaction.
@@ -131,8 +160,10 @@ func (t *Txn) Lock(key LockKey) error {
 	defer s.mu.Unlock()
 	owner, held := s.locks[key]
 	if held && owner != t.id {
+		t.mgr.lockConflicts.Add(1)
 		return fmt.Errorf("%w: page %d slot %d held by txn %d", ErrConflict, key.PageID, key.Slot, owner)
 	}
+	t.mgr.lockAcquisitions.Add(1)
 	if !held {
 		s.locks[key] = t.id
 		t.locks = append(t.locks, key)
@@ -240,25 +271,48 @@ func (t *Txn) LogIndexDelete(objectID uint32, key int64, old uint64) (uint64, er
 	return lsn, nil
 }
 
-// Commit appends the commit record, makes the log durable through the
-// group-commit pipeline (concurrent commits share one log flush) and
-// releases all locks. If the log device fails (power cut during the leader
-// flush) the commit record is not durable: the transaction is finished as
-// rolled back — recovery will undo it — and the error is returned.
+// Commit allocates a commit timestamp from the oracle, appends the commit
+// record carrying it (in the Key field — part of every record's fixed
+// header, so the log format is unchanged and the timestamp is durable),
+// makes the log durable through the group-commit pipeline (concurrent
+// commits share one log flush), stamps the transaction's version chains,
+// and releases all locks.
+//
+// Ordering matters: chains are stamped BEFORE EndCommit retires the
+// timestamp and before the locks drop, so no snapshot can read at or past
+// the new timestamp while any chain still looks uncommitted, and no new
+// writer can touch a still-pending chain.
+//
+// If the log device fails (power cut during the leader flush) the commit
+// record is not durable: the timestamp is retired WITHOUT stamping — the
+// chains keep their pending writer forever and readers keep resolving to
+// the last committed version — and the transaction is finished as rolled
+// back; recovery will undo it.
 func (t *Txn) Commit() error {
 	if t.status != Active {
 		return ErrFinished
 	}
-	lsn := t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecCommit})
+	ts := t.mgr.oracle.BeginCommit()
+	lsn := t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecCommit, Key: int64(ts)})
 	if err := t.mgr.log.CommitFlush(lsn); err != nil {
+		t.mgr.cache.AbandonTxn(t.id)
+		t.mgr.oracle.EndCommit(ts)
 		t.status = Aborted
 		t.releaseLocks()
 		return fmt.Errorf("txn: commit flush: %w", err)
 	}
+	t.mgr.cache.CommitTxn(t.id, ts)
+	t.commitTS = ts
 	t.status = Committed
+	t.mgr.oracle.EndCommit(ts)
+	t.mgr.cache.GC(t.mgr.oracle.OldestActive())
 	t.releaseLocks()
 	return nil
 }
+
+// CommitTS returns the commit timestamp of a committed transaction
+// (0 before Commit succeeds).
+func (t *Txn) CommitTS() uint64 { return t.commitTS }
 
 // Undoer applies before images during rollback; the storage/heap layer
 // implements it.
@@ -300,6 +354,9 @@ func (t *Txn) Abort(u Undoer) error {
 			return fmt.Errorf("txn: rollback LSN %d: %w", r.LSN, err)
 		}
 	}
+	// The undo above restored the heap slots; now flip the version chains
+	// back to their committed state, still under the record locks.
+	t.mgr.cache.AbortTxn(t.id)
 	t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecAbort})
 	t.status = Aborted
 	t.releaseLocks()
@@ -315,6 +372,9 @@ func (t *Txn) Detach() error {
 	if t.status != Active {
 		return ErrFinished
 	}
+	// The heap keeps the uncommitted bytes, so the version chains must
+	// stay pending: readers keep resolving to the last committed version.
+	t.mgr.cache.AbandonTxn(t.id)
 	t.status = Aborted
 	t.releaseLocks()
 	return nil

@@ -32,7 +32,10 @@ const (
 	RecInsert
 	// RecDelete describes a tuple deletion.
 	RecDelete
-	// RecCommit marks a transaction as committed.
+	// RecCommit marks a transaction as committed. Its Key field carries
+	// the MVCC commit timestamp (Key is part of every record's fixed
+	// header, so reusing it keeps the log format unchanged); recovery
+	// restarts the timestamp oracle past the highest durable one.
 	RecCommit
 	// RecAbort marks a transaction as rolled back.
 	RecAbort
@@ -82,9 +85,30 @@ type Record struct {
 	Slot     uint16
 	Offset   uint16 // tuple-relative offset for updates
 	ObjectID uint32 // owning table (inserts/deletes) or index (index records)
-	Key      int64  // indexed key for RecIndexInsert/RecIndexDelete
+	Key      int64  // indexed key (index records) or commit timestamp (RecCommit)
 	Old      []byte // before image (undo)
 	New      []byte // after image (redo)
+}
+
+// CommitTS returns the MVCC commit timestamp carried by a RecCommit
+// record (0 for other record types).
+func (r Record) CommitTS() uint64 {
+	if r.Type != RecCommit {
+		return 0
+	}
+	return uint64(r.Key)
+}
+
+// MaxCommitTS returns the highest commit timestamp among the given
+// records — recovery restarts the timestamp oracle past it.
+func MaxCommitTS(records []Record) uint64 {
+	var max uint64
+	for _, r := range records {
+		if ts := r.CommitTS(); ts > max {
+			max = ts
+		}
+	}
+	return max
 }
 
 // headerSize is the fixed encoded size of a record before the images.

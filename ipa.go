@@ -281,6 +281,12 @@ type DB struct {
 	committed atomic.Uint64
 	aborted   atomic.Uint64
 	timeBase  atomic.Int64 // nanoseconds of virtual time
+
+	// MVCC zombie queue: index entries retained for old snapshots,
+	// re-checked and dropped by maybeGC (see mvcc.go).
+	gcMu             sync.Mutex
+	zombies          []zombieEntry
+	zombiesReclaimed atomic.Uint64
 }
 
 // Open creates a database on a freshly formatted simulated Flash device.
@@ -607,8 +613,11 @@ func (db *DB) ResetStats() {
 	db.store.ResetStats()
 	db.dev.ResetStats()
 	db.log.ResetStats()
+	db.txns.Versions().ResetStats()
+	db.txns.ResetLockStats()
 	db.committed.Store(0)
 	db.aborted.Store(0)
+	db.zombiesReclaimed.Store(0)
 	db.timeBase.Store(int64(db.dev.Now()))
 }
 

@@ -1,0 +1,266 @@
+package ipa
+
+import (
+	"errors"
+	"fmt"
+
+	"ipa/internal/heap"
+	"ipa/internal/txn"
+)
+
+// This file is the engine half of MVCC snapshot reads (the substrate — the
+// commit-timestamp Oracle and the VersionCache — lives in internal/txn;
+// see docs/DESIGN_MVCC.md). It routes reads through the version cache and
+// garbage-collects the index entries that committed deletes and secondary
+// moves leave behind for older snapshots.
+//
+// The heap slot always holds the newest bytes of a record; superseded
+// committed versions live in the version cache keyed by packed RID. A
+// reader therefore resolves the chain first and only touches the heap when
+// the chain says the slot's bytes are the visible version. That heap fetch
+// runs without any cache lock, fenced by a per-stripe sequence number:
+// if the stripe changed while the page was read, the bytes may belong to a
+// different version and the read retries (falling back to a fenced resolve
+// that holds the stripe mutex across the fetch — stripe mutexes are leaves
+// in front of the buffer pool's page latches, writers never hold a page
+// latch while calling the cache, so the order is deadlock-free).
+
+// seqRetries is how many optimistic resolve+fetch+validate rounds a read
+// attempts before falling back to the fenced path.
+const seqRetries = 8
+
+// readVersion returns the tuple of rid visible at snapshot snap (selfTxn
+// is the reading transaction's id, 0 for table-level reads — a transaction
+// always sees its own writes). ok=false means the record does not exist at
+// the snapshot.
+func (t *Table) readVersion(rid heap.RID, snap, selfTxn uint64) (tuple []byte, ok bool, err error) {
+	vc := t.db.txns.Versions()
+	packed := rid.Pack()
+	for i := 0; i < seqRetries; i++ {
+		res, seq := vc.Resolve(packed, snap, selfTxn)
+		switch res.Kind {
+		case txn.ResAbsent:
+			return nil, false, nil
+		case txn.ResData:
+			return append([]byte(nil), res.Data...), true, nil
+		}
+		b, err := t.heap.Get(rid)
+		if err != nil {
+			if errors.Is(err, heap.ErrNotFound) {
+				if vc.Validate(packed, seq) {
+					// The chain did not move: the slot is genuinely gone
+					// with no version metadata — a non-transactional
+					// delete, which MVCC does not cover. Absent.
+					return nil, false, nil
+				}
+				continue
+			}
+			return nil, false, err
+		}
+		if vc.Validate(packed, seq) {
+			return b, true, nil
+		}
+	}
+	err = vc.ResolveFenced(packed, snap, selfTxn, func(res txn.Resolution) error {
+		switch res.Kind {
+		case txn.ResAbsent:
+			return nil
+		case txn.ResData:
+			tuple, ok = append([]byte(nil), res.Data...), true
+			return nil
+		}
+		b, ferr := t.heap.Get(rid)
+		if ferr != nil {
+			if errors.Is(ferr, heap.ErrNotFound) {
+				return nil
+			}
+			return ferr
+		}
+		tuple, ok = b, true
+		return nil
+	})
+	return tuple, ok, err
+}
+
+// getVisible is the snapshot read behind Tx.Get and Table.Get: primary-key
+// lookup (no record lock) followed by version resolution.
+func (t *Table) getVisible(key int64, snap, selfTxn uint64) ([]byte, error) {
+	t.mu.RLock()
+	v, ok := t.pk.Get(key)
+	t.mu.RUnlock()
+	if !ok {
+		return nil, errKeyNotFound(t, key)
+	}
+	tuple, ok, err := t.readVersion(heap.Unpack(v), snap, selfTxn)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errKeyNotFound(t, key)
+	}
+	return tuple, nil
+}
+
+// zombieEntry is one index entry a committed delete or secondary-key move
+// left behind because an older snapshot still needed to resolve through
+// it. It is dropped once no snapshot predates ts — after a liveness
+// re-check, since the key or pair may have become live again in the
+// meantime (insert-over-zombie, an A→B→A double move).
+type zombieEntry struct {
+	ts    uint64
+	table *Table          // set: primary-key zombie
+	sec   *SecondaryIndex // set: secondary-pair zombie
+	key   int64
+	rid   uint64 // packed RID the entry pointed at when it was parked
+}
+
+// enqueueZombie parks an index entry for deferred removal.
+func (db *DB) enqueueZombie(z zombieEntry) {
+	db.gcMu.Lock()
+	db.zombies = append(db.zombies, z)
+	db.gcMu.Unlock()
+}
+
+// ZombieEntries returns the number of index entries currently retained
+// for old snapshots.
+func (db *DB) zombieCount() int {
+	db.gcMu.Lock()
+	defer db.gcMu.Unlock()
+	return len(db.zombies)
+}
+
+// maybeGC advances MVCC garbage collection: parked index entries whose
+// retirement predates every active snapshot are dropped, then version
+// chains superseded before the oldest snapshot are trimmed (entries go
+// first so a retained entry always has its chain to justify it). Pure
+// in-memory work — callable with or without the close gate. Called after
+// commits and snapshot releases; cheap when there is nothing to do.
+func (db *DB) maybeGC() {
+	if db.closed.Load() {
+		return
+	}
+	oldest := db.txns.Oracle().OldestActive()
+
+	db.gcMu.Lock()
+	var ready []zombieEntry
+	if len(db.zombies) > 0 {
+		keep := db.zombies[:0]
+		for _, z := range db.zombies {
+			if z.ts <= oldest {
+				ready = append(ready, z)
+			} else {
+				keep = append(keep, z)
+			}
+		}
+		db.zombies = keep
+	}
+	db.gcMu.Unlock()
+
+	for _, z := range ready {
+		if z.table != nil {
+			z.table.dropPKZombie(z.key, z.rid)
+		} else {
+			z.sec.dropPairZombie(z.key, z.rid, z.ts)
+		}
+		db.zombiesReclaimed.Add(1)
+	}
+	db.txns.Versions().GC(oldest)
+}
+
+// dropPKZombie removes the volatile pk entry of a committed delete, unless
+// the key was re-taken (the entry now points at a different, live RID).
+// The persistent entry was already cleared at commit time.
+func (t *Table) dropPKZombie(key int64, rid uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.pk.Get(key); ok && v == rid {
+		t.pk.Delete(key)
+	}
+}
+
+// dropPairZombie removes a retained volatile secondary pair, but only if
+// its stale mark still carries the queuing retirement's timestamp ts: a
+// re-add cleared the mark (the pair is live again), a later retirement
+// re-stamped it (a younger queue entry owns the drop). Both checks happen
+// under table.mu, so a drain racing a move-back can never drop a pair
+// that just became current.
+func (s *SecondaryIndex) dropPairZombie(key int64, rid uint64, ts uint64) {
+	s.table.mu.Lock()
+	if s.stale[secPair{key: key, rid: rid}] == ts {
+		s.dropVolatileLocked(key, rid)
+	}
+	s.table.mu.Unlock()
+}
+
+// retirePK finishes a committed delete of key: the persistent index entry
+// is cleared (recovery re-applies the deletion from the log anyway), while
+// the volatile B-tree entry is retained for any snapshot older than the
+// delete's commit timestamp and parked for GC. Runs after the commit
+// record is durable and the record locks are released, so the key may
+// already have been re-taken by a new insert — detected by the tuple being
+// live again — in which case there is nothing to retire.
+func (t *Table) retirePK(key int64, ts uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.pk.Get(key)
+	if !ok {
+		return
+	}
+	if _, err := t.heap.Get(heap.Unpack(v)); !errors.Is(err, heap.ErrNotFound) {
+		// Live again (insert-over-zombie won the race), or unreadable
+		// after an injected power cut — either way, leave it alone.
+		return
+	}
+	// An error clearing the persistent entry (only an injected power cut
+	// while tombstoning an entry page) must not fail the commit: the
+	// commit record is durable and recovery re-applies the deletion.
+	_ = t.idx.Delete(key)
+	if t.db.txns.Oracle().NoActiveBefore(ts) {
+		t.pk.Delete(key)
+	} else {
+		t.db.enqueueZombie(zombieEntry{ts: ts, table: t, key: key, rid: v})
+	}
+}
+
+// retirePair finishes a committed secondary-entry removal (a delete or the
+// old key of an update move): the persistent pair was already removed when
+// the operation ran; the volatile pair is retained for older snapshots and
+// parked for GC unless no such snapshot exists. Like retirePK this runs
+// after lock release, so the pair may describe a live tuple again (A→B→A
+// double move within the transaction, or a later writer) — then it stays.
+func (s *SecondaryIndex) retirePair(key int64, rid uint64, ts uint64) {
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tuple, err := t.heap.Get(heap.Unpack(rid))
+	if err == nil && s.extract(tuple) == key {
+		// Live again: an A→B→A double move within the transaction, or a
+		// later writer moved the tuple back. Nothing to retire.
+		return
+	}
+	if err != nil && !errors.Is(err, heap.ErrNotFound) {
+		return // unreadable (power cut): keep the pair, stay conservative
+	}
+	if t.db.txns.Oracle().NoActiveBefore(ts) {
+		s.dropVolatileLocked(key, rid)
+	} else {
+		s.stale[secPair{key: key, rid: rid}] = ts
+		t.db.enqueueZombie(zombieEntry{ts: ts, sec: s, key: key, rid: rid})
+	}
+}
+
+// snapshotted runs fn under a freshly acquired statement snapshot,
+// releasing it (and nudging GC) afterwards.
+func (db *DB) snapshotted(fn func(snap uint64) error) error {
+	ora := db.txns.Oracle()
+	snap := ora.AcquireSnapshot()
+	err := fn(snap)
+	ora.ReleaseSnapshot(snap)
+	db.maybeGC()
+	return err
+}
+
+// errKeyNotFound builds the canonical not-found error.
+func errKeyNotFound(t *Table, key int64) error {
+	return fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
+}

@@ -140,6 +140,13 @@ func Reopen(img *CrashImage) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Restart the commit-timestamp oracle past the highest durable commit
+	// timestamp (carried in each RecCommit's Key field). The version cache
+	// starts empty — a crash kills every snapshot, so recovery
+	// conservatively truncates all version chains to their newest
+	// committed version, which is exactly the heap image the redo/undo
+	// passes below produce.
+	db.txns.Oracle().StartAt(wal.MaxCommitTS(img.records))
 	// Recreate the catalog with the original object identifiers so the
 	// region assignments and page ownership line up with the Flash image.
 	for _, spec := range img.tables {
@@ -313,7 +320,11 @@ func (db *DB) adoptSurvivingPages(floor uint64) error {
 // exactly its live heap tuples (same cardinality, every entry resolving to
 // a distinct live RID) and every secondary index describes exactly the
 // (extracted key, RID) pairs of the live tuples (no dangling entries, no
-// missing ones). The heap scan lives here, as a verification cross-check
+// missing ones). Index entries retained purely for MVCC snapshot readers
+// (zombies of committed deletes, stale secondary pairs of committed moves)
+// are tolerated only when the version cache can justify them; right after
+// Reopen the cache is empty, so the cross-check degenerates to the exact
+// bijection. The heap scan lives here, as a verification cross-check
 // only; the recovery path itself never scans heaps. The crash-torture
 // harness runs this after every recovery.
 func (db *DB) VerifyIntegrity() error {
@@ -354,6 +365,11 @@ func (db *DB) VerifyIntegrity() error {
 // is a bijection onto the live tuples and that every secondary index is a
 // bijection onto the pairs (extracted key, RID) of the live tuples — each
 // live tuple appears under exactly its extracted key, and no entry dangles.
+// Entries retained for MVCC snapshot readers are the one sanctioned
+// exception: a volatile pk entry whose tuple is gone passes only when the
+// version cache still carries a chain for its RID (a committed-delete
+// zombie awaiting GC, or an in-flight transactional delete), and such
+// entries must already be absent from the persistent file.
 func (t *Table) verifyIndexAgainstHeap() error {
 	secs := t.secondarySnapshot()
 	live := make(map[uint64]bool)
@@ -373,18 +389,24 @@ func (t *Table) verifyIndexAgainstHeap() error {
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if t.pk.Len() != len(live) {
-		return fmt.Errorf("index carries %d keys, heap carries %d live tuples", t.pk.Len(), len(live))
-	}
-	if n := t.idx.Len(); n != t.pk.Len() {
-		return fmt.Errorf("persistent index file carries %d entries, B-tree carries %d keys", n, t.pk.Len())
-	}
+	vc := t.db.txns.Versions()
 	seen := make(map[uint64]bool, len(live))
+	retained, zombies := 0, 0
 	var verr error
 	t.pk.Ascend(func(key int64, v uint64) bool {
 		if !live[v] {
-			verr = fmt.Errorf("key %d maps to RID %s with no live tuple", key, heap.Unpack(v))
-			return false
+			if !vc.HasChain(v) {
+				verr = fmt.Errorf("key %d maps to RID %s with no live tuple", key, heap.Unpack(v))
+				return false
+			}
+			// Snapshot-retained: a committed-delete zombie awaiting GC (its
+			// persistent entry was cleared at commit) or an in-flight
+			// transactional delete (persistent entry still present).
+			retained++
+			if vc.CommittedDeleted(v) {
+				zombies++
+			}
+			return true
 		}
 		if seen[v] {
 			verr = fmt.Errorf("RID %s indexed twice", heap.Unpack(v))
@@ -396,6 +418,14 @@ func (t *Table) verifyIndexAgainstHeap() error {
 	if verr != nil {
 		return verr
 	}
+	if t.pk.Len() != len(live)+retained {
+		return fmt.Errorf("index carries %d keys (%d snapshot-retained), heap carries %d live tuples",
+			t.pk.Len(), retained, len(live))
+	}
+	if n := t.idx.Len(); n != t.pk.Len()-zombies {
+		return fmt.Errorf("persistent index file carries %d entries, B-tree implies %d (%d committed-delete zombies)",
+			n, t.pk.Len()-zombies, zombies)
+	}
 	for i, s := range secs {
 		if err := s.verifyAgainstLocked(wantSec[i]); err != nil {
 			return fmt.Errorf("secondary index %q: %w", s.name, err)
@@ -405,33 +435,43 @@ func (t *Table) verifyIndexAgainstHeap() error {
 }
 
 // verifyAgainstLocked checks the secondary index against the expected
-// (key, RID) pair set derived from the live heap tuples. Caller holds the
-// table mutex (read).
+// (key, RID) pair set derived from the live heap tuples. Volatile pairs
+// outside that set are tolerated only when they are retained for snapshot
+// readers: stale-marked pairs of committed removals (which must already be
+// gone from the persistent file) or pairs whose RID still carries an
+// in-flight version chain. Caller holds the table mutex (read).
 func (s *SecondaryIndex) verifyAgainstLocked(want map[index.Entry]bool) error {
-	if n := s.lenLocked(); n != len(want) {
-		for key, set := range s.rids {
-			for v := range set {
-				if !want[index.Entry{Key: key, Value: v}] {
-					return fmt.Errorf("directory carries %d entries, heap extraction yields %d (e.g. stale entry (key %d, RID %s))",
-						n, len(want), key, heap.Unpack(v))
-				}
-			}
-		}
-		return fmt.Errorf("directory carries %d entries, heap extraction yields %d", n, len(want))
-	}
-	if n := s.file.Len(); n != len(want) {
-		return fmt.Errorf("persistent entry file carries %d entries, heap extraction yields %d", n, len(want))
-	}
+	vc := s.table.db.txns.Versions()
+	matched := 0
 	for key, set := range s.rids {
 		for v := range set {
 			e := index.Entry{Key: key, Value: v}
-			if !want[e] {
-				return fmt.Errorf("entry (key %d, RID %s) has no matching live tuple", key, heap.Unpack(v))
+			if want[e] {
+				if !s.file.Contains(key, v) {
+					return fmt.Errorf("entry (key %d, RID %s) missing from the persistent file", key, heap.Unpack(v))
+				}
+				matched++
+				continue
 			}
-			if !s.file.Contains(key, v) {
-				return fmt.Errorf("entry (key %d, RID %s) missing from the persistent file", key, heap.Unpack(v))
+			if _, stale := s.stale[secPair{key: key, rid: v}]; stale {
+				if s.file.Contains(key, v) {
+					return fmt.Errorf("snapshot-retained entry (key %d, RID %s) still in the persistent file", key, heap.Unpack(v))
+				}
+				continue
 			}
+			if vc.HasChain(v) {
+				// In-flight transactional delete or move; the pair's fate is
+				// decided at commit or abort.
+				continue
+			}
+			return fmt.Errorf("entry (key %d, RID %s) has no matching live tuple", key, heap.Unpack(v))
 		}
+	}
+	if matched != len(want) {
+		return fmt.Errorf("directory carries %d current entries, heap extraction yields %d", matched, len(want))
+	}
+	if n := s.file.Len(); n != len(want) {
+		return fmt.Errorf("persistent entry file carries %d entries, heap extraction yields %d", n, len(want))
 	}
 	return nil
 }

@@ -49,9 +49,13 @@ func Int64Field(offset int) ExtractFunc {
 // ripple into every secondary index via logical RecIndexInsert /
 // RecIndexDelete records (carrying the index object id, key and RID), so
 // rollback and crash recovery reverse or replay it together with the
-// tuple change. Unlike the primary key there is no uniqueness to defend,
-// so deletions take effect immediately instead of reserving the key
-// until commit.
+// tuple change. Transactional removals split the two halves of the index:
+// the persistent entry goes immediately (recovery sees the removal), but
+// the volatile pair is retained until no snapshot predates the removal's
+// commit — snapshot readers route through the retained pair into the
+// version cache and re-extract the key from the version they resolve, so
+// older snapshots keep finding the tuple under its old key. See
+// docs/DESIGN_MVCC.md.
 type SecondaryIndex struct {
 	table   *Table
 	name    string
@@ -64,6 +68,19 @@ type SecondaryIndex struct {
 	// unused), rids the live RID set per key.
 	keys *btree.Tree
 	rids map[int64]map[uint64]struct{}
+	// stale marks retained-historical pairs: entries kept in the volatile
+	// directory only because a snapshot older than their removal's commit
+	// timestamp (the stored value) may still resolve through them. A
+	// re-add of the pair clears the mark (it is live again); the zombie
+	// GC drops exactly the pairs whose mark still carries its timestamp.
+	// Guarded by table.mu.
+	stale map[secPair]uint64
+}
+
+// secPair identifies one (secondary key, packed RID) index pair.
+type secPair struct {
+	key int64
+	rid uint64
 }
 
 // Name returns the index name (unique per table).
@@ -103,7 +120,8 @@ func (s *SecondaryIndex) lenLocked() int {
 
 // noteLocked records the (key, value) pair in the volatile structures
 // only (used when priming from recovered entry pages). Caller holds
-// table.mu. Idempotent.
+// table.mu. Idempotent. A pair previously retained as historical becomes
+// live again, so its stale mark is cleared.
 func (s *SecondaryIndex) noteLocked(key int64, value uint64) {
 	set := s.rids[key]
 	if set == nil {
@@ -112,6 +130,7 @@ func (s *SecondaryIndex) noteLocked(key int64, value uint64) {
 		s.keys.Insert(key, 0)
 	}
 	set[value] = struct{}{}
+	delete(s.stale, secPair{key: key, rid: value})
 }
 
 // addLocked inserts the (key, value) pair into the persistent entry file
@@ -131,6 +150,27 @@ func (s *SecondaryIndex) removeLocked(key int64, value uint64) error {
 	if err := s.file.Remove(key, value); err != nil {
 		return err
 	}
+	s.dropVolatileLocked(key, value)
+	return nil
+}
+
+// removeDeferredLocked removes the (key, value) pair from the persistent
+// entry file only, leaving the volatile pair in place. Transactional
+// deletes and update moves use it: snapshot readers older than the change
+// must keep finding the RID under its old key (the retained pair routes
+// them into the version cache, which resolves the right version), so the
+// volatile pair is retired only at commit (retirePair) or by the zombie
+// GC. Recovery is unaffected — it rebuilds the volatile directory from
+// the entry pages and the log, where the removal is already effective.
+// Caller holds table.mu.
+func (s *SecondaryIndex) removeDeferredLocked(key int64, value uint64) error {
+	return s.file.Remove(key, value)
+}
+
+// dropVolatileLocked removes the (key, value) pair from the volatile
+// directory only. Caller holds table.mu. Dropping an absent pair is a
+// no-op.
+func (s *SecondaryIndex) dropVolatileLocked(key int64, value uint64) {
 	if set := s.rids[key]; set != nil {
 		delete(set, value)
 		if len(set) == 0 {
@@ -138,7 +178,7 @@ func (s *SecondaryIndex) removeLocked(key int64, value uint64) error {
 			s.keys.Delete(key)
 		}
 	}
-	return nil
+	delete(s.stale, secPair{key: key, rid: value})
 }
 
 // pairsLocked appends the (key, rid) scan pairs of every key in
@@ -251,6 +291,7 @@ func newSecondaryIndex(t *Table, name string, id uint32, extract ExtractFunc) *S
 		file:    index.NewSecondary(t.db.store, t.db.pool, id),
 		keys:    btree.New(),
 		rids:    make(map[int64]map[uint64]struct{}),
+		stale:   make(map[secPair]uint64),
 	}
 }
 
@@ -290,9 +331,12 @@ func (t *Table) secondarySnapshot() []*SecondaryIndex {
 }
 
 // GetBySecondary returns copies of every tuple whose extracted key equals
-// key in the named secondary index, in RID order. A key with no entries
-// yields an empty result, not an error. Visibility matches Get: tuples
-// deleted by a not-yet-committed transaction are skipped.
+// key in the named secondary index, in RID order, as of one statement
+// snapshot — no record locks, uncommitted changes never visible. Each
+// candidate's secondary key is re-extracted from the version actually
+// resolved, so a concurrent update moving a tuple between keys is seen on
+// exactly one side of the move. A key with no entries yields an empty
+// result, not an error.
 func (t *Table) GetBySecondary(indexName string, key int64) ([][]byte, error) {
 	s, ok := t.SecondaryIndex(indexName)
 	if !ok {
@@ -301,22 +345,24 @@ func (t *Table) GetBySecondary(indexName string, key int64) ([][]byte, error) {
 	if err := t.db.checkOpen(); err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	pairs := s.pairsLocked(key, key+1, nil)
-	t.mu.RUnlock()
 	var out [][]byte
-	err := t.scanPairs(pairs, func(_ int64, tuple []byte) bool {
-		out = append(out, tuple)
-		return true
+	err := t.db.snapshotted(func(snap uint64) error {
+		t.mu.RLock()
+		pairs := s.pairsLocked(key, key+1, nil)
+		t.mu.RUnlock()
+		return t.scanPairs(pairs, snap, s.extract, func(_ int64, tuple []byte) bool {
+			out = append(out, tuple)
+			return true
+		})
 	})
 	return out, err
 }
 
 // ScanSecondary calls fn for every (secondary key, tuple) with a key in
 // [from, to), keys ascending (RID order within one key), until fn returns
-// false. Like ScanRange, the snapshot is taken up front and the close
-// gate is never held across fn; rows whose tuple vanished between
-// snapshot and fetch (a concurrent or uncommitted delete) are skipped.
+// false. Like ScanRange, the whole scan reads at one statement snapshot
+// (with per-row key re-extraction, see GetBySecondary) and the close gate
+// is never held across fn.
 func (t *Table) ScanSecondary(indexName string, from, to int64, fn func(key int64, tuple []byte) bool) error {
 	s, ok := t.SecondaryIndex(indexName)
 	if !ok {
@@ -325,8 +371,10 @@ func (t *Table) ScanSecondary(indexName string, from, to int64, fn func(key int6
 	if err := t.db.checkOpen(); err != nil {
 		return err
 	}
-	t.mu.RLock()
-	pairs := s.pairsLocked(from, to, nil)
-	t.mu.RUnlock()
-	return t.scanPairs(pairs, fn)
+	return t.db.snapshotted(func(snap uint64) error {
+		t.mu.RLock()
+		pairs := s.pairsLocked(from, to, nil)
+		t.mu.RUnlock()
+		return t.scanPairs(pairs, snap, s.extract, fn)
+	})
 }

@@ -99,16 +99,20 @@ func TestSecondaryIndexBasics(t *testing.T) {
 	if rows, _ = tbl.GetBySecondary("group", 100); len(rows) != 1 {
 		t.Fatalf("group 100 after move: %d rows, want 1", len(rows))
 	}
-	// A transactional delete removes the entry immediately.
+	// A transactional delete stays invisible to snapshot readers until it
+	// commits; only then does the entry disappear.
 	tx = db.Begin()
 	if err := tx.Delete(tbl, 15); err != nil { // group 3
 		t.Fatalf("Delete: %v", err)
 	}
-	if rows, _ = tbl.GetBySecondary("group", 3); len(rows) != 8 {
-		t.Fatalf("group 3 during delete txn: %d rows, want 8", len(rows))
+	if rows, _ = tbl.GetBySecondary("group", 3); len(rows) != 9 {
+		t.Fatalf("group 3 during delete txn: %d rows, want 9", len(rows))
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatalf("Commit delete: %v", err)
+	}
+	if rows, _ = tbl.GetBySecondary("group", 3); len(rows) != 8 {
+		t.Fatalf("group 3 after committed delete: %d rows, want 8", len(rows))
 	}
 	if err := db.VerifyIntegrity(); err != nil {
 		t.Fatalf("VerifyIntegrity: %v", err)

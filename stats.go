@@ -86,6 +86,30 @@ type Stats struct {
 	CommittedTxns uint64
 	AbortedTxns   uint64
 	WALBytes      uint64
+
+	// Concurrency control. Readers run lock-free against MVCC snapshots;
+	// only writers take record locks, so LockAcquisitions counts writer
+	// lock grants and LockConflicts counts no-wait denials (ErrConflict).
+	LockAcquisitions uint64
+	LockConflicts    uint64
+
+	// MVCC version chains. SnapshotReads counts version-cache resolutions;
+	// VersionReads is how many of them were served from a superseded
+	// version rather than the heap slot (reads that 2PL would have blocked
+	// or answered dirtily). VersionsCreated / VersionsReclaimed track the
+	// version-chain churn, VersionChainsLive and ZombieEntries are gauges
+	// of retained MVCC state, and OldestSnapshotAge is how many commits the
+	// oldest active snapshot lags behind the watermark (0 = no reader
+	// pinning history).
+	SnapshotReads     uint64
+	VersionReads      uint64
+	VersionsCreated   uint64
+	VersionsReclaimed uint64
+	VersionChainsLive uint64
+	ZombieEntries     int
+	ZombiesReclaimed  uint64
+	ActiveSnapshots   int
+	OldestSnapshotAge uint64
 	// Group commit: physical log flushes, the commit requests they served
 	// and the largest batch one flush absorbed. WALFlushedCommits /
 	// WALFlushes is the average group-commit batch size.
@@ -144,6 +168,9 @@ func (db *DB) Stats() Stats {
 	committed := db.committed.Load()
 	aborted := db.aborted.Load()
 	base := time.Duration(db.timeBase.Load())
+	vs := db.txns.Versions().Stats()
+	ora := db.txns.Oracle()
+	lockAcq, lockConf := db.txns.LockStats()
 
 	perChip := db.dev.PerChipStats()
 	clocks := db.dev.ChipClocks()
@@ -217,6 +244,17 @@ func (db *DB) Stats() Stats {
 		CommittedTxns:     committed,
 		AbortedTxns:       aborted,
 		WALBytes:          db.log.BytesWritten(),
+		LockAcquisitions:  lockAcq,
+		LockConflicts:     lockConf,
+		SnapshotReads:     vs.SnapshotReads,
+		VersionReads:      vs.VersionReads,
+		VersionsCreated:   vs.VersionsCreated,
+		VersionsReclaimed: vs.VersionsReclaimed,
+		VersionChainsLive: vs.ChainsLive,
+		ZombieEntries:     db.zombieCount(),
+		ZombiesReclaimed:  db.zombiesReclaimed.Load(),
+		ActiveSnapshots:   ora.ActiveSnapshots(),
+		OldestSnapshotAge: ora.SnapshotAge(),
 		WALFlushes:        gc.Flushes,
 		WALFlushedCommits: gc.FlushedCommits,
 		WALMaxCommitBatch: gc.MaxBatch,
@@ -272,6 +310,13 @@ func (s Stats) IndexDeltasPerMerge() float64 {
 // mean concurrent commits shared log-device writes.
 func (s Stats) CommitsPerFlush() float64 {
 	return ratio(s.WALFlushedCommits, s.WALFlushes)
+}
+
+// VersionChasedPerRead returns the fraction of snapshot reads that had to
+// chase the version chain past the heap slot (served from a superseded
+// version). 0 means every read saw the newest committed version.
+func (s Stats) VersionChasedPerRead() float64 {
+	return ratio(s.VersionReads, s.SnapshotReads)
 }
 
 // Throughput returns committed transactions per second of virtual time.
@@ -363,6 +408,10 @@ func (s Stats) String() string {
 		s.IndexPageReads, s.IndexPageWrites, s.IndexInPlaceAppends, s.IndexOutOfPlaceWrites, s.IndexDeltaRecords, s.SecondaryIndexes)
 	fmt.Fprintf(&b, "txn: committed=%d aborted=%d throughput=%.1f tps elapsed=%s\n",
 		s.CommittedTxns, s.AbortedTxns, s.Throughput(), s.Elapsed)
+	fmt.Fprintf(&b, "locks: acquired=%d conflicts=%d\n", s.LockAcquisitions, s.LockConflicts)
+	fmt.Fprintf(&b, "mvcc: snapshotReads=%d versionReads=%d (%.4f chased/read) created=%d reclaimed=%d chains=%d zombies=%d reclaimedZombies=%d activeSnapshots=%d oldestSnapshotAge=%d\n",
+		s.SnapshotReads, s.VersionReads, s.VersionChasedPerRead(), s.VersionsCreated, s.VersionsReclaimed,
+		s.VersionChainsLive, s.ZombieEntries, s.ZombiesReclaimed, s.ActiveSnapshots, s.OldestSnapshotAge)
 	fmt.Fprintf(&b, "wal: flushes=%d commits/flush=%.2f maxBatch=%d shards=%d\n",
 		s.WALFlushes, s.CommitsPerFlush(), s.WALMaxCommitBatch, s.BufferShards)
 	if s.Chips > 1 {

@@ -55,11 +55,6 @@ type Table struct {
 	// secondaries are the table's secondary indexes in creation order;
 	// their volatile directories share t.mu with the pk B-tree.
 	secondaries []*SecondaryIndex
-	// reserved holds keys deleted by not-yet-committed transactions. The
-	// pk entry stays (reserving the key against concurrent inserts, see
-	// Tx.Delete) but the key must read as absent — Exists consults this
-	// set so it agrees with Get.
-	reserved map[int64]struct{}
 }
 
 func newTable(db *DB, name string, id, idxID uint32, tupleSize int) *Table {
@@ -72,7 +67,6 @@ func newTable(db *DB, name string, id, idxID uint32, tupleSize int) *Table {
 		heap:      heap.New(db.store, db.pool, id, tupleSize),
 		pk:        btree.New(),
 		idx:       index.New(db.store, db.pool, idxID),
-		reserved:  make(map[int64]struct{}),
 	}
 }
 
@@ -109,7 +103,11 @@ func (t *Table) Insert(key int64, tuple []byte) error {
 	defer t.db.release()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.pk.Get(key); ok {
+	// A pk entry whose latest committed state is a delete (a zombie kept
+	// for older snapshots) does not block the key; the insert overwrites
+	// the entry in place. Older snapshots lose the key's old mapping — the
+	// documented delete-then-reinsert anomaly (docs/DESIGN_MVCC.md).
+	if v, ok := t.pk.Get(key); ok && !t.db.txns.Versions().CommittedDeleted(v) {
 		return fmt.Errorf("%w: %d", ErrDuplicateKey, key)
 	}
 	rid, err := t.heap.Insert(tuple)
@@ -158,35 +156,35 @@ func (t *Table) rid(key int64) (heap.RID, error) {
 	return heap.Unpack(v), nil
 }
 
-// Get returns a copy of the tuple stored under key.
+// Get returns a copy of the tuple stored under key as of a fresh
+// statement snapshot: the latest committed version is returned, a
+// concurrent writer's uncommitted bytes are never visible, and no record
+// lock is taken.
 func (t *Table) Get(key int64) ([]byte, error) {
 	if err := t.db.acquire(); err != nil {
 		return nil, err
 	}
 	defer t.db.release()
-	rid, err := t.rid(key)
-	if err != nil {
-		return nil, err
-	}
-	tuple, err := t.heap.Get(rid)
-	if err != nil && errors.Is(err, heap.ErrNotFound) {
-		// The index entry is a reservation of a not-yet-committed delete
-		// (the tuple is already gone); the key reads as absent.
-		return nil, fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
-	}
+	var tuple []byte
+	err := t.db.snapshotted(func(snap uint64) error {
+		var gerr error
+		tuple, gerr = t.getVisible(key, snap, 0)
+		return gerr
+	})
 	return tuple, err
 }
 
-// Exists reports whether key is present. Keys deleted by a transaction
-// that has not committed yet read as absent, matching Get.
+// Exists reports whether key is present in its latest committed state:
+// keys whose delete has not committed yet still read as present, pending
+// (uncommitted) inserts read as absent — matching Get.
 func (t *Table) Exists(key int64) bool {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if _, pending := t.reserved[key]; pending {
+	v, ok := t.pk.Get(key)
+	t.mu.RUnlock()
+	if !ok {
 		return false
 	}
-	_, ok := t.pk.Get(key)
-	return ok
+	return t.db.txns.Versions().CommittedLive(v)
 }
 
 // UpdateAt overwrites len(data) bytes of the tuple stored under key,
@@ -250,19 +248,9 @@ func secondaryMoves(secs []*SecondaryIndex, old []byte, offset int, data []byte)
 	return moves
 }
 
-// applySecondaryMoves relocates the secondary entries of the tuple with
-// the given packed RID, taking the table mutex.
-func (t *Table) applySecondaryMoves(moves []secondaryMove, packed uint64) error {
-	if len(moves) == 0 {
-		return nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return applySecondaryMovesLocked(moves, packed)
-}
-
-// applySecondaryMovesLocked is applySecondaryMoves with the table mutex
-// already held.
+// applySecondaryMovesLocked relocates the secondary entries of the tuple
+// with the given packed RID (non-transactional path: both index halves
+// move immediately). Caller holds the table mutex.
 func applySecondaryMovesLocked(moves []secondaryMove, packed uint64) error {
 	for _, mv := range moves {
 		if err := mv.sec.removeLocked(mv.oldKey, packed); err != nil {
@@ -311,61 +299,75 @@ func (t *Table) Delete(key int64) error {
 }
 
 // Scan calls fn for every tuple in primary-key order until fn returns
-// false. The close gate is taken per row — never across fn — so the
-// callback may freely call other table or transaction methods.
+// false. The whole scan reads at one statement snapshot — a consistent
+// cut: rows committed before the snapshot are all delivered in their
+// snapshot-time state, concurrent writers are never half-visible. The
+// close gate is taken per row — never across fn — so the callback may
+// freely call other table or transaction methods.
 func (t *Table) Scan(fn func(key int64, tuple []byte) bool) error {
 	if err := t.db.checkOpen(); err != nil {
 		return err
 	}
-	t.mu.RLock()
-	pairs := make([]scanPair, 0, t.pk.Len())
-	t.pk.Ascend(func(k int64, v uint64) bool {
-		pairs = append(pairs, scanPair{key: k, rid: heap.Unpack(v)})
-		return true
+	return t.db.snapshotted(func(snap uint64) error {
+		t.mu.RLock()
+		pairs := make([]scanPair, 0, t.pk.Len())
+		t.pk.Ascend(func(k int64, v uint64) bool {
+			pairs = append(pairs, scanPair{key: k, rid: heap.Unpack(v)})
+			return true
+		})
+		t.mu.RUnlock()
+		return t.scanPairs(pairs, snap, nil, fn)
 	})
-	t.mu.RUnlock()
-	return t.scanPairs(pairs, fn)
 }
 
 // ScanRange calls fn for every key in [from, to) until fn returns false.
-// Like Scan, the close gate is never held across fn.
+// Like Scan, the range is read at one statement snapshot and the close
+// gate is never held across fn.
 func (t *Table) ScanRange(from, to int64, fn func(key int64, tuple []byte) bool) error {
 	if err := t.db.checkOpen(); err != nil {
 		return err
 	}
-	t.mu.RLock()
-	var pairs []scanPair
-	t.pk.AscendRange(from, to, func(k int64, v uint64) bool {
-		pairs = append(pairs, scanPair{key: k, rid: heap.Unpack(v)})
-		return true
+	return t.db.snapshotted(func(snap uint64) error {
+		t.mu.RLock()
+		var pairs []scanPair
+		t.pk.AscendRange(from, to, func(k int64, v uint64) bool {
+			pairs = append(pairs, scanPair{key: k, rid: heap.Unpack(v)})
+			return true
+		})
+		t.mu.RUnlock()
+		return t.scanPairs(pairs, snap, nil, fn)
 	})
-	t.mu.RUnlock()
-	return t.scanPairs(pairs, fn)
 }
 
-// scanPair is one index entry captured by a scan snapshot.
+// scanPair is one index entry captured by a scan's directory snapshot.
 type scanPair struct {
 	key int64
 	rid heap.RID
 }
 
-// scanPairs fetches each snapshot entry under the close gate and hands it
-// to fn with no lock held, so fn may call back into the table. Rows whose
-// tuple vanished between the snapshot and the fetch — a concurrent or
-// not-yet-committed delete — are skipped, matching the READ UNCOMMITTED
-// visibility of plain Get.
-func (t *Table) scanPairs(pairs []scanPair, fn func(key int64, tuple []byte) bool) error {
+// scanPairs resolves each captured entry at the scan's snapshot (under the
+// close gate) and hands the visible rows to fn with no lock held, so fn
+// may call back into the table. Entries with no version visible at the
+// snapshot — created later, deleted earlier, or non-transactional residue
+// — are skipped. filter, when set, re-extracts the secondary key from the
+// resolved bytes and skips rows that no longer (or did not yet) belong
+// under the captured key, which keeps secondary scans snapshot-consistent
+// across update moves in both directions.
+func (t *Table) scanPairs(pairs []scanPair, snap uint64, filter ExtractFunc, fn func(key int64, tuple []byte) bool) error {
 	for _, p := range pairs {
 		if err := t.db.acquire(); err != nil {
 			return err
 		}
-		tuple, err := t.heap.Get(p.rid)
+		tuple, ok, err := t.readVersion(p.rid, snap, 0)
 		t.db.release()
 		if err != nil {
-			if errors.Is(err, heap.ErrNotFound) {
-				continue
-			}
 			return err
+		}
+		if !ok {
+			continue
+		}
+		if filter != nil && filter(tuple) != p.key {
+			continue
 		}
 		if !fn(p.key, tuple) {
 			return nil

@@ -18,31 +18,76 @@ var ErrConflict = txn.ErrConflict
 // Tx is a database transaction. All updates — tuple bytes and logical
 // index operations alike — are logged to the WAL before they touch the
 // buffered pages, and record locks are held until Commit or Abort (strict
-// two-phase locking). In-Place Appends is entirely invisible at this
-// level, exactly as the paper requires.
+// two-phase locking) for writer-writer isolation. In-Place Appends is
+// entirely invisible at this level, exactly as the paper requires.
 //
-// Isolation: writes follow strict 2PL, but plain Get takes no record
-// lock — concurrent transactions read at READ UNCOMMITTED and may observe
-// updates that are later rolled back. Use GetForUpdate to read under the
-// record lock when a transaction's logic depends on the value it read.
+// Isolation is an MVCC+2PL hybrid. Reads — plain Get, Table.Scan/
+// ScanRange, GetBySecondary, ScanSecondary — run lock-free against a
+// snapshot: they see exactly the state committed at the snapshot's
+// timestamp, never an uncommitted or later write. Tx.Get reads at a
+// transaction-wide snapshot acquired lazily on the first read (repeatable
+// read within one Tx); table-level reads use a fresh statement snapshot
+// each. Snapshot reads do not lock, so a read-then-write cycle that must
+// be stable against concurrent writers still needs GetForUpdate — the
+// classic "snapshot reads + locked writes" discipline. See
+// docs/DESIGN_MVCC.md for the visibility rule and version storage.
 type Tx struct {
 	db    *DB
 	inner *txn.Txn
 	done  bool
-	// pendingDeletes are keys this transaction deleted. Their index
-	// entries stay in place until Commit so the key remains reserved —
-	// a concurrent insert of the same key must fail the duplicate check
-	// (or conflict on the record lock), otherwise an abort of this
+	// snap is the transaction's reader snapshot, acquired on first Get
+	// and released (with a GC nudge) when the transaction finishes.
+	snap    uint64
+	hasSnap bool
+	// pendingDeletes are keys this transaction deleted. Their pk entries
+	// stay in place until Commit so the key remains reserved — a
+	// concurrent insert of the same key must fail the duplicate check (or
+	// conflict on the record lock), otherwise an abort of this
 	// transaction could resurrect a tuple whose key was re-taken. Commit
-	// removes the entries; Abort simply drops the list (the undo pass
-	// restores the tuples and the entries were never touched).
+	// retires the entries (retirePK keeps the volatile half alive while
+	// older snapshots need it); Abort simply drops the list (the undo
+	// pass restores the tuples and the entries were never touched).
 	pendingDeletes []pendingDelete
+	// pendingSecDrops are secondary pairs this transaction removed (a
+	// delete, or the old key of an update move). The persistent entry is
+	// gone already; the volatile pair is retained for snapshot readers
+	// and retired at Commit (retirePair). Abort drops the list — the
+	// logged undo restores the persistent entries, the volatile pairs
+	// were never touched.
+	pendingSecDrops []pendingSecDrop
 }
 
 // pendingDelete is one key deletion awaiting commit.
 type pendingDelete struct {
 	table *Table
 	key   int64
+}
+
+// pendingSecDrop is one secondary-pair removal awaiting commit.
+type pendingSecDrop struct {
+	sec *SecondaryIndex
+	key int64
+	rid uint64
+}
+
+// snapshot returns the transaction's reader snapshot, acquiring it on
+// first use.
+func (tx *Tx) snapshot() uint64 {
+	if !tx.hasSnap {
+		tx.snap = tx.db.txns.Oracle().AcquireSnapshot()
+		tx.hasSnap = true
+	}
+	return tx.snap
+}
+
+// releaseSnapshot returns the snapshot to the oracle and lets GC reclaim
+// whatever only this snapshot was holding alive.
+func (tx *Tx) releaseSnapshot() {
+	if tx.hasSnap {
+		tx.db.txns.Oracle().ReleaseSnapshot(tx.snap)
+		tx.hasSnap = false
+		tx.db.maybeGC()
+	}
 }
 
 // Begin starts a new transaction. On a closed database the returned
@@ -64,14 +109,21 @@ func (tx *Tx) check() error {
 // ID returns the transaction identifier.
 func (tx *Tx) ID() uint64 { return tx.inner.ID() }
 
-// Get returns a copy of the tuple stored under key in table t. It takes
-// no record lock (READ UNCOMMITTED): a concurrent writer's uncommitted
-// bytes may be visible. See GetForUpdate for locked reads.
+// Get returns a copy of the tuple stored under key in table t, read at
+// the transaction's snapshot without taking any record lock: the first
+// Get pins the snapshot, and every later Get repeats it (repeatable
+// read). Uncommitted writes of other transactions are never visible; the
+// transaction's own writes are. The value is not locked — a transaction
+// whose logic depends on it staying put must use GetForUpdate.
 func (tx *Tx) Get(t *Table, key int64) ([]byte, error) {
-	if err := tx.check(); err != nil {
+	if tx.done {
+		return nil, txn.ErrFinished
+	}
+	if err := tx.db.acquire(); err != nil {
 		return nil, err
 	}
-	return t.Get(key)
+	defer tx.db.release()
+	return t.getVisible(key, tx.snapshot(), tx.inner.ID())
 }
 
 // GetForUpdate returns a copy of the tuple stored under key in table t
@@ -95,7 +147,8 @@ func (tx *Tx) GetForUpdate(t *Table, key int64) ([]byte, error) {
 	}
 	tuple, err := t.heap.Get(rid)
 	if err != nil && errors.Is(err, heap.ErrNotFound) {
-		// A reservation entry of a pending delete: the key reads as absent.
+		// A zombie entry of a committed delete (retained for older
+		// snapshots): under the lock the key reads as absent.
 		return nil, fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
 	}
 	return tuple, err
@@ -112,7 +165,13 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 	defer tx.db.release()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.pk.Get(key); ok {
+	// A pk entry left by a PENDING delete still blocks the key (the
+	// deleter may abort and resurrect the tuple — the key-level analogue
+	// of strict 2PL), but a zombie of a COMMITTED delete, retained only
+	// for older snapshots, does not: the insert overwrites it in place.
+	// Older snapshots then lose the key's old mapping — the documented
+	// delete-then-reinsert anomaly (docs/DESIGN_MVCC.md).
+	if v, ok := t.pk.Get(key); ok && !t.db.txns.Versions().CommittedDeleted(v) {
 		return fmt.Errorf("%w: %d", ErrDuplicateKey, key)
 	}
 	rid, err := t.heap.Insert(tuple)
@@ -122,6 +181,10 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 	if err := tx.inner.Lock(txn.LockKey{PageID: rid.PageID, Slot: rid.Slot}); err != nil {
 		return err
 	}
+	// Register the version chain before any reader can find the RID via
+	// an index entry: the chain marks the tuple uncommitted-by-us, so
+	// snapshot readers see the key as absent until we commit.
+	t.db.txns.Versions().OnInsert(rid.Pack(), tx.inner.ID())
 	if _, err := tx.inner.LogInsert(t.id, rid.PageID, rid.Slot, tuple); err != nil {
 		return err
 	}
@@ -147,12 +210,14 @@ func (tx *Tx) Insert(t *Table, key int64, tuple []byte) error {
 // and the index entry are logged, so rollback and recovery can restore
 // both the tuple and its primary-key mapping.
 //
-// The key stays reserved until Commit: the tuple is deleted immediately
-// (readers see the key as gone), but the index entry is removed only when
-// the transaction commits, so a concurrent Insert of the same key fails
-// with ErrDuplicateKey instead of racing the uncommitted delete — the
-// key-level analogue of strict 2PL. Deleting the same key twice (or
-// reinserting it) within one transaction therefore also fails.
+// The key stays reserved until Commit: the tuple is deleted immediately,
+// but the pk entry is removed only when the transaction commits, so a
+// concurrent Insert of the same key fails with ErrDuplicateKey instead of
+// racing the uncommitted delete — the key-level analogue of strict 2PL.
+// Deleting the same key twice (or reinserting it) within one transaction
+// therefore also fails. Snapshot readers keep seeing the tuple's last
+// committed version (through its version chain) until the delete commits
+// and their snapshots move past it.
 func (tx *Tx) Delete(t *Table, key int64) error {
 	if tx.done {
 		return txn.ErrFinished
@@ -174,8 +239,8 @@ func (tx *Tx) Delete(t *Table, key int64) error {
 	old, err := t.heap.Get(rid)
 	if err != nil {
 		if errors.Is(err, heap.ErrNotFound) {
-			// The entry is a reservation of our own (or another) pending
-			// delete; the tuple itself is already gone.
+			// Our own pending delete, or the zombie of a committed one:
+			// the tuple itself is already gone.
 			return fmt.Errorf("%w: %s key %d", ErrKeyNotFound, t.name, key)
 		}
 		return err
@@ -186,22 +251,28 @@ func (tx *Tx) Delete(t *Table, key int64) error {
 	if _, err := tx.inner.LogIndexDelete(t.idxID, key, v); err != nil {
 		return err
 	}
-	// Secondary entries are removed immediately: with nothing unique to
-	// reserve, readers should stop finding the tuple by its secondary
-	// keys right away. Rollback restores them through the logged records.
+	// Secondary entries: the persistent half is removed now (recovery
+	// semantics unchanged), the volatile pair is retained so snapshot
+	// readers can keep resolving the tuple under its secondary keys, and
+	// retired at commit. Rollback restores the persistent entries through
+	// the logged records.
 	for _, s := range t.secondaries {
 		skey := s.extract(old)
 		if _, err := tx.inner.LogIndexDelete(s.id, skey, v); err != nil {
 			return err
 		}
-		if err := s.removeLocked(skey, v); err != nil {
+		if err := s.removeDeferredLocked(skey, v); err != nil {
 			return err
 		}
+		tx.pendingSecDrops = append(tx.pendingSecDrops, pendingSecDrop{sec: s, key: skey, rid: v})
 	}
+	// Push the committed pre-image into the version cache before the heap
+	// slot goes away, then delete. Readers resolve the chain first, so
+	// they never observe the slot's disappearance as a missing key.
+	t.db.txns.Versions().OnWrite(v, tx.inner.ID(), old, true)
 	if err := t.heap.Delete(rid); err != nil {
 		return err
 	}
-	t.reserved[key] = struct{}{}
 	tx.pendingDeletes = append(tx.pendingDeletes, pendingDelete{table: t, key: key})
 	return nil
 }
@@ -257,10 +328,36 @@ func (tx *Tx) UpdateRIDAt(t *Table, rid heap.RID, offset int, data []byte) error
 			return err
 		}
 	}
+	// Push the committed pre-image into the version cache before the heap
+	// bytes change: snapshot readers that must not see this update keep
+	// resolving to the pushed version.
+	t.db.txns.Versions().OnWrite(rid.Pack(), tx.inner.ID(), old, false)
 	if err := t.heap.UpdateAt(rid, offset, data); err != nil {
 		return err
 	}
-	return t.applySecondaryMoves(moves, rid.Pack())
+	return tx.applyMoves(t, moves, rid.Pack())
+}
+
+// applyMoves relocates secondary entries for a transactional update: the
+// new pair is added to both index halves, the old pair's persistent entry
+// is removed, and its volatile half is retained for snapshot readers and
+// retired at commit.
+func (tx *Tx) applyMoves(t *Table, moves []secondaryMove, packed uint64) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, mv := range moves {
+		if err := mv.sec.removeDeferredLocked(mv.oldKey, packed); err != nil {
+			return err
+		}
+		tx.pendingSecDrops = append(tx.pendingSecDrops, pendingSecDrop{sec: mv.sec, key: mv.oldKey, rid: packed})
+		if err := mv.sec.addLocked(mv.newKey, packed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RIDFor returns the RID of key in table t (for drivers that cache RIDs).
@@ -282,6 +379,7 @@ func (tx *Tx) Commit() error {
 	// a commit can never succeed after Close has returned.
 	if err := tx.db.acquire(); err != nil {
 		_ = tx.inner.Detach()
+		tx.releaseSnapshot()
 		tx.done = true
 		tx.db.aborted.Add(1)
 		return err
@@ -292,24 +390,26 @@ func (tx *Tx) Commit() error {
 			// The commit record never became durable (power cut during the
 			// log flush): the transaction is finished as a loser — recovery
 			// rolls its effects back after the restart.
+			tx.releaseSnapshot()
 			tx.done = true
 			tx.db.aborted.Add(1)
 		}
 		return err
 	}
 	tx.done = true
-	// The transaction is durable; release the deleted keys by removing
-	// their index entries. An error here (only an injected power cut
-	// while tombstoning an entry page can cause one) must NOT fail the
-	// commit — the commit record is already durable, recovery will
-	// re-apply the index deletion from the log, and the in-memory
-	// reservation conservatively stays in place (the key keeps reading
-	// as absent; after a power cut the engine is unusable anyway).
+	// The transaction is durable and its version chains are stamped with
+	// the commit timestamp. Release our own snapshot first (so it cannot
+	// keep our own retirements alive), then retire the index entries of
+	// deleted keys and moved secondary pairs: the persistent halves go
+	// now, the volatile halves survive until no snapshot predates the
+	// commit (see retirePK/retirePair in mvcc.go).
+	ts := tx.inner.CommitTS()
+	tx.releaseSnapshot()
 	for _, pd := range tx.pendingDeletes {
-		pd.table.mu.Lock()
-		_ = pd.table.indexClearLocked(pd.key)
-		delete(pd.table.reserved, pd.key)
-		pd.table.mu.Unlock()
+		pd.table.retirePK(pd.key, ts)
+	}
+	for _, sd := range tx.pendingSecDrops {
+		sd.sec.retirePair(sd.key, sd.rid, ts)
 	}
 	tx.db.dev.AdvanceClock(tx.db.cfg.TxnCPUCost)
 	tx.db.committed.Add(1)
@@ -328,6 +428,7 @@ func (tx *Tx) Abort() error {
 	}
 	if err := tx.db.acquire(); err != nil {
 		derr := tx.inner.Detach()
+		tx.releaseSnapshot()
 		tx.done = true
 		tx.db.aborted.Add(1)
 		return derr
@@ -336,12 +437,10 @@ func (tx *Tx) Abort() error {
 	if err := tx.inner.Abort(pageUndoer{db: tx.db, undo: true}); err != nil {
 		return err
 	}
-	// The undo pass restored the deleted tuples; the keys are live again.
-	for _, pd := range tx.pendingDeletes {
-		pd.table.mu.Lock()
-		delete(pd.table.reserved, pd.key)
-		pd.table.mu.Unlock()
-	}
+	// The undo pass restored the tuples and persistent index entries, and
+	// the version chains flipped back to their committed state; the
+	// pending retirement lists are simply dropped.
+	tx.releaseSnapshot()
 	tx.done = true
 	tx.db.aborted.Add(1)
 	return nil
