@@ -3,7 +3,9 @@
 // understanding what the substrate under the database engine does: it
 // programs a few pages, appends delta records with write_delta-style
 // partial programs, provokes an overwrite violation and shows the
-// resulting statistics.
+// resulting statistics. A second section demonstrates the durable catalog
+// region: it runs a small database, takes a fuzzy checkpoint, cuts the
+// power and prints the checkpoint state recovery finds on flash.
 //
 // Usage:
 //
@@ -11,12 +13,15 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
+	"ipa"
 	"ipa/internal/flashdev"
 	"ipa/internal/nand"
 )
@@ -111,6 +116,75 @@ func main() {
 	fmt.Fprintf(w, "overwrite attempts denied\t%d (last error: %v)\n", cs.OverwriteDenied, overwriteErr)
 	fmt.Fprintf(w, "max erase count\t%d of %d\n", dev.MaxEraseCount(), dev.EnduranceCycles())
 	fmt.Fprintf(w, "virtual time elapsed\t%s\n", dev.Now())
+	w.Flush()
+
+	fmt.Println()
+	inspectCheckpoint(w)
+}
+
+// inspectCheckpoint demonstrates the catalog region: it commits updates on
+// a small database, takes a fuzzy checkpoint, commits a few more, then
+// cuts the power and shows the checkpoint state that survives on flash —
+// the point recovery redoes from instead of LSN 0.
+func inspectCheckpoint(w *tabwriter.Writer) {
+	db, err := ipa.Open(ipa.Config{
+		PageSize:        4 * 1024,
+		Blocks:          64,
+		PagesPerBlock:   32,
+		BufferPoolPages: 64,
+		WriteMode:       ipa.IPANativeFlash,
+		Scheme:          ipa.Scheme{N: 2, M: 4},
+	})
+	if err != nil {
+		log.Fatalf("flashinspect: open: %v", err)
+	}
+	table, err := db.CreateTable("demo", 64)
+	if err != nil {
+		log.Fatalf("flashinspect: create: %v", err)
+	}
+	commit := func(from, to int) {
+		for k := from; k < to; k++ {
+			row := make([]byte, 64)
+			binary.LittleEndian.PutUint64(row, uint64(k))
+			tx := db.Begin()
+			if err := tx.Insert(table, int64(k), row); err != nil {
+				log.Fatalf("flashinspect: insert %d: %v", k, err)
+			}
+			if err := tx.Commit(); err != nil {
+				log.Fatalf("flashinspect: commit %d: %v", k, err)
+			}
+		}
+	}
+	commit(0, 64)
+	res, err := db.Checkpoint()
+	if err != nil {
+		log.Fatalf("flashinspect: checkpoint: %v", err)
+	}
+	commit(64, 80) // post-checkpoint tail: the only log recovery replays
+
+	db2, err := ipa.Reopen(db.Crash())
+	if err != nil {
+		log.Fatalf("flashinspect: reopen: %v", err)
+	}
+	defer db2.Close()
+	state, ok, err := db2.CheckpointState()
+	if err != nil {
+		log.Fatalf("flashinspect: catalog: %v", err)
+	}
+	rec := db2.RecoveryStats()
+
+	fmt.Println("catalog region (fuzzy-checkpoint state surviving a power cut):")
+	fmt.Fprintf(w, "checkpoint taken\tLSN %d, cut %d, %d pages flushed, %d WAL segments live\n",
+		res.LSN, res.TruncatedLSN, res.PagesFlushed, res.WALSegments)
+	if ok {
+		fmt.Fprintf(w, "catalog after power cut\tLSN %d, cut %d, max commit ts %d\n",
+			state.LSN, state.TruncatedLSN, state.MaxCommitTS)
+	} else {
+		fmt.Fprintf(w, "catalog after power cut\tmissing\n")
+	}
+	fmt.Fprintf(w, "recovery\t%d pages scanned (%d-way chip scan), %d records redone from LSN %d\n",
+		rec.PagesScanned, rec.Parallelism, rec.RecordsRedone, rec.CheckpointLSN)
+	fmt.Fprintf(w, "time to recover\t%s wall, %s virtual\n", rec.Wall.Round(time.Microsecond), rec.Virtual)
 	w.Flush()
 }
 

@@ -22,12 +22,14 @@
 //	tables
 //	stats
 //	flush
+//	checkpoint                        force a fuzzy checkpoint, print JSON
 //	help
 //	quit
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -114,7 +116,7 @@ func execute(db *ipa.DB, line string) bool {
 		fmt.Println("commands: create <table> <tupleSize> | insert <t> <key> <text> | get <t> <key> |")
 		fmt.Println("          update <t> <key> <offset> <text> | delete <t> <key> |")
 		fmt.Println("          scan <t> <from> <to> | index <t> <name> <offset> | indexes <t> |")
-		fmt.Println("          get-by <t> <index> <key> | tables | stats | flush | quit")
+		fmt.Println("          get-by <t> <index> <key> | tables | stats | flush | checkpoint | quit")
 	case "create":
 		if len(args) != 2 {
 			return fail("usage: create <table> <tupleSize>")
@@ -194,6 +196,16 @@ func execute(db *ipa.DB, line string) bool {
 			return fail("%v", err)
 		}
 		fmt.Println("all dirty pages flushed")
+	case "checkpoint":
+		res, err := db.Checkpoint()
+		if err != nil {
+			return fail("%v", err)
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Println(string(out))
 	default:
 		return fail("unknown command %q (try 'help')", cmd)
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"ipa"
 	"ipa/internal/crash"
@@ -31,14 +32,20 @@ func DefaultCrashOptions() CrashOptions {
 	}
 }
 
-// CrashRow is the outcome of one write path's sweep.
+// CrashRow is the outcome of one write path's sweep, including the
+// aggregated time-to-recover of every successful Reopen: wall and virtual
+// recovery time, physical pages scanned by the chip-parallel FTL rebuild
+// and WAL records redone — the quantities fuzzy checkpoints bound.
 type CrashRow struct {
-	Mode        ipa.WriteMode
-	FaultPoints int
-	Runs        int
-	Crashes     int
-	GCCovered   bool
-	Failures    []string
+	Mode        ipa.WriteMode         `json:"mode"`
+	FaultPoints int                   `json:"fault_points"`
+	Runs        int                   `json:"runs"`
+	Crashes     int                   `json:"crashes"`
+	GCCovered   bool                  `json:"gc_covered"`
+	Checkpoints int                   `json:"checkpoints"`
+	CkptCovered bool                  `json:"checkpoint_covered"`
+	Recovery    crash.RecoverySummary `json:"recovery"`
+	Failures    []string              `json:"failures"`
 }
 
 // CrashResult is the full torture outcome.
@@ -85,20 +92,38 @@ func Crash(o CrashOptions) (CrashResult, error) {
 			Runs:        res.Runs,
 			Crashes:     res.Crashes,
 			GCCovered:   res.GCCovered,
+			Checkpoints: res.Checkpoints,
+			CkptCovered: res.CkptCovered,
+			Recovery:    res.Recovery,
 			Failures:    res.Failures,
 		})
 	}
 	return out, nil
 }
 
-// Write renders the torture outcome.
+// Write renders the torture outcome, including the mean time-to-recover.
 func (r CrashResult) Write(w io.Writer) {
 	fmt.Fprintf(w, "Power-cut torture: crash at every fault point, reopen, verify\n")
-	fmt.Fprintf(w, "%-14s %12s %10s %10s %10s %10s\n",
-		"write path", "fault points", "runs", "crashes", "gc hit", "failures")
+	fmt.Fprintf(w, "%-14s %12s %10s %10s %10s %10s %10s\n",
+		"write path", "fault points", "runs", "crashes", "gc hit", "ckpt hit", "failures")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-14s %12d %10d %10d %10v %10d\n",
-			row.Mode, row.FaultPoints, row.Runs, row.Crashes, row.GCCovered, len(row.Failures))
+		fmt.Fprintf(w, "%-14s %12d %10d %10d %10v %10v %10d\n",
+			row.Mode, row.FaultPoints, row.Runs, row.Crashes, row.GCCovered, row.CkptCovered, len(row.Failures))
+	}
+	fmt.Fprintf(w, "Time-to-recover (mean per Reopen):\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %14s %14s %14s\n",
+		"write path", "recoveries", "from ckpt", "wall", "virtual", "pages scanned", "records redone")
+	for _, row := range r.Rows {
+		rec := row.Recovery
+		if rec.Recoveries == 0 {
+			continue
+		}
+		n := time.Duration(rec.Recoveries)
+		fmt.Fprintf(w, "%-14s %12d %12d %12s %14s %14.0f %14.1f\n",
+			row.Mode, rec.Recoveries, rec.FromCheckpoint,
+			(rec.Wall / n).Round(time.Microsecond), (rec.Virtual / n).Round(time.Microsecond),
+			float64(rec.PagesScanned)/float64(rec.Recoveries),
+			float64(rec.RecordsRedone)/float64(rec.Recoveries))
 	}
 	for _, row := range r.Rows {
 		for _, f := range row.Failures {

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -104,6 +105,11 @@ type frame struct {
 	dirty   bool
 	ref     bool
 	valid   bool
+	// recLSN is the log sequence number stamped when the frame last went
+	// from clean to dirty: the oldest log record whose effects may only
+	// exist in this frame. Fuzzy checkpoints flush dirty pages in recLSN
+	// order so the WAL truncation cut can advance past the oldest one.
+	recLSN uint64
 }
 
 // shard is one independently-latched partition of the pool.
@@ -114,6 +120,7 @@ type shard struct {
 	table  map[uint64]int
 	hand   int
 	stats  Stats
+	lsn    func() uint64 // source of recLSN stamps (nil = always 0)
 }
 
 // Pool is a fixed-capacity page cache partitioned into shards.
@@ -231,10 +238,26 @@ func (h *Handle) Data() []byte { return h.shard.frames[h.idx].data }
 func (h *Handle) Tracker() *core.Tracker { return h.shard.frames[h.idx].tracker }
 
 // MarkDirty flags the page as modified. It requires an exclusive handle.
+// The first MarkDirty of a residency stamps the frame's recLSN from the
+// pool's LSN source (see SetLSNSource).
 func (h *Handle) MarkDirty() {
-	h.shard.mu.Lock()
-	h.shard.frames[h.idx].dirty = true
-	h.shard.mu.Unlock()
+	s := h.shard
+	s.mu.Lock()
+	f := &s.frames[h.idx]
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = s.stampLocked()
+	}
+	s.mu.Unlock()
+}
+
+// stampLocked returns the current recLSN stamp. The caller holds the
+// shard mutex.
+func (s *shard) stampLocked() uint64 {
+	if s.lsn == nil {
+		return 0
+	}
+	return s.lsn()
 }
 
 // Release drops the frame latch and unpins the page. The latch is released
@@ -315,6 +338,7 @@ func (p *Pool) fetch(pid uint64, shared bool) (*Handle, error) {
 	f.pin = 1
 	f.ref = true
 	f.dirty = false
+	f.recLSN = 0
 	f.valid = true
 	f.tracker = nil
 	s.table[pid] = idx
@@ -366,6 +390,7 @@ func (p *Pool) Create(pid uint64, init func(buf []byte) (*core.Tracker, error)) 
 	f.pin = 1
 	f.ref = true
 	f.dirty = true
+	f.recLSN = s.stampLocked()
 	f.valid = true
 	f.tracker = nil
 	s.table[pid] = idx
@@ -428,6 +453,7 @@ func (s *shard) evictLocked(idx int) error {
 	delete(s.table, f.pid)
 	f.valid = false
 	f.dirty = false
+	f.recLSN = 0
 	f.tracker = nil
 	return nil
 }
@@ -465,6 +491,7 @@ func (s *shard) flushFrame(idx int) error {
 	s.mu.Lock()
 	if err == nil && dirty {
 		f.dirty = false
+		f.recLSN = 0
 		s.stats.Flushes++
 	}
 	s.mu.Unlock()
@@ -496,6 +523,46 @@ func (p *Pool) FlushAll() error {
 		}
 	}
 	return nil
+}
+
+// SetLSNSource installs fn as the recLSN stamp source: it is sampled
+// (under the shard mutex) whenever a frame transitions from clean to
+// dirty, typically wired to the WAL's next-LSN counter. It must be set
+// before the pool is shared between goroutines.
+func (p *Pool) SetLSNSource(fn func() uint64) {
+	for _, s := range p.shards {
+		s.lsn = fn
+	}
+}
+
+// DirtySnapshot returns the identifiers of all currently dirty pages,
+// ordered by recLSN ascending (oldest first). It is the fuzzy
+// checkpoint's work list: flushing in this order retires the oldest log
+// dependencies first. The snapshot is advisory — pages may be dirtied or
+// cleaned concurrently — which is exactly what makes the checkpoint
+// fuzzy.
+func (p *Pool) DirtySnapshot() []uint64 {
+	type entry struct {
+		pid    uint64
+		recLSN uint64
+	}
+	var dirty []entry
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.valid && f.dirty {
+				dirty = append(dirty, entry{pid: f.pid, recLSN: f.recLSN})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].recLSN < dirty[j].recLSN })
+	out := make([]uint64, len(dirty))
+	for i, e := range dirty {
+		out[i] = e.pid
+	}
+	return out
 }
 
 // Cached reports whether pid currently resides in the pool.

@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipa"
 )
@@ -86,6 +87,14 @@ type Options struct {
 	// (default 2; negative disables them). Readers use lock-free MVCC
 	// reads only, so the single-threaded write oracle stays exact.
 	Readers int
+	// CheckpointEvery takes a synchronous fuzzy checkpoint every N writer
+	// transactions (default 25; negative disables checkpoints). Each
+	// checkpoint adds its own fault points to the enumeration — the WAL
+	// flush of the checkpoint record, the catalog page program and the
+	// segment-recycle step — so the sweep proves recovery from a crash at
+	// any of them, and that recovery restarts from the checkpoint rather
+	// than LSN 0.
+	CheckpointEvery int
 }
 
 // DefaultOptions returns a small-device configuration whose exhaustive
@@ -139,7 +148,21 @@ func (o Options) withDefaults() Options {
 	if o.Readers == 0 {
 		o.Readers = 2
 	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 25
+	}
 	return o
+}
+
+// RecoverySummary aggregates the Reopen cost over a sweep's runs — the
+// time-to-recover evidence behind the fuzzy-checkpoint work.
+type RecoverySummary struct {
+	Recoveries     int           `json:"recoveries"`      // Reopen calls that succeeded
+	FromCheckpoint int           `json:"from_checkpoint"` // recoveries that restarted from a checkpoint, not LSN 0
+	Wall           time.Duration `json:"wall_ns"`         // total wall-clock time spent recovering
+	Virtual        time.Duration `json:"virtual_ns"`      // total virtual (device) recovery time
+	PagesScanned   uint64        `json:"pages_scanned"`   // physical pages the FTL rebuilds inspected
+	RecordsRedone  uint64        `json:"records_redone"`  // redo/compensation/undo operations replayed
 }
 
 // Result summarises a sweep.
@@ -148,6 +171,9 @@ type Result struct {
 	Runs        int  // crash-recover-verify cycles executed
 	Crashes     int  // runs in which the fault actually fired
 	GCCovered   bool // some crash happened after garbage collection ran
+	Checkpoints int  // fuzzy checkpoints completed across all runs
+	CkptCovered bool // some crash happened after a checkpoint completed
+	Recovery    RecoverySummary
 	Failures    []string
 }
 
@@ -232,6 +258,7 @@ type driver struct {
 	ora    *oracle
 	loaded bool
 	audits uint64 // successful snapshot-reader audit passes of the last run
+	ckpts  int    // fuzzy checkpoints completed
 
 	accounts *ipa.Table
 	tellers  *ipa.Table
@@ -415,6 +442,17 @@ func (d *driver) run(ops, readers int) error {
 	for i := 0; i < ops; i++ {
 		if err = d.runOne(r); err != nil {
 			break
+		}
+		// Synchronous fuzzy checkpoints: the writer takes them in-line so
+		// their fault points (checkpoint-record flush, catalog program,
+		// segment recycle) land at deterministic positions in the
+		// enumeration.
+		if d.opts.CheckpointEvery > 0 && (i+1)%d.opts.CheckpointEvery == 0 {
+			if _, cerr := d.db.Checkpoint(); cerr != nil {
+				err = cerr
+				break
+			}
+			d.ckpts++
 		}
 	}
 	if pool != nil {
@@ -680,11 +718,27 @@ func Enumerate(o Options) (uint64, error) {
 	return plan.Ops(), nil
 }
 
+// PointOutcome describes one crash-recover-verify cycle.
+type PointOutcome struct {
+	GCRuns      uint64            // garbage-collection runs before the crash
+	Tripped     bool              // whether the fault actually fired
+	Checkpoints int               // fuzzy checkpoints the pre-crash run completed
+	Recovery    ipa.RecoveryStats // cost of the successful Reopen (zero until it succeeds)
+}
+
 // RunPoint runs the workload once, crashing at fault point k with the given
 // mode, then reopens and verifies. It returns the pre-crash GC run count
 // and whether the fault fired.
 func RunPoint(o Options, k uint64, mode ipa.FaultMode) (gcRuns uint64, tripped bool, err error) {
+	out, err := RunPointDetail(o, k, mode)
+	return out.GCRuns, out.Tripped, err
+}
+
+// RunPointDetail is RunPoint with the full cycle outcome, including the
+// recovery cost metrics of the Reopen.
+func RunPointDetail(o Options, k uint64, mode ipa.FaultMode) (PointOutcome, error) {
 	o = o.withDefaults()
+	var out PointOutcome
 	plan := ipa.NewFaultPlan(k, mode)
 	if o.Kinds != 0 {
 		plan.SetKinds(o.Kinds)
@@ -693,31 +747,35 @@ func RunPoint(o Options, k uint64, mode ipa.FaultMode) (gcRuns uint64, tripped b
 	cfg.Faults = plan
 	d, derr := newDriver(cfg, o)
 	if derr != nil {
-		return 0, false, derr
+		return out, derr
 	}
 	runErr := d.load()
 	if runErr == nil {
 		runErr = d.run(o.Ops, o.Readers)
 	}
+	out.Tripped = plan.Tripped()
+	out.Checkpoints = d.ckpts
 	if runErr != nil && !isPowerLoss(runErr) {
 		d.db.Close()
-		return 0, plan.Tripped(), fmt.Errorf("workload: %w", runErr)
+		return out, fmt.Errorf("workload: %w", runErr)
 	}
 	stats := d.db.Stats()
+	out.GCRuns = stats.GCRuns
 	img := d.db.Crash()
 	db2, rerr := ipa.Reopen(img)
 	if rerr != nil {
-		return stats.GCRuns, plan.Tripped(), fmt.Errorf("reopen: %w", rerr)
+		return out, fmt.Errorf("reopen: %w", rerr)
 	}
 	defer db2.Close()
+	out.Recovery = db2.RecoveryStats()
 	if verr := verify(db2, o, d.ora); verr != nil {
-		return stats.GCRuns, plan.Tripped(), verr
+		return out, verr
 	}
 	// The recovered database must keep working.
 	post := &driver{opts: o, db: db2, ora: d.ora}
 	var ok bool
 	if post.accounts, ok = db2.Table("accounts"); !ok {
-		return stats.GCRuns, plan.Tripped(), fmt.Errorf("accounts table missing after reopen")
+		return out, fmt.Errorf("accounts table missing after reopen")
 	}
 	post.tellers, _ = db2.Table("tellers")
 	post.branches, _ = db2.Table("branches")
@@ -726,14 +784,14 @@ func RunPoint(o Options, k uint64, mode ipa.FaultMode) (gcRuns uint64, tripped b
 		r := rand.New(rand.NewSource(o.Seed + int64(k) + 1))
 		for i := 0; i < o.PostOps; i++ {
 			if perr := post.runOne(r); perr != nil {
-				return stats.GCRuns, plan.Tripped(), fmt.Errorf("post-recovery transaction: %w", perr)
+				return out, fmt.Errorf("post-recovery transaction: %w", perr)
 			}
 		}
 		if verr := verify(db2, o, d.ora); verr != nil {
-			return stats.GCRuns, plan.Tripped(), fmt.Errorf("after post-recovery work: %w", verr)
+			return out, fmt.Errorf("after post-recovery work: %w", verr)
 		}
 	}
-	return stats.GCRuns, plan.Tripped(), nil
+	return out, nil
 }
 
 // Sweep enumerates the fault points of the reference run and executes a
@@ -748,13 +806,27 @@ func Sweep(o Options) (Result, error) {
 	points := samplePoints(total, o.Sample)
 	for _, mode := range o.Modes {
 		for _, k := range points {
-			gcRuns, tripped, err := RunPoint(o, k, mode)
+			out, err := RunPointDetail(o, k, mode)
 			res.Runs++
-			if tripped {
+			res.Checkpoints += out.Checkpoints
+			if out.Tripped {
 				res.Crashes++
-				if gcRuns > 0 {
+				if out.GCRuns > 0 {
 					res.GCCovered = true
 				}
+				if out.Checkpoints > 0 {
+					res.CkptCovered = true
+				}
+			}
+			if out.Recovery != (ipa.RecoveryStats{}) {
+				res.Recovery.Recoveries++
+				if out.Recovery.CheckpointLSN > 0 {
+					res.Recovery.FromCheckpoint++
+				}
+				res.Recovery.Wall += out.Recovery.Wall
+				res.Recovery.Virtual += out.Recovery.Virtual
+				res.Recovery.PagesScanned += uint64(out.Recovery.PagesScanned)
+				res.Recovery.RecordsRedone += out.Recovery.RecordsRedone
 			}
 			if err != nil {
 				res.Failures = append(res.Failures, fmt.Sprintf("point %d/%d (%v): %v", k, total, mode, err))

@@ -69,5 +69,22 @@ func TestCrashSweepSample(t *testing.T) {
 	if res.Crashes == 0 {
 		t.Fatalf("sweep never crashed (%d runs over %d points)", res.Runs, res.FaultPoints)
 	}
-	t.Logf("points=%d runs=%d crashes=%d gcCovered=%v", res.FaultPoints, res.Runs, res.Crashes, res.GCCovered)
+	// The periodic checkpoints must actually run during the sweep, some
+	// crash points must land after one (so recovery starts from it, not
+	// LSN 0), and every successful Reopen reports its cost.
+	if res.Checkpoints == 0 {
+		t.Fatalf("sweep took no fuzzy checkpoints")
+	}
+	if !res.CkptCovered {
+		t.Fatalf("no crash point fired after a checkpoint completed")
+	}
+	if res.Recovery.Recoveries == 0 {
+		t.Fatalf("sweep recorded no recovery cost")
+	}
+	if res.Recovery.FromCheckpoint == 0 {
+		t.Fatalf("no recovery started from a checkpoint (%d recoveries)", res.Recovery.Recoveries)
+	}
+	t.Logf("points=%d runs=%d crashes=%d gcCovered=%v ckpts=%d fromCkpt=%d/%d redone=%d",
+		res.FaultPoints, res.Runs, res.Crashes, res.GCCovered, res.Checkpoints,
+		res.Recovery.FromCheckpoint, res.Recovery.Recoveries, res.Recovery.RecordsRedone)
 }

@@ -3,6 +3,8 @@ package ftl
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"ipa/internal/flashdev"
 	"ipa/internal/nand"
@@ -22,6 +24,15 @@ type RebuildReport struct {
 	MaxLBA int
 	// MaxSeq is the highest write sequence number seen on the device.
 	MaxSeq uint64
+	// Parallelism is the number of concurrent scan goroutines used (one
+	// per chip for Rebuild, 1 for RebuildSerial).
+	Parallelism int
+	// ScanVirtual is the simulated duration of the device scan: the
+	// chip-parallel scan drives all flash channels at once, so it costs
+	// the busiest chip's read time; the serial oracle reads one chip at a
+	// time and costs the sum. Their ratio is the modelled recovery
+	// speedup of chip parallelism.
+	ScanVirtual time.Duration
 }
 
 // rebuildPage is one candidate mapping discovered by the scan.
@@ -38,58 +49,79 @@ type rebuildPage struct {
 // states, free lists, append budgets and the write sequence counter. It is
 // the device half of the crash-recovery path: after a power cut the
 // in-memory translation state is gone and the tags are all that is left.
+//
+// The scan runs chip-parallel: one goroutine per chip walks that chip's
+// blocks. Logical pages stripe across chips (lba % chips) and the tag
+// validation rejects any copy found off its chip, so the per-chip winner
+// maps are disjoint and merge trivially; the result is bit-identical to
+// RebuildSerial, the single-threaded oracle.
 func Rebuild(dev *flashdev.Device, cfg Config) (*FTL, *RebuildReport, error) {
+	return rebuild(dev, cfg, true)
+}
+
+// RebuildSerial is the single-threaded rebuild, kept as the oracle the
+// equivalence tests compare the chip-parallel scan against.
+func RebuildSerial(dev *flashdev.Device, cfg Config) (*FTL, *RebuildReport, error) {
+	return rebuild(dev, cfg, false)
+}
+
+func rebuild(dev *flashdev.Device, cfg Config, parallel bool) (*FTL, *RebuildReport, error) {
 	f, err := newSkeleton(dev, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	report := &RebuildReport{MaxLBA: -1}
+	report := &RebuildReport{MaxLBA: -1, Parallelism: 1}
 	winners := make(map[int]rebuildPage)
 	blockProgrammed := make([]bool, f.geo.Blocks)
+	clocksBefore := dev.ChipClocks()
 
-	buf := make([]byte, f.geo.PageSize)
-	for b := 0; b < f.geo.Blocks; b++ {
-		for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
-			scan, err := dev.ScanPage(b, pg, buf)
-			if err != nil {
-				return nil, nil, fmt.Errorf("ftl: rebuild scan block %d page %d: %w", b, pg, err)
+	if parallel && f.chips > 1 {
+		report.Parallelism = f.chips
+		partials := make([]RebuildReport, f.chips)
+		maps := make([]map[int]rebuildPage, f.chips)
+		errs := make([]error, f.chips)
+		var wg sync.WaitGroup
+		for c := 0; c < f.chips; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				maps[c] = make(map[int]rebuildPage)
+				// Chips share nothing: the goroutine reads its own chip's
+				// blocks and writes its own slice of blockProgrammed.
+				errs[c] = f.scanBlocks(dev, c*f.blocksPerChip, (c+1)*f.blocksPerChip,
+					maps[c], blockProgrammed, &partials[c])
+			}(c)
+		}
+		wg.Wait()
+		for c := 0; c < f.chips; c++ {
+			if errs[c] != nil {
+				return nil, nil, errs[c]
 			}
-			if !scan.Programmed {
-				continue
+			report.PagesScanned += partials[c].PagesScanned
+			report.StalePages += partials[c].StalePages
+			report.GarbagePages += partials[c].GarbagePages
+			if partials[c].MaxSeq > report.MaxSeq {
+				report.MaxSeq = partials[c].MaxSeq
 			}
-			blockProgrammed[b] = true
-			report.PagesScanned++
-			if scan.Seq > report.MaxSeq {
-				report.MaxSeq = scan.Seq
+			for lba, w := range maps[c] {
+				winners[lba] = w
 			}
-			if !scan.Tagged || !scan.BodyValid {
-				// A torn program (or a page from before tagging): nothing
-				// recoverable here; the previous copy of the logical page,
-				// wherever it lives, stays authoritative.
-				report.GarbagePages++
-				continue
+		}
+	} else if err := f.scanBlocks(dev, 0, f.geo.Blocks, winners, blockProgrammed, report); err != nil {
+		return nil, nil, err
+	}
+
+	// Charge the scan's virtual cost: the busiest channel when the chips
+	// were scanned concurrently, the sum of all channels when one
+	// goroutine walked them in turn.
+	for i, after := range dev.ChipClocks() {
+		dt := after - clocksBefore[i]
+		if parallel && f.chips > 1 {
+			if dt > report.ScanVirtual {
+				report.ScanVirtual = dt
 			}
-			if scan.LBA < 0 || scan.LBA >= len(f.l2p) || scan.LBA%f.chips != dev.ChipOf(b) {
-				// A tag that points outside the exported range or off its
-				// own chip cannot be real: logical pages never change chip.
-				report.GarbagePages++
-				continue
-			}
-			cand := rebuildPage{ppa: f.ppaOf(b, pg), seq: scan.Seq, torn: scan.Torn, recs: scan.Records}
-			cur, ok := winners[scan.LBA]
-			switch {
-			case !ok:
-				winners[scan.LBA] = cand
-			case cand.seq > cur.seq:
-				// Newer copy wins; the old one is stale.
-				winners[scan.LBA] = cand
-				report.StalePages++
-			default:
-				// Equal sequence numbers only arise from a crash between a
-				// GC copy-back and its erase; the copies are identical, the
-				// first one found stays.
-				report.StalePages++
-			}
+		} else {
+			report.ScanVirtual += dt
 		}
 	}
 
@@ -135,6 +167,61 @@ func Rebuild(dev *flashdev.Device, cfg Config) (*FTL, *RebuildReport, error) {
 		}
 	}
 	return f, report, nil
+}
+
+// scanBlocks walks the physical blocks [lo, hi), validating mapping tags
+// and collecting the candidate winners into the given map and the scan
+// counters into report (MaxLBA/LivePages/Scrub are derived later, at
+// winner installation). Concurrent calls must use disjoint block ranges
+// and private winner maps/reports; blockProgrammed is shared but each call
+// touches only its own indices.
+func (f *FTL) scanBlocks(dev *flashdev.Device, lo, hi int, winners map[int]rebuildPage, blockProgrammed []bool, report *RebuildReport) error {
+	buf := make([]byte, f.geo.PageSize)
+	for b := lo; b < hi; b++ {
+		for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
+			scan, err := dev.ScanPage(b, pg, buf)
+			if err != nil {
+				return fmt.Errorf("ftl: rebuild scan block %d page %d: %w", b, pg, err)
+			}
+			if !scan.Programmed {
+				continue
+			}
+			blockProgrammed[b] = true
+			report.PagesScanned++
+			if scan.Seq > report.MaxSeq {
+				report.MaxSeq = scan.Seq
+			}
+			if !scan.Tagged || !scan.BodyValid {
+				// A torn program (or a page from before tagging): nothing
+				// recoverable here; the previous copy of the logical page,
+				// wherever it lives, stays authoritative.
+				report.GarbagePages++
+				continue
+			}
+			if scan.LBA < 0 || scan.LBA >= len(f.l2p) || scan.LBA%f.chips != dev.ChipOf(b) {
+				// A tag that points outside the exported range or off its
+				// own chip cannot be real: logical pages never change chip.
+				report.GarbagePages++
+				continue
+			}
+			cand := rebuildPage{ppa: f.ppaOf(b, pg), seq: scan.Seq, torn: scan.Torn, recs: scan.Records}
+			cur, ok := winners[scan.LBA]
+			switch {
+			case !ok:
+				winners[scan.LBA] = cand
+			case cand.seq > cur.seq:
+				// Newer copy wins; the old one is stale.
+				winners[scan.LBA] = cand
+				report.StalePages++
+			default:
+				// Equal sequence numbers only arise from a crash between a
+				// GC copy-back and its erase; the copies are identical, the
+				// first one found stays.
+				report.StalePages++
+			}
+		}
+	}
+	return nil
 }
 
 // progsOf returns the program count of the winner's physical page, used to

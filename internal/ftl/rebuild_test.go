@@ -3,7 +3,9 @@ package ftl
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
+	"time"
 
 	"ipa/internal/flashdev"
 	"ipa/internal/nand"
@@ -169,4 +171,142 @@ func TestRebuildAfterInterruptedErase(t *testing.T) {
 			t.Fatalf("lba %d stale after rebuild", lba)
 		}
 	}
+}
+
+// chipDevice builds a multi-chip device for the parallel-rebuild tests.
+func chipDevice(t testing.TB, chips, blocks int) *flashdev.Device {
+	t.Helper()
+	d, err := flashdev.New(flashdev.Config{
+		Chips: chips,
+		Chip: nand.Config{
+			Geometry:        nand.Geometry{Blocks: blocks, PagesPerBlock: 8, PageSize: 1024, OOBSize: 128},
+			Cell:            nand.SLC,
+			StrictOverwrite: true,
+			Seed:            11,
+		},
+		Latency: flashdev.DefaultLatencyModel(),
+	})
+	if err != nil {
+		t.Fatalf("device: %v", err)
+	}
+	return d
+}
+
+// TestRebuildMatchesSerial proves the chip-parallel scan is bit-identical
+// to the single-threaded oracle: same report, same mapping, same content,
+// on a device with overwrites (stale copies), appends and torn programs.
+func TestRebuildMatchesSerial(t *testing.T) {
+	dev := chipDevice(t, 8, 64)
+	f, err := New(dev, rebuildConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const pages = 96
+	for round := 0; round < 4; round++ {
+		for lba := 0; lba < pages; lba++ {
+			if _, err := f.WritePage(lba, pageImage(1024, byte(lba*3+round))); err != nil {
+				t.Fatalf("write lba %d round %d: %v", lba, round, err)
+			}
+		}
+	}
+
+	fp, rp, err := Rebuild(dev, rebuildConfig())
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	fs, rs, err := RebuildSerial(dev, rebuildConfig())
+	if err != nil {
+		t.Fatalf("RebuildSerial: %v", err)
+	}
+	if rp.Parallelism != 8 {
+		t.Fatalf("parallel rebuild used %d goroutines, want 8", rp.Parallelism)
+	}
+	if rs.Parallelism != 1 {
+		t.Fatalf("serial rebuild reports parallelism %d, want 1", rs.Parallelism)
+	}
+	// The virtual scan cost is the one sanctioned difference: the parallel
+	// scan pays the busiest channel, the serial oracle the sum of all.
+	if rp.ScanVirtual >= rs.ScanVirtual {
+		t.Fatalf("chip-parallel scan not faster in virtual time: parallel %s, serial %s",
+			rp.ScanVirtual, rs.ScanVirtual)
+	}
+	rp.Parallelism, rs.Parallelism = 0, 0
+	rp.ScanVirtual, rs.ScanVirtual = 0, 0
+	if !reflect.DeepEqual(rp, rs) {
+		t.Fatalf("reports diverge:\nparallel: %+v\nserial:   %+v", rp, rs)
+	}
+	if !reflect.DeepEqual(fp.l2p, fs.l2p) {
+		t.Fatalf("l2p mappings diverge")
+	}
+	if !reflect.DeepEqual(fp.appends, fs.appends) {
+		t.Fatalf("append budgets diverge")
+	}
+	if err := fp.CheckConsistency(); err != nil {
+		t.Fatalf("parallel consistency: %v", err)
+	}
+	if err := fs.CheckConsistency(); err != nil {
+		t.Fatalf("serial consistency: %v", err)
+	}
+	bp, bs := make([]byte, 1024), make([]byte, 1024)
+	for lba := 0; lba < pages; lba++ {
+		if err := fp.ReadPage(lba, bp); err != nil {
+			t.Fatalf("parallel read lba %d: %v", lba, err)
+		}
+		if err := fs.ReadPage(lba, bs); err != nil {
+			t.Fatalf("serial read lba %d: %v", lba, err)
+		}
+		if !bytes.Equal(bp, bs) {
+			t.Fatalf("lba %d content diverges between parallel and serial rebuild", lba)
+		}
+	}
+}
+
+// benchRebuildDevice populates a large 8-chip device once; Rebuild only
+// reads, so the benchmarks share it.
+func benchRebuildDevice(b *testing.B) *flashdev.Device {
+	dev := chipDevice(b, 8, 128)
+	f, err := New(dev, rebuildConfig())
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	const pages = 640
+	for round := 0; round < 2; round++ {
+		for lba := 0; lba < pages; lba++ {
+			if _, err := f.WritePage(lba, pageImage(1024, byte(lba+round))); err != nil {
+				b.Fatalf("write: %v", err)
+			}
+		}
+	}
+	return dev
+}
+
+// BenchmarkRebuild measures the chip-parallel recovery scan on an 8-chip
+// device; compare against BenchmarkRebuildSerial for the speedup.
+func BenchmarkRebuild(b *testing.B) {
+	dev := benchRebuildDevice(b)
+	b.ResetTimer()
+	var virtual time.Duration
+	for i := 0; i < b.N; i++ {
+		_, report, err := Rebuild(dev, rebuildConfig())
+		if err != nil {
+			b.Fatalf("Rebuild: %v", err)
+		}
+		virtual += report.ScanVirtual
+	}
+	b.ReportMetric(float64(virtual.Nanoseconds())/float64(b.N), "virtual-ns/op")
+}
+
+// BenchmarkRebuildSerial is the single-threaded oracle on the same device.
+func BenchmarkRebuildSerial(b *testing.B) {
+	dev := benchRebuildDevice(b)
+	b.ResetTimer()
+	var virtual time.Duration
+	for i := 0; i < b.N; i++ {
+		_, report, err := RebuildSerial(dev, rebuildConfig())
+		if err != nil {
+			b.Fatalf("RebuildSerial: %v", err)
+		}
+		virtual += report.ScanVirtual
+	}
+	b.ReportMetric(float64(virtual.Nanoseconds())/float64(b.N), "virtual-ns/op")
 }

@@ -28,6 +28,10 @@ const (
 	KindHeap Kind = iota
 	// KindIndex regions hold primary-key index entry pages.
 	KindIndex
+	// KindCatalog regions hold the DBMS catalog pages (checkpoint state).
+	// Catalog pages are tiny and overwritten in place on every fuzzy
+	// checkpoint, which makes them natural delta-append candidates.
+	KindCatalog
 )
 
 // String names the region kind.
@@ -35,6 +39,8 @@ func (k Kind) String() string {
 	switch k {
 	case KindIndex:
 		return "index"
+	case KindCatalog:
+		return "catalog"
 	default:
 		return "heap"
 	}

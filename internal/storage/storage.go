@@ -312,6 +312,16 @@ func (m *Manager) isIndexObject(objectID uint32) bool {
 	return m.cfg.Regions.For(objectID).Kind == region.KindIndex
 }
 
+// isLogicalObject reports whether objectID's pages are recovered logically
+// (decoded and re-interpreted) rather than byte-replayed from WAL images:
+// index entry pages and the checkpoint catalog page. Such pages may only
+// take single-record in-place appends, since a torn multi-record append
+// could persist a byte-subset of one logical operation.
+func (m *Manager) isLogicalObject(objectID uint32) bool {
+	k := m.cfg.Regions.For(objectID).Kind
+	return k == region.KindIndex || k == region.KindCatalog
+}
+
 // AllocatePage reserves a new page identifier for the given object. It is
 // lock-free: concurrent allocations race on a compare-and-swap instead of
 // a mutex. Sequential identifiers stripe across the FTL's chip partitions,
@@ -563,7 +573,7 @@ func (m *Manager) storeAppend(pid uint64, buf []byte, pg *page.Page, t *core.Tra
 		t.Reset(t.Existing())
 		return appendDone, nil
 	}
-	if isIndex && len(records) > 1 {
+	if m.isLogicalObject(pg.ObjectID()) && len(records) > 1 {
 		// Index pages may append only when the residency's changes fit ONE
 		// delta record. A record is atomic (its checksum and commit marker
 		// are programmed last), but a torn append of several concatenated

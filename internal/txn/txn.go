@@ -73,13 +73,22 @@ type Manager struct {
 	oracle  *Oracle
 	cache   *VersionCache
 
+	// active tracks transactions that have logged at least one record and
+	// whose effects are not yet fully applied: id -> a conservative lower
+	// bound of the transaction's first LSN. The fuzzy checkpoint's
+	// truncation cut never advances past the oldest entry, so every
+	// record recovery could need for undo (or for redo of still-pending
+	// physical index retirement) stays in the log.
+	activeMu sync.Mutex
+	active   map[uint64]uint64
+
 	lockAcquisitions atomic.Uint64
 	lockConflicts    atomic.Uint64
 }
 
 // NewManager creates a transaction manager writing to log.
 func NewManager(log *wal.Log) *Manager {
-	m := &Manager{log: log, oracle: NewOracle(), cache: NewVersionCache()}
+	m := &Manager{log: log, oracle: NewOracle(), cache: NewVersionCache(), active: make(map[uint64]uint64)}
 	for i := range m.stripes {
 		m.stripes[i].locks = make(map[LockKey]uint64)
 	}
@@ -115,6 +124,54 @@ func (m *Manager) Oracle() *Oracle { return m.oracle }
 // Versions returns the version cache.
 func (m *Manager) Versions() *VersionCache { return m.cache }
 
+// ActiveTxn is one entry of the active-transaction table: a transaction
+// with logged records whose effects may still need the log.
+type ActiveTxn struct {
+	ID       uint64
+	FirstLSN uint64 // conservative lower bound of the txn's first record
+}
+
+// ActiveTxns returns a snapshot of the active-transaction table. The
+// checkpoint records it and uses the minimum FirstLSN to bound the WAL
+// truncation cut.
+func (m *Manager) ActiveTxns() []ActiveTxn {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	out := make([]ActiveTxn, 0, len(m.active))
+	for id, lsn := range m.active {
+		out = append(out, ActiveTxn{ID: id, FirstLSN: lsn})
+	}
+	return out
+}
+
+// Deregister removes a transaction from the active table. The engine
+// calls it once the transaction's outcome is durable AND all its physical
+// effects (including deferred index entry retirement) have been applied,
+// so the log below its first record is no longer needed. Abort
+// deregisters itself after its RecAbort record; successful commits are
+// deregistered by the caller after index retirement.
+func (m *Manager) Deregister(id uint64) {
+	m.activeMu.Lock()
+	delete(m.active, id)
+	m.activeMu.Unlock()
+}
+
+// register adds the transaction to the active table before its first
+// record is appended. The stored bound is read from the log BEFORE the
+// append, so it never exceeds the record's actual LSN: a checkpoint that
+// reads its begin-LSN and then the table either sees the transaction or
+// none of its records lie below the begin-LSN.
+func (t *Txn) register() {
+	if t.registered {
+		return
+	}
+	t.registered = true
+	lb := t.mgr.log.NextLSN()
+	t.mgr.activeMu.Lock()
+	t.mgr.active[t.id] = lb
+	t.mgr.activeMu.Unlock()
+}
+
 // LockStats returns the cumulative record-lock acquisition and conflict
 // counts — the evidence that snapshot readers take zero record locks.
 func (m *Manager) LockStats() (acquisitions, conflicts uint64) {
@@ -129,12 +186,13 @@ func (m *Manager) ResetLockStats() {
 
 // Txn is one transaction.
 type Txn struct {
-	mgr      *Manager
-	id       uint64
-	status   Status
-	locks    []LockKey
-	undo     []wal.Record
-	commitTS uint64
+	mgr        *Manager
+	id         uint64
+	status     Status
+	locks      []LockKey
+	undo       []wal.Record
+	commitTS   uint64
+	registered bool // present in the manager's active-transaction table
 }
 
 // Begin starts a new transaction.
@@ -186,6 +244,7 @@ func (t *Txn) LogUpdate(pageID uint64, slot, offset uint16, old, new []byte) (ui
 		Old:    append([]byte(nil), old...),
 		New:    append([]byte(nil), new...),
 	}
+	t.register()
 	lsn := t.mgr.log.Append(rec)
 	rec.LSN = lsn
 	t.undo = append(t.undo, rec)
@@ -206,6 +265,7 @@ func (t *Txn) LogInsert(objectID uint32, pageID uint64, slot uint16, tuple []byt
 		ObjectID: objectID,
 		New:      append([]byte(nil), tuple...),
 	}
+	t.register()
 	lsn := t.mgr.log.Append(rec)
 	rec.LSN = lsn
 	t.undo = append(t.undo, rec)
@@ -227,6 +287,7 @@ func (t *Txn) LogDelete(objectID uint32, pageID uint64, slot uint16, old []byte)
 		ObjectID: objectID,
 		Old:      append([]byte(nil), old...),
 	}
+	t.register()
 	lsn := t.mgr.log.Append(rec)
 	rec.LSN = lsn
 	t.undo = append(t.undo, rec)
@@ -246,6 +307,7 @@ func (t *Txn) LogIndexInsert(objectID uint32, key int64, value uint64) (uint64, 
 		Key:      key,
 		New:      wal.ValueImage(value),
 	}
+	t.register()
 	lsn := t.mgr.log.Append(rec)
 	rec.LSN = lsn
 	t.undo = append(t.undo, rec)
@@ -265,6 +327,7 @@ func (t *Txn) LogIndexDelete(objectID uint32, key int64, old uint64) (uint64, er
 		Key:      key,
 		Old:      wal.ValueImage(old),
 	}
+	t.register()
 	lsn := t.mgr.log.Append(rec)
 	rec.LSN = lsn
 	t.undo = append(t.undo, rec)
@@ -359,6 +422,11 @@ func (t *Txn) Abort(u Undoer) error {
 	t.mgr.cache.AbortTxn(t.id)
 	t.mgr.log.Append(wal.Record{TxnID: t.id, Type: wal.RecAbort})
 	t.status = Aborted
+	// The rollback is fully applied and the abort record is in the log
+	// (a checkpoint cut that keeps any of this transaction's records also
+	// keeps the RecAbort, because truncation never splits the undurable
+	// tail), so the transaction no longer pins the truncation cut.
+	t.mgr.Deregister(t.id)
 	t.releaseLocks()
 	return nil
 }

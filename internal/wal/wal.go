@@ -13,12 +13,18 @@
 // Log records are kept in memory (the experiments place the log on a
 // separate device, as DBMSs commonly do) but are fully serialisable so
 // that log volume can be accounted and recovery can be tested end to end.
+// Records live in fixed-size segments: appends go to the active tail
+// segment, sealed segments are immutable, and checkpoint truncation drops
+// whole sealed segments in O(1) and recycles their backing arrays for new
+// tails, so a long-running engine's log memory stays bounded by the
+// checkpoint interval instead of growing with history.
 package wal
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -39,7 +45,10 @@ const (
 	RecCommit
 	// RecAbort marks a transaction as rolled back.
 	RecAbort
-	// RecCheckpoint marks a fuzzy checkpoint.
+	// RecCheckpoint marks a fuzzy checkpoint. PageID carries the
+	// truncation cut (the LSN below which the log may be discarded), Key
+	// the LSN at which the checkpoint began and New the encoded
+	// active-transaction table captured while the checkpoint ran.
 	RecCheckpoint
 	// RecIndexInsert describes a logical index insertion: ObjectID names
 	// the index (primary-key or secondary), Key the indexed key and New
@@ -200,13 +209,51 @@ func (s GroupCommitStats) CommitsPerFlush() float64 {
 	return float64(s.FlushedCommits) / float64(s.Flushes)
 }
 
+// DefaultSegmentBytes is the seal threshold of a log segment: once the
+// active tail accumulates this many encoded bytes it is sealed and a new
+// tail (recycled from a previously truncated segment when possible) takes
+// over. Checkpoint truncation drops whole sealed segments.
+const DefaultSegmentBytes = 64 << 10
+
+// maxRecycledSegments bounds the free list of truncated segment arrays
+// kept for reuse as future tails.
+const maxRecycledSegments = 4
+
+// segment is one run of consecutive log records. Only the last segment of
+// a log accepts appends; earlier segments are sealed and immutable, which
+// is what makes whole-segment truncation and array recycling safe.
+type segment struct {
+	records []Record
+	bytes   int // sum of EncodedSize over records
+}
+
+func (s *segment) firstLSN() uint64 {
+	if len(s.records) == 0 {
+		return 0
+	}
+	return s.records[0].LSN
+}
+
+func (s *segment) lastLSN() uint64 {
+	if len(s.records) == 0 {
+		return 0
+	}
+	return s.records[len(s.records)-1].LSN
+}
+
 // Log is an in-memory write-ahead log with byte accounting and a
 // group-commit pipeline: concurrently-arriving commit flushes are batched
 // into a single log append, amortising the latency of the separate log
-// device the paper's experimental setup assumes.
+// device the paper's experimental setup assumes. Records are stored in
+// sealed segments plus one active tail so checkpoint truncation is O(1)
+// per dropped segment rather than a full-log rewrite.
 type Log struct {
 	mu           sync.Mutex
-	records      []Record
+	segs         []*segment // LSN order; the last segment is the active tail
+	segBytes     int
+	free         [][]Record // recycled arrays from truncated segments
+	liveBytes    uint64
+	truncatedLSN uint64 // highest LSN discarded by Truncate
 	nextLSN      uint64
 	flushedLSN   uint64
 	bytesWritten uint64
@@ -227,19 +274,27 @@ type Log struct {
 }
 
 // New creates an empty log. LSNs start at 1.
-func New() *Log { return &Log{nextLSN: 1} }
+func New() *Log {
+	return &Log{nextLSN: 1, segBytes: DefaultSegmentBytes, segs: []*segment{{}}}
+}
 
 // NewFromRecords creates a log pre-loaded with the records that survived a
 // crash (the durable prefix of a previous log, in LSN order). New appends
 // continue after the highest surviving LSN.
 func NewFromRecords(records []Record, flushedLSN uint64) *Log {
-	l := &Log{nextLSN: 1, flushedLSN: flushedLSN}
-	l.records = append(l.records, records...)
-	if n := len(records); n > 0 && records[n-1].LSN >= l.nextLSN {
-		l.nextLSN = records[n-1].LSN + 1
+	l := New()
+	l.flushedLSN = flushedLSN
+	for _, r := range records {
+		l.appendSealedLocked(r)
+		if r.LSN >= l.nextLSN {
+			l.nextLSN = r.LSN + 1
+		}
 	}
 	if flushedLSN >= l.nextLSN {
 		l.nextLSN = flushedLSN + 1
+	}
+	if len(records) > 0 {
+		l.truncatedLSN = records[0].LSN - 1
 	}
 	return l
 }
@@ -249,36 +304,82 @@ func NewFromRecords(records []Record, flushedLSN uint64) *Log {
 // log is shared between goroutines.
 func (l *Log) SetFlushHook(fn func(bytes int) error) { l.flushHook = fn }
 
+// SetSegmentBytes overrides the segment seal threshold (tests use small
+// segments to exercise truncation). It must be called before the log is
+// shared between goroutines.
+func (l *Log) SetSegmentBytes(n int) {
+	if n <= 0 {
+		n = DefaultSegmentBytes
+	}
+	l.mu.Lock()
+	l.segBytes = n
+	l.mu.Unlock()
+}
+
+// sealLocked closes the active tail and opens a fresh one, reusing a
+// truncated segment's array when one is available.
+func (l *Log) sealLocked() {
+	var recs []Record
+	if n := len(l.free); n > 0 {
+		recs = l.free[n-1]
+		l.free = l.free[:n-1]
+	}
+	l.segs = append(l.segs, &segment{records: recs})
+}
+
+// appendSealedLocked appends a record (which already carries its LSN) to
+// the tail segment, sealing it when full.
+func (l *Log) appendSealedLocked(r Record) {
+	tail := l.segs[len(l.segs)-1]
+	tail.records = append(tail.records, r)
+	sz := r.EncodedSize()
+	tail.bytes += sz
+	l.liveBytes += uint64(sz)
+	if tail.bytes >= l.segBytes {
+		l.sealLocked()
+	}
+}
+
 // Append adds a record and returns its LSN.
 func (l *Log) Append(r Record) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	r.LSN = l.nextLSN
 	l.nextLSN++
-	l.records = append(l.records, r)
+	l.appendSealedLocked(r)
 	return r.LSN
 }
 
 // pendingBytesLocked sums the encoded size of the records in
-// (flushedLSN, upTo]. Records are appended in LSN order, so the first
-// unflushed record is found by binary search instead of a full scan.
-// The caller holds the log mutex.
+// (flushedLSN, upTo]. Records are appended in LSN order, so whole
+// already-flushed segments are skipped and the first unflushed record in
+// the boundary segment is found by binary search. The caller holds the
+// log mutex.
 func (l *Log) pendingBytesLocked(upTo uint64) int {
-	lo, hi := 0, len(l.records)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if l.records[mid].LSN <= l.flushedLSN {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
 	bytes := 0
-	for _, r := range l.records[lo:] {
-		if r.LSN > upTo {
-			break
+	for _, s := range l.segs {
+		if len(s.records) == 0 || s.lastLSN() <= l.flushedLSN {
+			continue
 		}
-		bytes += r.EncodedSize()
+		recs := s.records
+		if s.firstLSN() <= l.flushedLSN {
+			lo, hi := 0, len(recs)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if recs[mid].LSN <= l.flushedLSN {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			recs = recs[lo:]
+		}
+		for _, r := range recs {
+			if r.LSN > upTo {
+				return bytes
+			}
+			bytes += r.EncodedSize()
+		}
 	}
 	return bytes
 }
@@ -445,6 +546,31 @@ func (l *Log) BytesWritten() uint64 {
 	return l.bytesWritten
 }
 
+// LiveBytes returns the encoded size of all records currently retained by
+// the log — the volume recovery would have to replay. Checkpoint
+// truncation is what keeps it bounded.
+func (l *Log) LiveBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.liveBytes
+}
+
+// Segments returns the number of live segments (sealed plus the active
+// tail).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// TruncatedLSN returns the highest LSN discarded by Truncate (0 when the
+// log still reaches back to LSN 1). Recovery must start strictly above it.
+func (l *Log) TruncatedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncatedLSN
+}
+
 // DurableRecords returns a copy of the records that have been made durable
 // (LSN at or below the flushed LSN), in LSN order. This is exactly what a
 // crash preserves: records still in the volatile log buffer are gone.
@@ -452,48 +578,70 @@ func (l *Log) DurableRecords() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Record
-	for _, r := range l.records {
-		if r.LSN > l.flushedLSN {
-			break
-		}
-		out = append(out, r)
-	}
-	return out
-}
-
-// Records returns a copy of all appended records in LSN order.
-func (l *Log) Records() []Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Record, len(l.records))
-	copy(out, l.records)
-	return out
-}
-
-// RecordsFor returns all records of one transaction in LSN order.
-func (l *Log) RecordsFor(txnID uint64) []Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Record
-	for _, r := range l.records {
-		if r.TxnID == txnID {
+	for _, s := range l.segs {
+		for _, r := range s.records {
+			if r.LSN > l.flushedLSN {
+				return out
+			}
 			out = append(out, r)
 		}
 	}
 	return out
 }
 
-// Truncate discards records with LSN <= upTo (checkpointing).
+// Records returns a copy of all retained records in LSN order.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, s := range l.segs {
+		n += len(s.records)
+	}
+	out := make([]Record, 0, n)
+	for _, s := range l.segs {
+		out = append(out, s.records...)
+	}
+	return out
+}
+
+// RecordsFor returns all retained records of one transaction in LSN order.
+func (l *Log) RecordsFor(txnID uint64) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, s := range l.segs {
+		for _, r := range s.records {
+			if r.TxnID == txnID {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Truncate discards whole segments whose records all have LSN <= upTo
+// (checkpointing: upTo is the cut below the oldest undo any recovery could
+// need). Truncation is segment-granular — a segment straddling the cut is
+// retained in full, which is safe because replay is idempotent — and O(1)
+// per dropped segment; dropped arrays are recycled as future tails.
 func (l *Log) Truncate(upTo uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	keep := l.records[:0]
-	for _, r := range l.records {
-		if r.LSN > upTo {
-			keep = append(keep, r)
-		}
+	if tail := l.segs[len(l.segs)-1]; len(tail.records) > 0 && tail.lastLSN() <= upTo {
+		l.sealLocked()
 	}
-	l.records = keep
+	for len(l.segs) > 1 {
+		s := l.segs[0]
+		if len(s.records) == 0 || s.lastLSN() > upTo {
+			break
+		}
+		l.truncatedLSN = s.lastLSN()
+		l.liveBytes -= uint64(s.bytes)
+		if len(l.free) < maxRecycledSegments {
+			l.free = append(l.free, s.records[:0])
+		}
+		l.segs = l.segs[1:]
+	}
 }
 
 // Analysis is the result of scanning the log during recovery.
@@ -512,29 +660,38 @@ func (l *Log) Analyze() Analysis {
 		Aborted:   make(map[uint64]bool),
 		Losers:    make(map[uint64]bool),
 	}
-	for _, r := range l.records {
-		switch r.Type {
-		case RecCommit:
-			a.Committed[r.TxnID] = true
-			delete(a.Losers, r.TxnID)
-		case RecAbort:
-			a.Aborted[r.TxnID] = true
-			delete(a.Losers, r.TxnID)
-		case RecCheckpoint:
-		default:
-			if !a.Committed[r.TxnID] && !a.Aborted[r.TxnID] {
-				a.Losers[r.TxnID] = true
+	for _, s := range l.segs {
+		for _, r := range s.records {
+			switch r.Type {
+			case RecCommit:
+				a.Committed[r.TxnID] = true
+				delete(a.Losers, r.TxnID)
+			case RecAbort:
+				a.Aborted[r.TxnID] = true
+				delete(a.Losers, r.TxnID)
+			case RecCheckpoint:
+			default:
+				if !a.Committed[r.TxnID] && !a.Aborted[r.TxnID] {
+					a.Losers[r.TxnID] = true
+				}
 			}
 		}
 	}
 	return a
 }
 
-// Applier applies redo or undo images during recovery.
+// Applier applies redo, undo and compensation images during recovery.
 type Applier interface {
 	// ApplyUpdate installs image at the byte offset of the tuple in slot
 	// on page pid.
 	ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error
+	// CompensateUpdate rolls back an aborted transaction's update during
+	// the forward replay pass, conditionally: the before image old is
+	// installed only if the current page bytes still equal the after
+	// image new. The condition makes compensation idempotent against
+	// pages that were flushed after the in-memory rollback (the bytes
+	// already hold old, or a later committed value that must stand).
+	CompensateUpdate(pid uint64, slot uint16, offset uint16, old, new []byte) error
 	// RedoInsert (re)materialises the tuple in slot on page pid, creating
 	// the page for objectID if the crash lost it before its first flush.
 	RedoInsert(objectID uint32, pid uint64, slot uint16, tuple []byte) error
@@ -576,93 +733,215 @@ func ValueImage(value uint64) []byte {
 	return img
 }
 
-// Redo replays the effects of all committed transactions in LSN order:
-// tuple inserts are rematerialised (recreating pages the crash took before
-// their first flush), update after-images are re-applied, deletes are
-// re-marked and logical index operations are re-applied. Redo is
-// unconditional and idempotent; because every committed insert carries the
-// full tuple, replaying it also erases any flushed residue of transactions
-// that were rolled back in memory before the crash.
-func (l *Log) Redo(a Analysis, ap Applier) error {
-	for _, r := range l.Records() {
-		if !a.Committed[r.TxnID] {
-			continue
+// replayOp is one unit of work in the forward repeat-history pass: either
+// the redo of a committed record or the compensation of an aborted one
+// (positioned at the transaction's RecAbort, in reverse record order, just
+// as the original rollback ran).
+type replayOp struct {
+	rec  Record
+	comp bool
+}
+
+// lane assigns an op to a replay worker. Ops on the same entity — the
+// same heap page, or the same index object — always hash to the same
+// lane, so per-entity order is preserved under parallel replay; distinct
+// entities commute.
+func (op replayOp) lane(workers int) int {
+	var key uint64
+	switch op.rec.Type {
+	case RecIndexInsert, RecIndexDelete:
+		key = uint64(op.rec.ObjectID)*2 + 1
+	default:
+		key = op.rec.PageID * 2
+	}
+	key *= 0x9E3779B97F4A7C15 // spread sequential IDs across lanes
+	return int(key % uint64(workers))
+}
+
+// buildReplayOps linearises the forward pass: committed records replay in
+// LSN order; each aborted transaction's updates, deletes and index
+// deletes replay as compensations at its RecAbort position in reverse
+// order. Aborted inserts and index inserts are NOT compensated here —
+// a slot or entry belongs to exactly one insert ever, so they are removed
+// by the final reverse undo pass alongside the losers'.
+func buildReplayOps(recs []Record, a Analysis) []replayOp {
+	var ops []replayOp
+	pending := make(map[uint64][]Record)
+	for _, r := range recs {
+		switch {
+		case a.Committed[r.TxnID]:
+			switch r.Type {
+			case RecUpdate, RecInsert, RecDelete, RecIndexInsert, RecIndexDelete:
+				ops = append(ops, replayOp{rec: r})
+			}
+		case a.Aborted[r.TxnID]:
+			switch r.Type {
+			case RecUpdate, RecDelete, RecIndexDelete:
+				pending[r.TxnID] = append(pending[r.TxnID], r)
+			case RecAbort:
+				undo := pending[r.TxnID]
+				for i := len(undo) - 1; i >= 0; i-- {
+					ops = append(ops, replayOp{rec: undo[i], comp: true})
+				}
+				delete(pending, r.TxnID)
+			}
 		}
+	}
+	return ops
+}
+
+// applyReplayOp dispatches one forward-pass op to the applier.
+func applyReplayOp(ap Applier, op replayOp) error {
+	r := op.rec
+	if op.comp {
 		switch r.Type {
 		case RecUpdate:
-			if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.New); err != nil {
-				return fmt.Errorf("wal: redo LSN %d: %w", r.LSN, err)
-			}
-		case RecInsert:
-			if err := ap.RedoInsert(r.ObjectID, r.PageID, r.Slot, r.New); err != nil {
-				return fmt.Errorf("wal: redo insert LSN %d: %w", r.LSN, err)
+			if err := ap.CompensateUpdate(r.PageID, r.Slot, r.Offset, r.Old, r.New); err != nil {
+				return fmt.Errorf("wal: compensate update LSN %d: %w", r.LSN, err)
 			}
 		case RecDelete:
-			if err := ap.RedoDelete(r.ObjectID, r.PageID, r.Slot); err != nil {
-				return fmt.Errorf("wal: redo delete LSN %d: %w", r.LSN, err)
-			}
-		case RecIndexInsert:
-			if err := ap.RedoIndexInsert(r.ObjectID, r.Key, ValueOf(r.New)); err != nil {
-				return fmt.Errorf("wal: redo index insert LSN %d: %w", r.LSN, err)
+			if err := ap.UndoDelete(r.ObjectID, r.PageID, r.Slot, r.Old); err != nil {
+				return fmt.Errorf("wal: compensate delete LSN %d: %w", r.LSN, err)
 			}
 		case RecIndexDelete:
-			if err := ap.RedoIndexDelete(r.ObjectID, r.Key, ValueOf(r.Old)); err != nil {
-				return fmt.Errorf("wal: redo index delete LSN %d: %w", r.LSN, err)
+			if err := ap.UndoIndexDelete(r.ObjectID, r.Key, ValueOf(r.Old)); err != nil {
+				return fmt.Errorf("wal: compensate index delete LSN %d: %w", r.LSN, err)
 			}
+		}
+		return nil
+	}
+	switch r.Type {
+	case RecUpdate:
+		if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.New); err != nil {
+			return fmt.Errorf("wal: redo LSN %d: %w", r.LSN, err)
+		}
+	case RecInsert:
+		if err := ap.RedoInsert(r.ObjectID, r.PageID, r.Slot, r.New); err != nil {
+			return fmt.Errorf("wal: redo insert LSN %d: %w", r.LSN, err)
+		}
+	case RecDelete:
+		if err := ap.RedoDelete(r.ObjectID, r.PageID, r.Slot); err != nil {
+			return fmt.Errorf("wal: redo delete LSN %d: %w", r.LSN, err)
+		}
+	case RecIndexInsert:
+		if err := ap.RedoIndexInsert(r.ObjectID, r.Key, ValueOf(r.New)); err != nil {
+			return fmt.Errorf("wal: redo index insert LSN %d: %w", r.LSN, err)
+		}
+	case RecIndexDelete:
+		if err := ap.RedoIndexDelete(r.ObjectID, r.Key, ValueOf(r.Old)); err != nil {
+			return fmt.Errorf("wal: redo index delete LSN %d: %w", r.LSN, err)
 		}
 	}
 	return nil
 }
 
-// Undo rolls back loser transactions in reverse LSN order: update before
-// images are restored and inserted tuples are deleted. Inserts of
-// transactions that aborted before the crash are also removed — their
-// rollback happened only in the buffer pool, so the flushed Flash image may
-// still carry the tuple as live.
-//
-// Updates of pre-crash-aborted transactions are deliberately NOT undone:
-// redo already rewrote every tuple from its committed insert forward
-// (repeating committed history), which erases any flushed residue of an
-// aborted update. Re-applying an aborted transaction's before image here
-// would be wrong — a transaction that committed AFTER the abort may have
-// overwritten the same bytes, and its redone value must stand. Inserts are
-// different: a slot belongs to exactly one insert ever (slots are never
-// reused), so deleting an aborted insert's slot can never clobber another
-// transaction's work.
-func (l *Log) Undo(a Analysis, ap Applier) error {
-	recs := l.Records()
+// undoRecords runs the final reverse pass: losers' updates, deletes and
+// index deletes are rolled back, and inserts (heap and index) of both
+// losers and pre-crash-aborted transactions are removed — their rollback
+// happened only in the buffer pool, so the flushed Flash image may still
+// carry the entry as live. Insert removal is conditional on the slot or
+// mapping, so a later committed writer is never clobbered. It returns the
+// number of undo operations issued.
+func undoRecords(recs []Record, a Analysis, ap Applier) (int, error) {
+	n := 0
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
 		switch {
 		case r.Type == RecUpdate && a.Losers[r.TxnID]:
+			n++
 			if err := ap.ApplyUpdate(r.PageID, r.Slot, r.Offset, r.Old); err != nil {
-				return fmt.Errorf("wal: undo LSN %d: %w", r.LSN, err)
+				return n, fmt.Errorf("wal: undo LSN %d: %w", r.LSN, err)
 			}
 		case r.Type == RecInsert && (a.Losers[r.TxnID] || a.Aborted[r.TxnID]):
+			n++
 			if err := ap.UndoInsert(r.PageID, r.Slot); err != nil {
-				return fmt.Errorf("wal: undo insert LSN %d: %w", r.LSN, err)
+				return n, fmt.Errorf("wal: undo insert LSN %d: %w", r.LSN, err)
 			}
 		case r.Type == RecDelete && a.Losers[r.TxnID]:
-			// Deletes of transactions that aborted BEFORE the crash need no
-			// undo here: redo repeated the committed insert of the slot,
-			// which re-materialises the tuple (mirroring how aborted
-			// updates are repaired — see the package comment above).
+			n++
 			if err := ap.UndoDelete(r.ObjectID, r.PageID, r.Slot, r.Old); err != nil {
-				return fmt.Errorf("wal: undo delete LSN %d: %w", r.LSN, err)
+				return n, fmt.Errorf("wal: undo delete LSN %d: %w", r.LSN, err)
 			}
 		case r.Type == RecIndexInsert && (a.Losers[r.TxnID] || a.Aborted[r.TxnID]):
-			// Like heap inserts, index entries flushed on behalf of a
-			// transaction that rolled back (before or by the crash) are
-			// removed; the operation is conditional on the mapping so a
-			// later committed writer of the same key is never clobbered.
+			n++
 			if err := ap.UndoIndexInsert(r.ObjectID, r.Key, ValueOf(r.New)); err != nil {
-				return fmt.Errorf("wal: undo index insert LSN %d: %w", r.LSN, err)
+				return n, fmt.Errorf("wal: undo index insert LSN %d: %w", r.LSN, err)
 			}
 		case r.Type == RecIndexDelete && a.Losers[r.TxnID]:
+			n++
 			if err := ap.UndoIndexDelete(r.ObjectID, r.Key, ValueOf(r.Old)); err != nil {
-				return fmt.Errorf("wal: undo index delete LSN %d: %w", r.LSN, err)
+				return n, fmt.Errorf("wal: undo index delete LSN %d: %w", r.LSN, err)
 			}
 		}
 	}
-	return nil
+	return n, nil
+}
+
+// Replay performs crash recovery over the retained records: a forward
+// "repeat history" pass re-applies committed work in LSN order and rolls
+// back each pre-crash-aborted transaction at its RecAbort position via
+// conditional compensation, then a reverse pass undoes the losers (and
+// removes aborted inserts).
+//
+// cut is the last checkpoint's truncation LSN (0 = replay everything):
+// records at or below it are skipped even when they physically survive —
+// segment recycling only drops whole leading segments, so the tail
+// segment usually still carries pre-checkpoint records. Skipping is safe
+// because the checkpoint force-flushed every page those records touched
+// before it became durable, and the cut sits below the first LSN of every
+// transaction that was still active, so no loser or pending abort loses
+// records to it.
+//
+// workers > 1 partitions the forward pass across goroutines by entity
+// (heap page / index object); ops on the same entity stay ordered because
+// they always land on the same worker, and ops on different entities
+// commute, so the result is identical to the serial pass (workers <= 1,
+// the oracle used by tests). The final undo pass is serial either way.
+//
+// It returns the number of redo, compensation and undo operations issued,
+// which is O(records since the last checkpoint) — the restart-cost metric.
+func (l *Log) Replay(a Analysis, ap Applier, workers int, cut uint64) (int, error) {
+	recs := l.Records()
+	// Records are in LSN order: drop the pre-checkpoint prefix.
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].LSN > cut })
+	recs = recs[lo:]
+	ops := buildReplayOps(recs, a)
+	if workers <= 1 || len(ops) == 0 {
+		for _, op := range ops {
+			if err := applyReplayOp(ap, op); err != nil {
+				return len(ops), err
+			}
+		}
+	} else {
+		lanes := make([][]replayOp, workers)
+		for _, op := range ops {
+			w := op.lane(workers)
+			lanes[w] = append(lanes[w], op)
+		}
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := range lanes {
+			if len(lanes[w]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, op := range lanes[w] {
+					if err := applyReplayOp(ap, op); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return len(ops), err
+			}
+		}
+	}
+	undone, err := undoRecords(recs, a, ap)
+	return len(ops) + undone, err
 }

@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -120,14 +121,19 @@ func TestAnalyze(t *testing.T) {
 	}
 }
 
-// applier records redo/undo applications in memory.
+// applier records redo/undo applications in memory. It is locked like the
+// real applier (the buffer pool latches pages): parallel replay workers
+// call it concurrently.
 type applier struct {
+	mu    sync.Mutex
 	pages map[uint64][]byte
 }
 
 func newApplier() *applier { return &applier{pages: make(map[uint64][]byte)} }
 
 func (a *applier) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	p, ok := a.pages[pid]
 	if !ok {
 		p = make([]byte, 64)
@@ -137,16 +143,33 @@ func (a *applier) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []by
 	return nil
 }
 
+func (a *applier) CompensateUpdate(pid uint64, slot uint16, offset uint16, old, new []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pages[pid]
+	if !ok {
+		return nil
+	}
+	if bytes.Equal(p[int(offset):int(offset)+len(new)], new) {
+		copy(p[int(offset):], old)
+	}
+	return nil
+}
+
 func (a *applier) RedoInsert(objectID uint32, pid uint64, slot uint16, tuple []byte) error {
 	return a.ApplyUpdate(pid, slot, 0, tuple)
 }
 
 func (a *applier) UndoInsert(pid uint64, slot uint16) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	delete(a.pages, pid)
 	return nil
 }
 
 func (a *applier) RedoDelete(objectID uint32, pid uint64, slot uint16) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	delete(a.pages, pid)
 	return nil
 }
@@ -163,7 +186,7 @@ func (a *applier) UndoIndexInsert(objectID uint32, key int64, value uint64) erro
 
 func (a *applier) UndoIndexDelete(objectID uint32, key int64, value uint64) error { return nil }
 
-func TestRedoUndo(t *testing.T) {
+func TestReplayRedoAndLoserUndo(t *testing.T) {
 	l := New()
 	// Committed transaction writes 0xAA at offset 0 of page 1.
 	l.Append(Record{TxnID: 1, Type: RecUpdate, PageID: 1, Offset: 0, Old: []byte{0x00}, New: []byte{0xAA}})
@@ -173,20 +196,140 @@ func TestRedoUndo(t *testing.T) {
 
 	a := l.Analyze()
 	ap := newApplier()
-	if err := l.Redo(a, ap); err != nil {
-		t.Fatalf("Redo: %v", err)
+	n, err := l.Replay(a, ap, 1, 0)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != 2 { // one committed redo + one loser undo
+		t.Fatalf("Replay issued %d ops, want 2", n)
 	}
 	if ap.pages[1][0] != 0xAA {
-		t.Fatalf("redo did not apply the committed update")
-	}
-	if ap.pages[1][1] == 0xBB {
-		t.Fatalf("redo must not apply loser updates")
-	}
-	if err := l.Undo(a, ap); err != nil {
-		t.Fatalf("Undo: %v", err)
+		t.Fatalf("replay did not apply the committed update")
 	}
 	if ap.pages[1][1] != 0x11 {
-		t.Fatalf("undo did not restore the before image")
+		t.Fatalf("replay did not restore the loser's before image")
+	}
+}
+
+func TestReplayCompensatesAbortedResidue(t *testing.T) {
+	l := New()
+	// Aborted transaction's update residue reached "flash": the applier
+	// page carries the after image, but the abort happened before the
+	// crash, so replay must roll it back at the RecAbort position.
+	l.Append(Record{TxnID: 5, Type: RecUpdate, PageID: 3, Offset: 0, Old: []byte{0x01}, New: []byte{0x99}})
+	l.Append(Record{TxnID: 5, Type: RecAbort})
+
+	a := l.Analyze()
+	ap := newApplier()
+	ap.pages[3] = make([]byte, 64)
+	ap.pages[3][0] = 0x99 // flushed residue of the aborted update
+	if _, err := l.Replay(a, ap, 1, 0); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if ap.pages[3][0] != 0x01 {
+		t.Fatalf("compensation did not restore the before image: %#x", ap.pages[3][0])
+	}
+
+	// When the page does NOT carry the residue (the rollback was flushed,
+	// or a later committed write replaced the bytes), compensation must
+	// leave it alone.
+	ap2 := newApplier()
+	ap2.pages[3] = make([]byte, 64)
+	ap2.pages[3][0] = 0x42
+	if _, err := l.Replay(a, ap2, 1, 0); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if ap2.pages[3][0] != 0x42 {
+		t.Fatalf("conditional compensation clobbered unrelated bytes: %#x", ap2.pages[3][0])
+	}
+}
+
+func TestParallelReplayMatchesSerial(t *testing.T) {
+	build := func() *Log {
+		l := New()
+		// Interleave committed, aborted and loser transactions across
+		// many pages and two index objects.
+		for i := 0; i < 40; i++ {
+			pid := uint64(i % 7)
+			txn := uint64(100 + i%5)
+			l.Append(Record{TxnID: txn, Type: RecUpdate, PageID: pid, Offset: uint16(i % 8), Old: []byte{byte(i)}, New: []byte{byte(i + 1)}})
+			if i%3 == 0 {
+				l.Append(Record{TxnID: txn, Type: RecIndexInsert, ObjectID: uint32(2 + i%2), Key: int64(i), New: ValueImage(uint64(i))})
+			}
+		}
+		l.Append(Record{TxnID: 100, Type: RecCommit})
+		l.Append(Record{TxnID: 101, Type: RecCommit})
+		l.Append(Record{TxnID: 102, Type: RecAbort})
+		// txns 103, 104 stay losers.
+		return l
+	}
+	serial, parallel := newApplier(), newApplier()
+	l := build()
+	a := l.Analyze()
+	n1, err := l.Replay(a, serial, 1, 0)
+	if err != nil {
+		t.Fatalf("serial Replay: %v", err)
+	}
+	n2, err := l.Replay(a, parallel, 4, 0)
+	if err != nil {
+		t.Fatalf("parallel Replay: %v", err)
+	}
+	if n1 != n2 {
+		t.Fatalf("op counts differ: serial %d, parallel %d", n1, n2)
+	}
+	if len(serial.pages) != len(parallel.pages) {
+		t.Fatalf("page sets differ: %d vs %d", len(serial.pages), len(parallel.pages))
+	}
+	for pid, p := range serial.pages {
+		if !bytes.Equal(p, parallel.pages[pid]) {
+			t.Fatalf("page %d differs between serial and parallel replay", pid)
+		}
+	}
+}
+
+func TestSegmentsSealTruncateAndRecycle(t *testing.T) {
+	l := New()
+	l.SetSegmentBytes(200) // a few records per segment
+	var lsns []uint64
+	for i := 0; i < 40; i++ {
+		lsns = append(lsns, l.Append(Record{TxnID: 1, Type: RecUpdate, PageID: uint64(i), Old: []byte{1}, New: []byte{2}}))
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("expected several sealed segments, got %d", l.Segments())
+	}
+	before := l.LiveBytes()
+	if before == 0 {
+		t.Fatalf("LiveBytes must account appended records")
+	}
+	l.Flush(0)
+	cut := lsns[20]
+	l.Truncate(cut)
+	if got := l.TruncatedLSN(); got == 0 || got > cut {
+		t.Fatalf("TruncatedLSN = %d, want (0, %d]", got, cut)
+	}
+	if l.LiveBytes() >= before {
+		t.Fatalf("truncation did not shrink LiveBytes: %d -> %d", before, l.LiveBytes())
+	}
+	recs := l.Records()
+	if len(recs) == 0 {
+		t.Fatalf("truncation dropped the whole log")
+	}
+	if first := recs[0].LSN; first != l.TruncatedLSN()+1 {
+		t.Fatalf("records must restart right above the truncated LSN: first %d, truncated %d", first, l.TruncatedLSN())
+	}
+	// Appends after truncation continue with fresh LSNs and reuse
+	// recycled segment arrays.
+	segsBefore := l.Segments()
+	lsn := l.Append(Record{TxnID: 2, Type: RecCommit})
+	if lsn != lsns[len(lsns)-1]+1 {
+		t.Fatalf("LSN sequence broken after truncation: %d", lsn)
+	}
+	if l.Segments() > segsBefore+1 {
+		t.Fatalf("append after truncation grew segments unexpectedly")
+	}
+	// DurableRecords still honours flushedLSN across segments.
+	if got := l.DurableRecords(); got[len(got)-1].LSN != lsns[len(lsns)-1] {
+		t.Fatalf("DurableRecords lost the flushed suffix")
 	}
 }
 

@@ -24,6 +24,7 @@
 package ipa
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"ipa/internal/flashdev"
 	"ipa/internal/ftl"
 	"ipa/internal/nand"
+	"ipa/internal/page"
 	"ipa/internal/region"
 	"ipa/internal/storage"
 	"ipa/internal/txn"
@@ -208,6 +210,22 @@ type Config struct {
 	// crash-torture harness uses it to prove the engine reopens consistent
 	// from any crash point; see DB.Crash and Reopen.
 	Faults *FaultPlan
+	// CheckpointEveryBytes starts the flush-behind checkpointer: a fuzzy
+	// checkpoint is taken whenever this many WAL bytes have accumulated
+	// since the last one (default 0: no background checkpointer; call
+	// DB.Checkpoint explicitly).
+	CheckpointEveryBytes uint64
+	// CheckpointInterval additionally (or alternatively) takes a fuzzy
+	// checkpoint on a wall-clock period (default 0: disabled).
+	CheckpointInterval time.Duration
+	// RecoveryParallelism is the number of redo workers Reopen partitions
+	// the post-checkpoint log across, by heap page / index object (default
+	// 4). 1 selects the serial replay used as the oracle in tests.
+	RecoveryParallelism int
+	// WALSegmentBytes overrides the log segment seal threshold (default
+	// 64 KiB). Checkpoint truncation recycles whole segments, so smaller
+	// segments give it finer grain; tests use tiny ones.
+	WALSegmentBytes int
 }
 
 // withDefaults fills unset fields.
@@ -235,6 +253,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.RecoveryParallelism <= 0 {
+		c.RecoveryParallelism = 4
 	}
 	return c
 }
@@ -287,6 +308,23 @@ type DB struct {
 	gcMu             sync.Mutex
 	zombies          []zombieEntry
 	zombiesReclaimed atomic.Uint64
+
+	// Fuzzy-checkpoint state. ckptMu serialises checkpoints; catalogPID
+	// holds the durable catalog page identifier plus one (0 = not yet
+	// allocated); checkpointLSN is the LSN of the last checkpoint record;
+	// walBytesAtCkpt is the log's BytesWritten at that moment, so the
+	// bytes-since-checkpoint gauge and the flush-behind trigger need no
+	// extra counter. recoveryRedo is the number of redo/compensation/undo
+	// operations the last Reopen issued — the restart-cost metric.
+	ckptMu         sync.Mutex
+	catalogPID     atomic.Uint64
+	checkpointLSN  atomic.Uint64
+	ckptCut        atomic.Uint64
+	walBytesAtCkpt atomic.Uint64
+	recoveryRedo   atomic.Uint64
+	recoveryStats  RecoveryStats
+	ckptStop       chan struct{}
+	ckptDone       chan struct{}
 }
 
 // Open creates a database on a freshly formatted simulated Flash device.
@@ -336,7 +374,12 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
 	log := wal.New()
-	return assemble(cfg, dev, f, log, txn.NewManager(log))
+	db, err := assemble(cfg, dev, f, log, txn.NewManager(log))
+	if err != nil {
+		return nil, err
+	}
+	db.startCheckpointer()
+	return db, nil
 }
 
 // formatAreaSize returns the delta-record area reserved by the device's
@@ -389,6 +432,23 @@ func assemble(cfg Config, dev *flashdev.Device, f *ftl.FTL, log *wal.Log, txns *
 		Scheme:    cfg.Scheme.internal(),
 		FlashMode: flashMode,
 	})
+	// The checkpoint catalog page lives in its own region: it is rewritten
+	// on every checkpoint with a handful of changed bytes, so it runs the
+	// index scheme (falling back to the table scheme) — both fit the
+	// device format by construction.
+	catScheme := cfg.IndexScheme.internal()
+	if !catScheme.Enabled() {
+		catScheme = cfg.Scheme.internal()
+	}
+	if cfg.WriteMode == Traditional {
+		catScheme = core.Disabled
+	}
+	regions.Assign(catalogObjectID, region.Region{
+		Name:      "catalog",
+		Scheme:    catScheme,
+		FlashMode: flashMode,
+		Kind:      region.KindCatalog,
+	})
 	store, err := storage.New(f, storage.Config{
 		Mode:           cfg.WriteMode.internal(),
 		Regions:        regions,
@@ -406,6 +466,11 @@ func assemble(cfg Config, dev *flashdev.Device, f *ftl.FTL, log *wal.Log, txns *
 	if err != nil {
 		return nil, fmt.Errorf("ipa: %w", err)
 	}
+	// Frames stamp the next LSN when a page first turns dirty (recLSN);
+	// the checkpointer flushes dirty pages oldest-recLSN-first so the
+	// truncation cut advances as far as possible.
+	pool.SetLSNSource(log.NextLSN)
+	log.SetSegmentBytes(cfg.WALSegmentBytes)
 	if cfg.LogFlushLatency > 0 || cfg.LogFlushWallLatency > 0 || cfg.Faults != nil {
 		// Model the separate log device: every flush batch costs one
 		// device write — of virtual time and, optionally, of real time the
@@ -573,6 +638,7 @@ func (db *DB) FlushAll() error { return db.pool.FlushAll() }
 // share its result.
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
+		db.stopCheckpointer()
 		db.gate.Lock()
 		db.closed.Store(true)
 		db.gate.Unlock()
@@ -618,6 +684,9 @@ func (db *DB) ResetStats() {
 	db.committed.Store(0)
 	db.aborted.Store(0)
 	db.zombiesReclaimed.Store(0)
+	// Re-baseline the checkpoint byte trigger: the log's BytesWritten just
+	// went back to zero, and walBytesAtCkpt must never exceed it.
+	db.walBytesAtCkpt.Store(db.log.BytesWritten())
 	db.timeBase.Store(int64(db.dev.Now()))
 }
 
@@ -647,3 +716,300 @@ func (db *DB) Geometry() DeviceGeometry {
 // FTLDebug reports the internal occupancy state of the Flash translation
 // layer (for tests and troubleshooting).
 func (db *DB) FTLDebug() string { return db.ftl.DebugSummary() }
+
+// catalogObjectID owns the single-page durable catalog region holding the
+// checkpoint state. It sits at the top of the object-identifier space so it
+// can never collide with table or index objects.
+const catalogObjectID uint32 = 0xFFFFFFFF
+
+// catalogMagic marks a valid catalog tuple ("IPC1").
+const catalogMagic uint32 = 0x49504331
+
+// catalogTupleSize is the encoded size of the catalog tuple: magic,
+// checkpoint LSN, truncation cut, max commit timestamp.
+const catalogTupleSize = 4 + 8 + 8 + 8
+
+// encodeCatalogTuple serialises the checkpoint state written to the
+// catalog page.
+func encodeCatalogTuple(ckptLSN, cut, maxTS uint64) []byte {
+	buf := make([]byte, catalogTupleSize)
+	binary.LittleEndian.PutUint32(buf[0:], catalogMagic)
+	binary.LittleEndian.PutUint64(buf[4:], ckptLSN)
+	binary.LittleEndian.PutUint64(buf[12:], cut)
+	binary.LittleEndian.PutUint64(buf[20:], maxTS)
+	return buf
+}
+
+// decodeCatalogTuple deserialises a catalog tuple; ok is false when the
+// bytes do not carry the catalog magic.
+func decodeCatalogTuple(buf []byte) (ckptLSN, cut, maxTS uint64, ok bool) {
+	if len(buf) < catalogTupleSize || binary.LittleEndian.Uint32(buf[0:]) != catalogMagic {
+		return 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(buf[4:]),
+		binary.LittleEndian.Uint64(buf[12:]),
+		binary.LittleEndian.Uint64(buf[20:]), true
+}
+
+// encodeActiveTxns serialises the active-transaction table carried in a
+// checkpoint record: (id, firstLSN) pairs.
+func encodeActiveTxns(active []txn.ActiveTxn) []byte {
+	buf := make([]byte, 16*len(active))
+	for i, a := range active {
+		binary.LittleEndian.PutUint64(buf[16*i:], a.ID)
+		binary.LittleEndian.PutUint64(buf[16*i+8:], a.FirstLSN)
+	}
+	return buf
+}
+
+// CheckpointResult reports one fuzzy checkpoint.
+type CheckpointResult struct {
+	// LSN is the LSN of the RecCheckpoint record.
+	LSN uint64 `json:"lsn"`
+	// TruncatedLSN is the cut: the log was recycled up to and including
+	// this LSN (segment-granular, so slightly fewer bytes may actually be
+	// dropped).
+	TruncatedLSN uint64 `json:"truncated_lsn"`
+	// PagesFlushed is the number of dirty pages force-flushed,
+	// oldest-recLSN-first.
+	PagesFlushed int `json:"pages_flushed"`
+	// ActiveTxns is the number of in-flight transactions recorded in the
+	// checkpoint's transaction table.
+	ActiveTxns int `json:"active_txns"`
+	// WALSegments and WALLiveBytes describe the log after recycling.
+	WALSegments  int    `json:"wal_segments"`
+	WALLiveBytes uint64 `json:"wal_live_bytes"`
+}
+
+// Checkpoint takes a fuzzy checkpoint: dirty pages are force-flushed
+// oldest-recLSN-first through the write-ahead barrier, a RecCheckpoint
+// record carrying the truncation cut and the active-transaction table is
+// appended and flushed, the durable catalog page is updated, and finally
+// the log segments below the cut are recycled. Writers keep running
+// throughout — the checkpoint never quiesces the engine, it only pins the
+// cut below the oldest active transaction's first record.
+func (db *DB) Checkpoint() (CheckpointResult, error) {
+	if err := db.acquire(); err != nil {
+		return CheckpointResult{}, err
+	}
+	defer db.release()
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	var res CheckpointResult
+	// (1) The checkpoint covers everything appended so far. Records after
+	// beginLSN belong to the next checkpoint.
+	beginLSN := db.log.NextLSN() - 1
+	// (2) The cut must stay below the first record of every in-flight
+	// transaction: their undo information must survive recycling. A
+	// transaction registered after this snapshot only has records above
+	// beginLSN, so missing it cannot move the correct cut.
+	active := db.txns.ActiveTxns()
+	cut := beginLSN
+	for _, a := range active {
+		if a.FirstLSN == 0 {
+			cut = 0
+		} else if a.FirstLSN-1 < cut {
+			cut = a.FirstLSN - 1
+		}
+	}
+	// (3) Force-flush dirty pages, oldest recLSN first. Every flush runs
+	// the write-ahead barrier, so the log is always durable ahead of the
+	// page image. Pages evicted (or re-dirtied) since the snapshot are
+	// fine: ErrNotCached means some eviction already wrote the frame out.
+	for _, pid := range db.pool.DirtySnapshot() {
+		err := db.pool.FlushPage(pid)
+		switch {
+		case err == nil:
+			res.PagesFlushed++
+		case errors.Is(err, buffer.ErrNotCached):
+		default:
+			return res, fmt.Errorf("ipa: checkpoint flush page %d: %w", pid, err)
+		}
+	}
+	// (4+5) Make the checkpoint itself durable.
+	ckptLSN := db.log.Append(wal.Record{
+		Type:   wal.RecCheckpoint,
+		PageID: cut,
+		Key:    int64(beginLSN),
+		New:    encodeActiveTxns(active),
+	})
+	if err := db.log.Flush(ckptLSN); err != nil {
+		return res, fmt.Errorf("ipa: checkpoint flush: %w", err)
+	}
+	// (6) Program the catalog page so recovery finds the checkpoint even
+	// after the log below it is recycled.
+	if err := db.writeCatalog(ckptLSN, cut); err != nil {
+		return res, fmt.Errorf("ipa: checkpoint catalog: %w", err)
+	}
+	// (7) Segment recycling is a crash point of its own: a power cut here
+	// leaves a fully durable checkpoint and an over-long log — recovery
+	// simply replays a few extra (idempotent) records.
+	if db.cfg.Faults != nil {
+		if err := db.cfg.Faults.LogFlushPoint(); err != nil {
+			return res, fmt.Errorf("ipa: checkpoint recycle: %w", err)
+		}
+	}
+	// (8) Recycle everything below the cut.
+	db.log.Truncate(cut)
+	// (9) Publish the gauges.
+	db.checkpointLSN.Store(ckptLSN)
+	db.ckptCut.Store(cut)
+	db.walBytesAtCkpt.Store(db.log.BytesWritten())
+	res.LSN = ckptLSN
+	res.TruncatedLSN = cut
+	res.ActiveTxns = len(active)
+	res.WALSegments = db.log.Segments()
+	res.WALLiveBytes = db.log.LiveBytes()
+	return res, nil
+}
+
+// CheckpointState is the durable checkpoint record kept in the catalog
+// region on flash: what a restart finds before reading any log.
+type CheckpointState struct {
+	// LSN is the WAL position of the last fuzzy checkpoint.
+	LSN uint64 `json:"checkpoint_lsn"`
+	// TruncatedLSN is the truncation cut recorded with it: redo starts
+	// after this LSN.
+	TruncatedLSN uint64 `json:"truncated_lsn"`
+	// MaxCommitTS restarts the commit-timestamp oracle past every commit
+	// the truncated log prefix may have carried.
+	MaxCommitTS uint64 `json:"max_commit_ts"`
+}
+
+// CheckpointState reads the catalog region and returns the durable
+// checkpoint state; ok is false when no checkpoint has ever been taken.
+// Diagnostic tools (cmd/flashinspect) use it to show what survives on
+// flash below the WAL.
+func (db *DB) CheckpointState() (CheckpointState, bool, error) {
+	enc := db.catalogPID.Load()
+	if enc == 0 {
+		return CheckpointState{}, false, nil
+	}
+	pid := enc - 1
+	h, err := db.pool.Fetch(pid)
+	if err != nil {
+		return CheckpointState{}, false, fmt.Errorf("ipa: catalog page %d: %w", pid, err)
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return CheckpointState{}, false, fmt.Errorf("ipa: catalog page %d: %w", pid, err)
+	}
+	tuple, err := pg.Tuple(0)
+	if err != nil {
+		return CheckpointState{}, false, fmt.Errorf("ipa: catalog page %d: %w", pid, err)
+	}
+	ckptLSN, cut, maxTS, ok := decodeCatalogTuple(tuple)
+	if !ok {
+		return CheckpointState{}, false, fmt.Errorf("ipa: catalog page %d: bad magic", pid)
+	}
+	return CheckpointState{LSN: ckptLSN, TruncatedLSN: cut, MaxCommitTS: maxTS}, true, nil
+}
+
+// writeCatalog creates (first checkpoint) or overwrites the durable
+// catalog page with the checkpoint state. The catalog is below the WAL:
+// its page program is atomic on its own (single-tuple page, single-record
+// delta appends, mapping-tag ECC for out-of-place writes), so a torn
+// program simply leaves the previous checkpoint in force.
+func (db *DB) writeCatalog(ckptLSN, cut uint64) error {
+	tuple := encodeCatalogTuple(ckptLSN, cut, db.txns.Oracle().Watermark())
+	if enc := db.catalogPID.Load(); enc != 0 {
+		pid := enc - 1
+		h, err := db.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		pg, err := page.Wrap(h.Data())
+		if err != nil {
+			h.Release()
+			return err
+		}
+		pg.SetRecorder(h.Tracker())
+		if err := pg.UpdateTupleAt(0, 0, tuple); err != nil {
+			h.Release()
+			return err
+		}
+		h.MarkDirty()
+		h.Release()
+		return db.pool.FlushPage(pid)
+	}
+	pid, err := db.store.AllocatePage(catalogObjectID)
+	if err != nil {
+		return err
+	}
+	h, err := db.pool.Create(pid, func(buf []byte) (*core.Tracker, error) {
+		return db.store.InitPage(buf, pid, catalogObjectID)
+	})
+	if err != nil {
+		return err
+	}
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		h.Release()
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	if _, err := pg.InsertTuple(tuple); err != nil {
+		h.Release()
+		return err
+	}
+	h.MarkDirty()
+	h.Release()
+	if err := db.pool.FlushPage(pid); err != nil {
+		return err
+	}
+	db.catalogPID.Store(pid + 1)
+	return nil
+}
+
+// startCheckpointer launches the flush-behind checkpointer goroutine when
+// the configuration asks for one.
+func (db *DB) startCheckpointer() {
+	if db.cfg.CheckpointEveryBytes == 0 && db.cfg.CheckpointInterval <= 0 {
+		return
+	}
+	db.ckptStop = make(chan struct{})
+	db.ckptDone = make(chan struct{})
+	go db.checkpointLoop()
+}
+
+// checkpointLoop is the flush-behind checkpointer: it polls the WAL growth
+// and takes a fuzzy checkpoint whenever CheckpointEveryBytes have
+// accumulated since the last one, or unconditionally every
+// CheckpointInterval. It exits on Close/Crash or on the first checkpoint
+// error (after a power cut every flash operation fails; recovery restarts
+// a fresh checkpointer).
+func (db *DB) checkpointLoop() {
+	defer close(db.ckptDone)
+	period := db.cfg.CheckpointInterval
+	byTime := period > 0
+	if !byTime {
+		period = 10 * time.Millisecond // byte-threshold polling cadence
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-ticker.C:
+			if !byTime && db.log.BytesWritten()-db.walBytesAtCkpt.Load() < db.cfg.CheckpointEveryBytes {
+				continue
+			}
+			if _, err := db.Checkpoint(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// stopCheckpointer shuts the flush-behind checkpointer down and waits for
+// an in-flight checkpoint to finish.
+func (db *DB) stopCheckpointer() {
+	if db.ckptStop == nil {
+		return
+	}
+	close(db.ckptStop)
+	<-db.ckptDone
+}

@@ -3,6 +3,7 @@ package ipa
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ipa/internal/core"
 	"ipa/internal/flashdev"
@@ -68,6 +69,7 @@ type secondarySpec struct {
 // FlushAll).
 func (db *DB) Crash() *CrashImage {
 	db.closeOnce.Do(func() {
+		db.stopCheckpointer()
 		db.gate.Lock()
 		db.closed.Store(true)
 		db.gate.Unlock()
@@ -108,21 +110,44 @@ func (db *DB) Crash() *CrashImage {
 	}
 }
 
+// RecoveryStats describes the cost of the last crash recovery (Reopen):
+// the restart time in wall-clock and virtual (device) terms, the physical
+// pages the chip-parallel FTL rebuild scanned, and the redo, compensation
+// and undo operations the log replay issued — O(records since the last
+// checkpoint), the quantity fuzzy checkpoints bound.
+type RecoveryStats struct {
+	Wall          time.Duration `json:"wall_ns"`
+	Virtual       time.Duration `json:"virtual_ns"`
+	PagesScanned  int           `json:"pages_scanned"`
+	RecordsRedone uint64        `json:"records_redone"`
+	Parallelism   int           `json:"parallelism"`
+	CheckpointLSN uint64        `json:"checkpoint_lsn"`
+}
+
+// RecoveryStats returns the cost of the Reopen that produced this database
+// (zero for a database created by Open).
+func (db *DB) RecoveryStats() RecoveryStats { return db.recoveryStats }
+
 // Reopen opens a database on the remains of a crash: it power-cycles the
 // device, rebuilds the FTL mapping from the OOB tags on Flash (newest valid
-// copy of every logical page wins), scrubs pages carrying torn in-place
-// appends, recreates the catalog, adopts the surviving heap and index
-// entry pages (primary-key and secondary alike), and replays the durable
-// write-ahead log (analysis, redo of committed inserts/updates/deletes and
-// logical index operations, undo of losers). Every index comes from its
-// own entry pages plus the log — the heaps are never scanned. On success
-// all committed transactions are visible, all losers are rolled back and
-// the database is fully usable.
+// copy of every logical page wins, one scan goroutine per chip), scrubs
+// pages carrying torn in-place appends, recreates the catalog, adopts the
+// surviving heap and index entry pages (primary-key and secondary alike),
+// reads the durable checkpoint state from the catalog page, and replays
+// the retained write-ahead log — which a fuzzy checkpoint has truncated to
+// the records since the last checkpoint — across
+// Config.RecoveryParallelism redo workers (analysis, forward repeat
+// history with compensation, reverse undo of losers). Every index comes
+// from its own entry pages plus the log — the heaps are never scanned. On
+// success all committed transactions are visible, all losers are rolled
+// back and the database is fully usable.
 //
 // Reopen may itself be interrupted by an armed fault plan (a crash during
 // recovery); recovery is idempotent, so calling Reopen on the same image
 // again continues from the surviving state.
 func Reopen(img *CrashImage) (*DB, error) {
+	wallStart := time.Now()
+	virtStart := img.dev.Now()
 	cfg := img.cfg
 	if cfg.Faults != nil {
 		cfg.Faults.PowerCycle()
@@ -212,13 +237,16 @@ func Reopen(img *CrashImage) (*DB, error) {
 	if err := db.adoptSurvivingPages(floor); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
 	}
+	if err := db.loadCatalog(); err != nil {
+		return nil, fmt.Errorf("ipa: reopen: %w", err)
+	}
 	// Prime each primary-key B-tree from the index entries that reached
 	// Flash; the log replay below then overlays the exact committed
 	// history (redo) and strips rolled-back residue (undo). No heap scan.
 	if err := db.loadIndexes(); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
 	}
-	if err := db.recoverReplay(); err != nil {
+	if _, err := db.recoverReplay(); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
 	}
 	// The live-tuple counts follow from the recovered indexes: every live
@@ -231,6 +259,16 @@ func Reopen(img *CrashImage) (*DB, error) {
 	if err := db.pool.FlushAll(); err != nil {
 		return nil, fmt.Errorf("ipa: reopen: %w", err)
 	}
+	db.walBytesAtCkpt.Store(db.log.BytesWritten())
+	db.recoveryStats = RecoveryStats{
+		Wall:          time.Since(wallStart),
+		Virtual:       db.dev.Now() - virtStart,
+		PagesScanned:  report.PagesScanned,
+		RecordsRedone: db.recoveryRedo.Load(),
+		Parallelism:   cfg.RecoveryParallelism,
+		CheckpointLSN: db.checkpointLSN.Load(),
+	}
+	db.startCheckpointer()
 	return db, nil
 }
 
@@ -296,6 +334,16 @@ func (db *DB) adoptSurvivingPages(floor uint64) error {
 		perObject[pg.ObjectID()] = append(perObject[pg.ObjectID()], uint64(lba))
 	}
 	for objID, pids := range perObject {
+		if objID == catalogObjectID {
+			// The checkpoint catalog is a single page; remember it so the
+			// checkpoint state can be decoded and later checkpoints
+			// overwrite it in place.
+			if len(pids) != 1 {
+				return fmt.Errorf("catalog object owns %d pages, want 1", len(pids))
+			}
+			db.catalogPID.Store(pids[0] + 1)
+			continue
+		}
 		if t, ok := db.tablesByID[objID]; ok {
 			t.heap.AdoptPages(pids)
 			continue
@@ -310,6 +358,40 @@ func (db *DB) adoptSurvivingPages(floor uint64) error {
 		}
 		return fmt.Errorf("page(s) %v owned by unknown object %d", pids, objID)
 	}
+	return nil
+}
+
+// loadCatalog decodes the surviving checkpoint state (if any): the last
+// checkpoint's LSN becomes the CheckpointLSN gauge and its max commit
+// timestamp bumps the oracle — after truncation the retained log may hold
+// no RecCommit records at all, so the catalog is the only witness of how
+// far commit timestamps had advanced.
+func (db *DB) loadCatalog() error {
+	enc := db.catalogPID.Load()
+	if enc == 0 {
+		return nil
+	}
+	pid := enc - 1
+	h, err := db.pool.Fetch(pid)
+	if err != nil {
+		return fmt.Errorf("catalog page %d: %w", pid, err)
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return fmt.Errorf("catalog page %d: %w", pid, err)
+	}
+	tuple, err := pg.Tuple(0)
+	if err != nil {
+		return fmt.Errorf("catalog page %d: %w", pid, err)
+	}
+	ckptLSN, cut, maxTS, ok := decodeCatalogTuple(tuple)
+	if !ok {
+		return fmt.Errorf("catalog page %d: bad magic", pid)
+	}
+	db.checkpointLSN.Store(ckptLSN)
+	db.ckptCut.Store(cut)
+	db.txns.Oracle().StartAt(maxTS)
 	return nil
 }
 
@@ -348,7 +430,7 @@ func (db *DB) VerifyIntegrity() error {
 		_, knownIndex := db.indexesByID[pg.ObjectID()]
 		_, knownSecondary := db.secondaryByID[pg.ObjectID()]
 		db.mu.Unlock()
-		if !knownTable && !knownIndex && !knownSecondary {
+		if !knownTable && !knownIndex && !knownSecondary && pg.ObjectID() != catalogObjectID {
 			return fmt.Errorf("ipa: page %d owned by unknown object %d", lba, pg.ObjectID())
 		}
 	}

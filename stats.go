@@ -117,6 +117,20 @@ type Stats struct {
 	WALFlushedCommits uint64
 	WALMaxCommitBatch uint64
 
+	// Checkpointing and recovery. CheckpointLSN is the LSN of the last
+	// fuzzy checkpoint (0 = never checkpointed), WALSegments counts the
+	// live log segments after recycling, and WALBytesSinceCheckpoint is
+	// the log volume accumulated since that checkpoint — the redo bound
+	// for the next crash. RecoveryRedoRecords is how many log records the
+	// last Reopen actually replayed (0 on a fresh Open) and
+	// RecoveryParallelism is the configured redo worker count (1 = the
+	// serial oracle).
+	CheckpointLSN           uint64
+	WALSegments             int
+	WALBytesSinceCheckpoint uint64
+	RecoveryRedoRecords     uint64
+	RecoveryParallelism     int
+
 	// BufferShards is the number of independently-latched buffer pool
 	// partitions (a configuration echo, like Mode and Scheme).
 	BufferShards int
@@ -258,6 +272,12 @@ func (db *DB) Stats() Stats {
 		WALFlushes:        gc.Flushes,
 		WALFlushedCommits: gc.FlushedCommits,
 		WALMaxCommitBatch: gc.MaxBatch,
+
+		CheckpointLSN:           db.checkpointLSN.Load(),
+		WALSegments:             db.log.Segments(),
+		WALBytesSinceCheckpoint: db.log.BytesWritten() - db.walBytesAtCkpt.Load(),
+		RecoveryRedoRecords:     db.recoveryRedo.Load(),
+		RecoveryParallelism:     db.cfg.RecoveryParallelism,
 
 		BufferShards: db.pool.Shards(),
 
@@ -414,6 +434,8 @@ func (s Stats) String() string {
 		s.VersionChainsLive, s.ZombieEntries, s.ZombiesReclaimed, s.ActiveSnapshots, s.OldestSnapshotAge)
 	fmt.Fprintf(&b, "wal: flushes=%d commits/flush=%.2f maxBatch=%d shards=%d\n",
 		s.WALFlushes, s.CommitsPerFlush(), s.WALMaxCommitBatch, s.BufferShards)
+	fmt.Fprintf(&b, "checkpoint: lsn=%d segments=%d bytesSince=%d redoRecords=%d redoWorkers=%d\n",
+		s.CheckpointLSN, s.WALSegments, s.WALBytesSinceCheckpoint, s.RecoveryRedoRecords, s.RecoveryParallelism)
 	if s.Chips > 1 {
 		fmt.Fprintf(&b, "chips: %d balance=%.2f\n", s.Chips, s.ChipBalance())
 		for _, c := range s.ChipStats {

@@ -1,6 +1,7 @@
 package ipa
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -411,6 +412,11 @@ func (tx *Tx) Commit() error {
 	for _, sd := range tx.pendingSecDrops {
 		sd.sec.retirePair(sd.key, sd.rid, ts)
 	}
+	// Only now — with the commit record durable AND the persistent index
+	// entries of deleted keys retired — may the fuzzy checkpoint's
+	// truncation cut advance past this transaction's records: nothing of
+	// it can need the log any more.
+	tx.db.txns.Deregister(tx.inner.ID())
 	tx.db.dev.AdvanceClock(tx.db.cfg.TxnCPUCost)
 	tx.db.committed.Add(1)
 	return nil
@@ -472,6 +478,49 @@ func (u pageUndoer) ApplyUpdate(pid uint64, slot uint16, offset uint16, image []
 	}
 	pg.SetRecorder(h.Tracker())
 	if err := pg.UpdateTupleAt(int(slot), int(offset), image); err != nil {
+		return err
+	}
+	h.MarkDirty()
+	return nil
+}
+
+// CompensateUpdate rolls back the flushed residue of an update whose
+// transaction aborted before the crash, during the forward replay pass.
+// The before image is installed only if the page bytes still equal the
+// after image: a page flushed after the in-memory rollback (or rewritten
+// by a later committed transaction) already carries the right bytes and
+// must not be clobbered. This conditional form is what keeps replay
+// correct when checkpoint truncation removed part of the transaction's
+// records — whatever compensation records survive are safe to re-apply.
+func (u pageUndoer) CompensateUpdate(pid uint64, slot uint16, offset uint16, old, new []byte) error {
+	h, err := u.db.pool.Fetch(pid)
+	if err != nil {
+		if errors.Is(err, ftl.ErrUnmapped) {
+			// The page never reached Flash: there is no residue.
+			return nil
+		}
+		return err
+	}
+	defer h.Release()
+	pg, err := page.Wrap(h.Data())
+	if err != nil {
+		return err
+	}
+	pg.SetRecorder(h.Tracker())
+	if int(slot) >= pg.SlotCount() {
+		return nil
+	}
+	if deleted, err := pg.Deleted(int(slot)); err != nil || deleted {
+		return err
+	}
+	cur, err := pg.Tuple(int(slot))
+	if err != nil {
+		return err
+	}
+	if int(offset)+len(new) > len(cur) || !bytes.Equal(cur[offset:int(offset)+len(new)], new) {
+		return nil
+	}
+	if err := pg.UpdateTupleAt(int(slot), int(offset), old); err != nil {
 		return err
 	}
 	h.MarkDirty()
@@ -740,21 +789,25 @@ func (db *DB) secondaryByObjID(objectID uint32) *SecondaryIndex {
 // with database recovery; Reopen runs the same passes after rebuilding the
 // FTL mapping from a crashed Flash image.
 func (db *DB) Recover() error {
-	if err := db.recoverReplay(); err != nil {
+	if _, err := db.recoverReplay(); err != nil {
 		return err
 	}
 	return db.pool.FlushAll()
 }
 
-// recoverReplay runs the redo and undo passes of recovery against the
-// buffer pool without the final flush.
-func (db *DB) recoverReplay() error {
+// recoverReplay runs the forward repeat-history pass (with compensation
+// for pre-crash aborts) and the reverse loser-undo pass against the
+// buffer pool, without the final flush. The forward pass is partitioned
+// across Config.RecoveryParallelism workers by heap page / index object;
+// 1 runs the serial oracle. It returns the number of redo, compensation
+// and undo operations issued — O(records since the last checkpoint).
+func (db *DB) recoverReplay() (int, error) {
 	analysis := db.log.Analyze()
-	if err := db.log.Redo(analysis, pageUndoer{db: db}); err != nil {
-		return err
-	}
-	if err := db.log.Undo(analysis, pageUndoer{db: db, undo: true}); err != nil {
-		return err
-	}
-	return nil
+	workers := db.cfg.RecoveryParallelism
+	// The checkpoint cut (from the durable catalog) bounds the replay:
+	// records at or below it were force-flushed before the checkpoint
+	// became durable, so redo starts there instead of LSN 1.
+	n, err := db.log.Replay(analysis, pageUndoer{db: db, undo: true}, workers, db.ckptCut.Load())
+	db.recoveryRedo.Store(uint64(n))
+	return n, err
 }
