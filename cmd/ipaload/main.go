@@ -1,0 +1,265 @@
+// Command ipaload is a many-connection load generator for ipaserver. It
+// preloads a table, then drives a mixed UPDATE/GET workload from N
+// concurrent connections, each pipelining commands at a configurable
+// depth (-pipeline 1 measures the unpipelined round-trip cost). -conns
+// takes a comma-separated sweep, so one invocation produces a whole
+// connections-vs-throughput curve; -json writes the machine-readable
+// results that CI uploads as bench-server.json.
+//
+// The exact invocations behind the published curves are recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ipaload -addr localhost:6389 -conns 1,4,16,64,256 -pipeline 32 -duration 5s
+//	ipaload -addr localhost:6389 -quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipa/ipaclient"
+)
+
+type point struct {
+	Conns      int     `json:"conns"`
+	Pipeline   int     `json:"pipeline"`
+	Ops        uint64  `json:"ops"`
+	Conflicts  uint64  `json:"conflicts"`
+	Errors     uint64  `json:"errors"`
+	DurationS  float64 `json:"duration_s"`
+	Throughput float64 `json:"tps"`
+}
+
+type report struct {
+	Benchmark string  `json:"benchmark"`
+	Addr      string  `json:"addr"`
+	Table     string  `json:"table"`
+	Keys      int     `json:"keys"`
+	TupleSize int     `json:"tuple_size"`
+	UpdatePct int     `json:"update_pct"`
+	Points    []point `json:"points"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:6389", "ipaserver address")
+		connsArg = flag.String("conns", "16", "comma-separated connection counts to sweep")
+		pipeline = flag.Int("pipeline", 32, "pipeline depth per connection (1 = unpipelined)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window per sweep point")
+		keys     = flag.Int("keys", 10000, "keyspace size (preloaded)")
+		tuple    = flag.Int("tuple", 200, "tuple size in bytes")
+		updates  = flag.Int("updates", 80, "percentage of operations that are UPDATEs (rest are GETs)")
+		table    = flag.String("table", "load", "table name")
+		quick    = flag.Bool("quick", false, "CI smoke mode: tiny sweep, sub-second windows")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
+		outPath  = flag.String("out", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	if *quick {
+		*connsArg = "1,4,16,64"
+		*duration = 500 * time.Millisecond
+		*keys = 512
+	}
+	conns, err := parseConns(*connsArg)
+	if err != nil {
+		fatal(err)
+	}
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+
+	if err := preload(*addr, *table, *tuple, *keys); err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Benchmark: "server",
+		Addr:      *addr,
+		Table:     *table,
+		Keys:      *keys,
+		TupleSize: *tuple,
+		UpdatePct: *updates,
+	}
+	for _, n := range conns {
+		p, err := run(*addr, *table, *tuple, *keys, *updates, n, *pipeline, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Points = append(rep.Points, p)
+		if !*jsonOut {
+			fmt.Printf("conns=%-4d pipeline=%-3d  %10.0f ops/s  (%d ops, %d conflicts, %d errors, %.2fs)\n",
+				p.Conns, p.Pipeline, p.Throughput, p.Ops, p.Conflicts, p.Errors, p.DurationS)
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		fmt.Println(string(out))
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ipaload: %v\n", err)
+	os.Exit(1)
+}
+
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -conns element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// preload creates the table (tolerating a live server that already has
+// it) and pipelines the keyspace in.
+func preload(addr, table string, tuple, keys int) error {
+	c, err := ipaclient.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.CreateTable(table, tuple); err != nil && !ipaclient.IsCode(err, "EXISTS") {
+		return err
+	}
+	value := make([]byte, tuple)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	const batch = 256
+	for lo := 0; lo < keys; lo += batch {
+		hi := lo + batch
+		if hi > keys {
+			hi = keys
+		}
+		cmds := make([][][]byte, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			cmds = append(cmds, [][]byte{
+				[]byte("INSERT"), []byte(table), []byte(strconv.Itoa(k)), value,
+			})
+		}
+		replies, err := c.Batch(cmds)
+		if err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+		for _, r := range replies {
+			if code := r.ErrorCode(); code != "" && code != "DUPKEY" {
+				return fmt.Errorf("preload: server: %s", r.Str)
+			}
+		}
+	}
+	return nil
+}
+
+// run measures one sweep point: n connections, each a goroutine with its
+// own client, issuing pipelined batches until the window closes.
+func run(addr, table string, tuple, keys, updates, n, depth int, window time.Duration) (point, error) {
+	clients := make([]*ipaclient.Client, n)
+	for i := range clients {
+		c, err := ipaclient.Dial(addr)
+		if err != nil {
+			return point{}, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	var (
+		ops       atomic.Uint64
+		conflicts atomic.Uint64
+		errs      atomic.Uint64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		firstErr  atomic.Value
+	)
+	// The tail patch lands at the end of the tuple: the engine's
+	// in-place-append sweet spot.
+	patchOff := tuple - 8
+	if patchOff < 0 {
+		patchOff = 0
+	}
+
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *ipaclient.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
+			patch := make([]byte, 8)
+			offArg := []byte(strconv.Itoa(patchOff))
+			tbl := []byte(table)
+			for !stop.Load() {
+				cmds := make([][][]byte, depth)
+				for j := range cmds {
+					key := []byte(strconv.Itoa(rng.Intn(keys)))
+					if rng.Intn(100) < updates {
+						rng.Read(patch)
+						val := make([]byte, 8)
+						copy(val, patch)
+						cmds[j] = [][]byte{[]byte("UPDATE"), tbl, key, offArg, val}
+					} else {
+						cmds[j] = [][]byte{[]byte("GET"), tbl, key}
+					}
+				}
+				replies, err := c.Batch(cmds)
+				if err != nil {
+					if !stop.Load() {
+						firstErr.CompareAndSwap(nil, error(fmt.Errorf("conn %d: %w", i, err)))
+					}
+					return
+				}
+				for _, r := range replies {
+					switch r.ErrorCode() {
+					case "":
+						ops.Add(1)
+					case "CONFLICT":
+						conflicts.Add(1)
+					default:
+						errs.Add(1)
+					}
+				}
+			}
+		}(i, c)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if e := firstErr.Load(); e != nil {
+		return point{}, e.(error)
+	}
+	total := ops.Load() + conflicts.Load()
+	return point{
+		Conns:      n,
+		Pipeline:   depth,
+		Ops:        ops.Load(),
+		Conflicts:  conflicts.Load(),
+		Errors:     errs.Load(),
+		DurationS:  elapsed.Seconds(),
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, nil
+}

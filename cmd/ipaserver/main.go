@@ -1,0 +1,96 @@
+// Command ipaserver serves an ipa engine over the network: a RESP-
+// compatible TCP listener (redis-cli works for the simple verbs, ipaclient
+// and cmd/ipaload for everything) plus an HTTP sidecar with /healthz and
+// Prometheus-style /metrics. SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight pipelines finish, a final fuzzy checkpoint is taken, the
+// engine closes. The wire protocol is specified in docs/DESIGN_SERVER.md.
+//
+// Usage:
+//
+//	ipaserver -addr :6389 -http :6390 -mode native -n 2 -m 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipa"
+	"ipa/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":6389", "RESP listener address")
+		httpAddr = flag.String("http", ":6390", "health/metrics sidecar address ('' disables)")
+		workers  = flag.Int("workers", 0, "engine worker lanes (0 = chips × GOMAXPROCS)")
+		pipeline = flag.Int("pipeline", 128, "per-connection pipeline depth")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain deadline")
+
+		mode  = flag.String("mode", "native", "write mode: traditional, ssd or native")
+		n     = flag.Int("n", 2, "IPA scheme parameter N")
+		m     = flag.Int("m", 4, "IPA scheme parameter M")
+		flash = flag.String("flash", "pslc", "flash mode: pslc, oddmlc or mlc")
+		chips = flag.Int("chips", 4, "NAND chips (parallel recovery and GC lanes)")
+		ckpt  = flag.Uint64("checkpoint-bytes", 4<<20, "WAL bytes between fuzzy checkpoints (0 disables)")
+	)
+	flag.Parse()
+
+	cfg := ipa.Config{
+		Chips:                *chips,
+		Scheme:               ipa.Scheme{N: *n, M: *m},
+		CheckpointEveryBytes: *ckpt,
+	}
+	switch *mode {
+	case "traditional":
+		cfg.WriteMode = ipa.Traditional
+		cfg.Scheme = ipa.Scheme{}
+	case "ssd":
+		cfg.WriteMode = ipa.IPAConventionalSSD
+	default:
+		cfg.WriteMode = ipa.IPANativeFlash
+	}
+	switch *flash {
+	case "oddmlc":
+		cfg.FlashMode = ipa.OddMLC
+	case "mlc":
+		cfg.FlashMode = ipa.MLCFull
+	default:
+		cfg.FlashMode = ipa.PSLC
+	}
+
+	db, err := ipa.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipaserver: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db, server.Config{
+		Addr:          *addr,
+		HTTPAddr:      *httpAddr,
+		Workers:       *workers,
+		PipelineDepth: *pipeline,
+		Logf:          log.Printf,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "ipaserver: %v\n", err)
+		db.Close()
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("ipaserver: %s, draining (deadline %s)", s, *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ipaserver: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

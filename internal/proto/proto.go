@@ -1,0 +1,462 @@
+// Package proto implements the wire codec shared by the ipa server and
+// client: RESP2-compatible framing (the REdis Serialization Protocol), so
+// off-the-shelf Redis clients and redis-cli can speak the simple verbs
+// while ipaclient gets a typed Go surface.
+//
+// A client request is one RESP array of bulk strings (the command name
+// followed by its arguments) or, for hand-typed telnet sessions, one
+// inline command: a whitespace-separated line. A server reply is any RESP
+// value: simple string (+OK), error (-CODE message), integer (:n), bulk
+// string ($len), null bulk ($-1) or array (*n of further replies).
+//
+// The codec is defensive by construction: every length prefix is bounded
+// (MaxBulk bytes per bulk string, MaxArity elements per request array,
+// MaxLine bytes per line), torn frames surface io.ErrUnexpectedEOF, and
+// malformed input surfaces ErrProto — the decoder never panics and never
+// allocates more than the declared limits, which FuzzProtoDecode pins.
+// The full frame grammar, command set and error-code table are specified
+// in docs/DESIGN_SERVER.md.
+package proto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Limits applied by Reader. They bound the memory one peer can make the
+// other side allocate before any command is dispatched.
+const (
+	// DefaultMaxBulk is the largest accepted bulk-string payload.
+	DefaultMaxBulk = 8 << 20
+	// DefaultMaxArity is the largest accepted request-array element count.
+	DefaultMaxArity = 1024
+	// DefaultMaxLine is the largest accepted single line (inline commands
+	// and length prefixes).
+	DefaultMaxLine = 64 << 10
+)
+
+// ErrProto reports a malformed frame: an unknown type byte, a broken
+// length prefix, a missing CRLF terminator. The connection cannot be
+// resynchronised after it and must be closed.
+var ErrProto = errors.New("proto: malformed frame")
+
+// ErrTooLarge reports a frame that exceeds the reader's limits. Like
+// ErrProto it is unrecoverable: the declared bytes were not consumed.
+var ErrTooLarge = errors.New("proto: frame exceeds limit")
+
+// ReplyKind enumerates the RESP value types a reply can carry.
+type ReplyKind int
+
+const (
+	// KindSimple is a +OK style status string.
+	KindSimple ReplyKind = iota
+	// KindError is a -CODE message error string.
+	KindError
+	// KindInt is a :n integer.
+	KindInt
+	// KindBulk is a $len binary-safe string.
+	KindBulk
+	// KindNull is the $-1 null bulk string.
+	KindNull
+	// KindArray is a *n array of nested replies.
+	KindArray
+)
+
+// String names the reply kind.
+func (k ReplyKind) String() string {
+	switch k {
+	case KindSimple:
+		return "simple"
+	case KindError:
+		return "error"
+	case KindInt:
+		return "integer"
+	case KindBulk:
+		return "bulk"
+	case KindNull:
+		return "null"
+	case KindArray:
+		return "array"
+	default:
+		return fmt.Sprintf("ReplyKind(%d)", int(k))
+	}
+}
+
+// Reply is one decoded server reply.
+type Reply struct {
+	Kind ReplyKind
+	// Str holds the text of simple strings and errors. Error text is
+	// "CODE message" with CODE a single upper-case token; see ErrorCode.
+	Str string
+	// Int holds the value of integer replies.
+	Int int64
+	// Bulk holds the payload of bulk replies (nil for null).
+	Bulk []byte
+	// Elems holds the nested replies of array replies.
+	Elems []Reply
+}
+
+// ErrorCode returns the leading upper-case token of an error reply ("ERR",
+// "NOTFOUND", ...) and "" for non-error replies.
+func (r Reply) ErrorCode() string {
+	if r.Kind != KindError {
+		return ""
+	}
+	for i := 0; i < len(r.Str); i++ {
+		if r.Str[i] == ' ' {
+			return r.Str[:i]
+		}
+	}
+	return r.Str
+}
+
+// Reader decodes RESP frames from a stream.
+type Reader struct {
+	br *bufio.Reader
+	// MaxBulk, MaxArity and MaxLine bound the accepted frames; the zero
+	// value of each selects its package default.
+	MaxBulk  int
+	MaxArity int
+	MaxLine  int
+}
+
+// NewReader wraps r in a frame decoder with default limits. The buffer is
+// sized to DefaultMaxLine so the longest permitted line fits ReadSlice.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, DefaultMaxLine)}
+}
+
+func (r *Reader) maxBulk() int {
+	if r.MaxBulk > 0 {
+		return r.MaxBulk
+	}
+	return DefaultMaxBulk
+}
+
+func (r *Reader) maxArity() int {
+	if r.MaxArity > 0 {
+		return r.MaxArity
+	}
+	return DefaultMaxArity
+}
+
+func (r *Reader) maxLine() int {
+	if r.MaxLine > 0 {
+		return r.MaxLine
+	}
+	return DefaultMaxLine
+}
+
+// readLine reads one CRLF-terminated line, excluding the terminator. A
+// bare LF is rejected (RESP terminates every line with CRLF); a line
+// longer than MaxLine fails with ErrTooLarge.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if errors.Is(err, bufio.ErrBufferFull) {
+		return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrTooLarge, r.maxLine())
+	}
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(line) > r.maxLine() {
+		return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrTooLarge, r.maxLine())
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line not CRLF-terminated", ErrProto)
+	}
+	out := make([]byte, len(line)-2)
+	copy(out, line[:len(line)-2])
+	return out, nil
+}
+
+// parseInt parses a RESP length or integer line.
+func parseInt(b []byte) (int64, error) {
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad integer %q", ErrProto, b)
+	}
+	return n, nil
+}
+
+// readBulkBody reads n payload bytes plus the trailing CRLF.
+func (r *Reader) readBulkBody(n int64) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative bulk length %d", ErrProto, n)
+	}
+	if n > int64(r.maxBulk()) {
+		return nil, fmt.Errorf("%w: bulk of %d bytes exceeds %d", ErrTooLarge, n, r.maxBulk())
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProto)
+	}
+	return buf[:n:n], nil
+}
+
+// ReadCommand reads one client request: a RESP array of bulk strings, or
+// an inline command (a non-empty whitespace-separated line that does not
+// start with '*'). Empty inline lines are skipped, as in Redis. io.EOF is
+// returned only at a clean frame boundary; a connection cut mid-frame
+// surfaces io.ErrUnexpectedEOF.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		first, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if first != '*' {
+			if err := r.br.UnreadByte(); err != nil {
+				return nil, err
+			}
+			line, err := r.readLine()
+			if err != nil {
+				return nil, err
+			}
+			args := splitInline(line)
+			if len(args) == 0 {
+				continue // empty line between commands: ignore
+			}
+			if len(args) > r.maxArity() {
+				return nil, fmt.Errorf("%w: %d arguments exceed %d", ErrTooLarge, len(args), r.maxArity())
+			}
+			return args, nil
+		}
+		header, err := r.readLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.ErrUnexpectedEOF // the '*' was consumed
+			}
+			return nil, err
+		}
+		n, err := parseInt(header)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: request array of %d elements", ErrProto, n)
+		}
+		if n > int64(r.maxArity()) {
+			return nil, fmt.Errorf("%w: %d arguments exceed %d", ErrTooLarge, n, r.maxArity())
+		}
+		args := make([][]byte, 0, n)
+		for i := int64(0); i < n; i++ {
+			t, err := r.br.ReadByte()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil, io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			if t != '$' {
+				return nil, fmt.Errorf("%w: request element %d is %q, want bulk string", ErrProto, i, t)
+			}
+			line, err := r.readLine()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil, io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			ln, err := parseInt(line)
+			if err != nil {
+				return nil, err
+			}
+			body, err := r.readBulkBody(ln)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, body)
+		}
+		return args, nil
+	}
+}
+
+// splitInline splits an inline command on spaces and tabs.
+func splitInline(line []byte) [][]byte {
+	var args [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			args = append(args, line[start:i])
+		}
+	}
+	return args
+}
+
+// ReadReply reads one server reply, including nested arrays. io.EOF is
+// returned only at a clean frame boundary.
+func (r *Reader) ReadReply() (Reply, error) {
+	return r.readReply(0)
+}
+
+// maxReplyDepth bounds nested arrays so hostile input cannot recurse the
+// decoder into stack exhaustion.
+const maxReplyDepth = 8
+
+func (r *Reader) readReply(depth int) (Reply, error) {
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	line, err := r.readLine()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Reply{}, io.ErrUnexpectedEOF
+		}
+		return Reply{}, err
+	}
+	switch t {
+	case '+':
+		return Reply{Kind: KindSimple, Str: string(line)}, nil
+	case '-':
+		return Reply{Kind: KindError, Str: string(line)}, nil
+	case ':':
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: KindInt, Int: n}, nil
+	case '$':
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: KindNull}, nil
+		}
+		body, err := r.readBulkBody(n)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: KindBulk, Bulk: body}, nil
+	case '*':
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: KindNull}, nil
+		}
+		if n < 0 || n > int64(r.maxArity()) {
+			return Reply{}, fmt.Errorf("%w: array of %d elements", ErrTooLarge, n)
+		}
+		if depth >= maxReplyDepth {
+			return Reply{}, fmt.Errorf("%w: arrays nested deeper than %d", ErrProto, maxReplyDepth)
+		}
+		elems := make([]Reply, 0, n)
+		for i := int64(0); i < n; i++ {
+			e, err := r.readReply(depth + 1)
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return Reply{}, io.ErrUnexpectedEOF
+				}
+				return Reply{}, err
+			}
+			elems = append(elems, e)
+		}
+		return Reply{Kind: KindArray, Elems: elems}, nil
+	default:
+		return Reply{}, fmt.Errorf("%w: unknown type byte %q", ErrProto, t)
+	}
+}
+
+// Writer encodes RESP frames onto a buffered stream. It is not safe for
+// concurrent use; the server serialises all writes through the session
+// executor, the client through its connection mutex.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w in a frame encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WriteSimple writes a +status reply.
+func (w *Writer) WriteSimple(s string) {
+	w.bw.WriteByte('+')
+	w.bw.WriteString(s)
+	w.bw.WriteString("\r\n")
+}
+
+// WriteError writes a -CODE message reply. The message has CR and LF
+// stripped so it can never break the framing.
+func (w *Writer) WriteError(code, msg string) {
+	w.bw.WriteByte('-')
+	w.bw.WriteString(code)
+	if msg != "" {
+		w.bw.WriteByte(' ')
+		for i := 0; i < len(msg); i++ {
+			if c := msg[i]; c != '\r' && c != '\n' {
+				w.bw.WriteByte(c)
+			}
+		}
+	}
+	w.bw.WriteString("\r\n")
+}
+
+// WriteInt writes a :n integer reply.
+func (w *Writer) WriteInt(n int64) {
+	w.bw.WriteByte(':')
+	w.bw.WriteString(strconv.FormatInt(n, 10))
+	w.bw.WriteString("\r\n")
+}
+
+// WriteBulk writes a $len binary-safe bulk reply.
+func (w *Writer) WriteBulk(b []byte) {
+	w.bw.WriteByte('$')
+	w.bw.WriteString(strconv.Itoa(len(b)))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(b)
+	w.bw.WriteString("\r\n")
+}
+
+// WriteBulkString writes a bulk reply from a string.
+func (w *Writer) WriteBulkString(s string) { w.WriteBulk([]byte(s)) }
+
+// WriteNull writes the $-1 null bulk reply.
+func (w *Writer) WriteNull() {
+	w.bw.WriteString("$-1\r\n")
+}
+
+// WriteArray writes an *n array header; the caller then writes n nested
+// replies.
+func (w *Writer) WriteArray(n int) {
+	w.bw.WriteByte('*')
+	w.bw.WriteString(strconv.Itoa(n))
+	w.bw.WriteString("\r\n")
+}
+
+// WriteCommand writes one client request as a RESP array of bulk strings.
+func (w *Writer) WriteCommand(args ...[]byte) {
+	w.WriteArray(len(args))
+	for _, a := range args {
+		w.WriteBulk(a)
+	}
+}
+
+// Flush pushes buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Buffered returns the number of bytes waiting for Flush. The session
+// executor uses it to flush only at pipeline boundaries.
+func (w *Writer) Buffered() int { return w.bw.Buffered() }

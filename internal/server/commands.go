@@ -1,0 +1,526 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipa"
+	"ipa/internal/txn"
+)
+
+// Wire error codes. Every reply-position error the server can emit
+// carries exactly one of these as its first token; docs/DESIGN_SERVER.md
+// documents each (spec_test.go enforces that).
+const (
+	codeErr      = "ERR"      // internal or unclassified engine error
+	codeProto    = "PROTO"    // malformed frame; the connection closes after this reply
+	codeUnknown  = "UNKNOWN"  // unknown command name
+	codeArgs     = "ARGS"     // wrong argument count or unparsable argument
+	codeNoTable  = "NOTABLE"  // named table does not exist
+	codeExists   = "EXISTS"   // table or index name already taken
+	codeNotFound = "NOTFOUND" // primary key not present
+	codeDupKey   = "DUPKEY"   // primary key already present
+	codeConflict = "CONFLICT" // record lock conflict; abort and retry
+	codeNoIndex  = "NOINDEX"  // named secondary index does not exist
+	codeNoTxn    = "NOTXN"    // COMMIT/ABORT without an open transaction
+	codeInTxn    = "INTXN"    // BEGIN while a transaction is already open
+	codeFinished = "FINISHED" // operation on a finished transaction
+	codeClosed   = "CLOSED"   // engine closed (server shutting down)
+)
+
+// wireCodes lists every error code for the spec drift test.
+var wireCodes = []string{
+	codeErr, codeProto, codeUnknown, codeArgs, codeNoTable, codeExists,
+	codeNotFound, codeDupKey, codeConflict, codeNoIndex, codeNoTxn,
+	codeInTxn, codeFinished, codeClosed,
+}
+
+// errCode maps an engine error onto its stable wire code. The mapping is
+// total: anything unrecognised is ERR, every exported engine sentinel has
+// its own code.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ipa.ErrClosed):
+		return codeClosed
+	case errors.Is(err, ipa.ErrKeyNotFound):
+		return codeNotFound
+	case errors.Is(err, ipa.ErrDuplicateKey):
+		return codeDupKey
+	case errors.Is(err, ipa.ErrConflict):
+		return codeConflict
+	case errors.Is(err, ipa.ErrIndexNotFound):
+		return codeNoIndex
+	case errors.Is(err, ipa.ErrTableExists), errors.Is(err, ipa.ErrIndexExists):
+		return codeExists
+	case errors.Is(err, txn.ErrFinished):
+		return codeFinished
+	default:
+		return codeErr
+	}
+}
+
+// command is one dispatch-table entry.
+type command struct {
+	name  string
+	usage string // "GET table key" — reported on ARGS errors, checked by spec_test
+	min   int    // minimum argument count (excluding the name)
+	max   int    // maximum argument count, -1 = unbounded
+	fn    func(s *session, args [][]byte)
+}
+
+// commands is the dispatch table; commandNames its sorted index.
+var commands = map[string]command{}
+var commandNames []string
+
+func register(name, usage string, min, max int, fn func(s *session, args [][]byte)) {
+	commands[name] = command{name: name, usage: usage, min: min, max: max, fn: fn}
+	commandNames = append(commandNames, name)
+	sort.Strings(commandNames)
+}
+
+func init() {
+	register("PING", "PING", 0, 0, cmdPing)
+	register("ECHO", "ECHO message", 1, 1, cmdEcho)
+	register("QUIT", "QUIT", 0, 0, cmdQuit)
+	register("CREATE", "CREATE table tupleSize", 2, 2, cmdCreate)
+	register("TABLES", "TABLES", 0, 0, cmdTables)
+	register("COUNT", "COUNT table", 1, 1, cmdCount)
+	register("INSERT", "INSERT table key value", 3, 3, cmdInsert)
+	register("GET", "GET table key", 2, 2, cmdGet)
+	register("UPDATE", "UPDATE table key offset value", 4, 4, cmdUpdate)
+	register("DEL", "DEL table key", 2, 2, cmdDel)
+	register("SCAN", "SCAN table from to [limit]", 3, 4, cmdScan)
+	register("CINDEX", "CINDEX table index offset", 3, 3, cmdCIndex)
+	register("INDEXES", "INDEXES table", 1, 1, cmdIndexes)
+	register("GETBY", "GETBY table index key", 3, 3, cmdGetBy)
+	register("SCANBY", "SCANBY table index from to [limit]", 4, 5, cmdScanBy)
+	register("BEGIN", "BEGIN", 0, 0, cmdBegin)
+	register("COMMIT", "COMMIT", 0, 0, cmdCommit)
+	register("ABORT", "ABORT", 0, 0, cmdAbort)
+	register("CHECKPOINT", "CHECKPOINT", 0, 0, cmdCheckpoint)
+	register("STATS", "STATS [JSON]", 0, 1, cmdStats)
+	register("INFO", "INFO", 0, 0, cmdInfo)
+}
+
+// execute dispatches one decoded command and writes exactly one reply.
+func (s *session) execute(args [][]byte) {
+	s.srv.commandsRun.Add(1)
+	name := strings.ToUpper(string(args[0]))
+	cmd, ok := commands[name]
+	if !ok {
+		s.writeError(codeUnknown, fmt.Sprintf("unknown command %q", name))
+		return
+	}
+	rest := args[1:]
+	if len(rest) < cmd.min || (cmd.max >= 0 && len(rest) > cmd.max) {
+		s.writeError(codeArgs, "usage: "+cmd.usage)
+		return
+	}
+	cmd.fn(s, rest)
+}
+
+// engineError maps err onto its wire code and writes the error reply.
+func (s *session) engineError(err error) {
+	s.writeError(errCode(err), err.Error())
+}
+
+// table resolves a table name argument, writing NOTABLE on failure.
+func (s *session) table(name []byte) (*ipa.Table, bool) {
+	t, ok := s.srv.db.Table(string(name))
+	if !ok {
+		s.writeError(codeNoTable, fmt.Sprintf("no such table %q", name))
+	}
+	return t, ok
+}
+
+// argInt parses a decimal int64 argument, writing ARGS on failure.
+func (s *session) argInt(what string, b []byte) (int64, bool) {
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		s.writeError(codeArgs, fmt.Sprintf("bad %s %q", what, b))
+		return 0, false
+	}
+	return n, true
+}
+
+// tuple pads value to the table's fixed tuple size, writing ARGS when the
+// value does not fit.
+func (s *session) tuple(t *ipa.Table, value []byte) ([]byte, bool) {
+	if len(value) > t.TupleSize() {
+		s.writeError(codeArgs, fmt.Sprintf("value of %d bytes exceeds the %d-byte tuples of %q",
+			len(value), t.TupleSize(), t.Name()))
+		return nil, false
+	}
+	tuple := make([]byte, t.TupleSize())
+	copy(tuple, value)
+	return tuple, true
+}
+
+// autocommit runs fn inside the session's open transaction if there is
+// one, or wraps it in its own begin/commit otherwise — every write on the
+// wire is transactional and WAL-logged.
+func (s *session) autocommit(fn func(tx *ipa.Tx) error) error {
+	if s.tx != nil {
+		return fn(s.tx)
+	}
+	tx := s.srv.db.Begin()
+	if err := fn(tx); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// scanLimit parses the optional row-count bound of SCAN/SCANBY.
+const defaultScanLimit = 1000
+
+func (s *session) scanLimit(args [][]byte, idx int) (int, bool) {
+	if len(args) <= idx {
+		return defaultScanLimit, true
+	}
+	n, ok := s.argInt("limit", args[idx])
+	if !ok {
+		return 0, false
+	}
+	if n <= 0 {
+		s.writeError(codeArgs, "limit must be positive")
+		return 0, false
+	}
+	return int(n), true
+}
+
+func cmdPing(s *session, _ [][]byte) { s.w.WriteSimple("PONG") }
+
+func cmdEcho(s *session, args [][]byte) { s.w.WriteBulk(args[0]) }
+
+func cmdQuit(s *session, _ [][]byte) {
+	s.quit = true
+	s.w.WriteSimple("OK")
+}
+
+func cmdCreate(s *session, args [][]byte) {
+	size, ok := s.argInt("tuple size", args[1])
+	if !ok {
+		return
+	}
+	if _, err := s.srv.db.CreateTable(string(args[0]), int(size)); err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+func cmdTables(s *session, _ [][]byte) {
+	names := s.srv.db.Tables()
+	sort.Strings(names)
+	s.w.WriteArray(len(names))
+	for _, n := range names {
+		s.w.WriteBulkString(n)
+	}
+}
+
+func cmdCount(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	s.w.WriteInt(int64(t.Count()))
+}
+
+func cmdInsert(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	key, ok := s.argInt("key", args[1])
+	if !ok {
+		return
+	}
+	tuple, ok := s.tuple(t, args[2])
+	if !ok {
+		return
+	}
+	if err := s.autocommit(func(tx *ipa.Tx) error { return tx.Insert(t, key, tuple) }); err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+func cmdGet(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	key, ok := s.argInt("key", args[1])
+	if !ok {
+		return
+	}
+	var (
+		tuple []byte
+		err   error
+	)
+	if s.tx != nil {
+		tuple, err = s.tx.Get(t, key) // repeatable read at the txn snapshot
+	} else {
+		tuple, err = t.Get(key) // fresh statement snapshot
+	}
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteBulk(tuple)
+}
+
+func cmdUpdate(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	key, ok := s.argInt("key", args[1])
+	if !ok {
+		return
+	}
+	offset, ok := s.argInt("offset", args[2])
+	if !ok {
+		return
+	}
+	if err := s.autocommit(func(tx *ipa.Tx) error {
+		return tx.UpdateAt(t, key, int(offset), args[3])
+	}); err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+func cmdDel(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	key, ok := s.argInt("key", args[1])
+	if !ok {
+		return
+	}
+	if err := s.autocommit(func(tx *ipa.Tx) error { return tx.Delete(t, key) }); err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+// scanRow is one buffered row of a range read.
+type scanRow struct {
+	key   int64
+	tuple []byte
+}
+
+func cmdScan(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	from, ok := s.argInt("from", args[1])
+	if !ok {
+		return
+	}
+	to, ok := s.argInt("to", args[2])
+	if !ok {
+		return
+	}
+	limit, ok := s.scanLimit(args, 3)
+	if !ok {
+		return
+	}
+	rows := make([]scanRow, 0, 16)
+	err := t.ScanRange(from, to, func(key int64, tuple []byte) bool {
+		rows = append(rows, scanRow{key, tuple})
+		return len(rows) < limit
+	})
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteArray(2 * len(rows))
+	for _, r := range rows {
+		s.w.WriteInt(r.key)
+		s.w.WriteBulk(r.tuple)
+	}
+}
+
+func cmdCIndex(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	offset, ok := s.argInt("offset", args[2])
+	if !ok {
+		return
+	}
+	if offset < 0 || int(offset)+8 > t.TupleSize() {
+		s.writeError(codeArgs, fmt.Sprintf("offset %d outside the %d-byte tuples of %q (need offset+8 <= size)",
+			offset, t.TupleSize(), t.Name()))
+		return
+	}
+	if _, err := t.CreateSecondaryIndex(string(args[1]), ipa.Int64Field(int(offset))); err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+func cmdIndexes(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	names := t.SecondaryIndexes()
+	s.w.WriteArray(len(names))
+	for _, n := range names {
+		s.w.WriteBulkString(n)
+	}
+}
+
+func cmdGetBy(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	key, ok := s.argInt("key", args[2])
+	if !ok {
+		return
+	}
+	rows, err := t.GetBySecondary(string(args[1]), key)
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteArray(len(rows))
+	for _, row := range rows {
+		s.w.WriteBulk(row)
+	}
+}
+
+func cmdScanBy(s *session, args [][]byte) {
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	from, ok := s.argInt("from", args[2])
+	if !ok {
+		return
+	}
+	to, ok := s.argInt("to", args[3])
+	if !ok {
+		return
+	}
+	limit, ok := s.scanLimit(args, 4)
+	if !ok {
+		return
+	}
+	rows := make([]scanRow, 0, 16)
+	err := t.ScanSecondary(string(args[1]), from, to, func(key int64, tuple []byte) bool {
+		rows = append(rows, scanRow{key, tuple})
+		return len(rows) < limit
+	})
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteArray(2 * len(rows))
+	for _, r := range rows {
+		s.w.WriteInt(r.key)
+		s.w.WriteBulk(r.tuple)
+	}
+}
+
+func cmdBegin(s *session, _ [][]byte) {
+	if s.tx != nil {
+		s.writeError(codeInTxn, "transaction already open on this connection")
+		return
+	}
+	s.tx = s.srv.db.Begin()
+	s.w.WriteSimple("OK")
+}
+
+func cmdCommit(s *session, _ [][]byte) {
+	if s.tx == nil {
+		s.writeError(codeNoTxn, "no transaction open on this connection")
+		return
+	}
+	err := s.tx.Commit()
+	s.tx = nil
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+func cmdAbort(s *session, _ [][]byte) {
+	if s.tx == nil {
+		s.writeError(codeNoTxn, "no transaction open on this connection")
+		return
+	}
+	err := s.tx.Abort()
+	s.tx = nil
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteSimple("OK")
+}
+
+func cmdCheckpoint(s *session, _ [][]byte) {
+	res, err := s.srv.db.Checkpoint()
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteBulk(out)
+}
+
+func cmdStats(s *session, args [][]byte) {
+	st := s.srv.db.Stats()
+	if len(args) == 1 {
+		if !strings.EqualFold(string(args[0]), "JSON") {
+			s.writeError(codeArgs, "usage: STATS [JSON]")
+			return
+		}
+		out, err := json.Marshal(st)
+		if err != nil {
+			s.engineError(err)
+			return
+		}
+		s.w.WriteBulk(out)
+		return
+	}
+	s.w.WriteBulkString(st.String())
+}
+
+func cmdInfo(s *session, _ [][]byte) {
+	srv := s.srv
+	var b strings.Builder
+	fmt.Fprintf(&b, "addr:%s\n", srv.ln.Addr())
+	fmt.Fprintf(&b, "uptime_seconds:%d\n", int64(time.Since(srv.started).Seconds()))
+	fmt.Fprintf(&b, "workers:%d\n", srv.cfg.Workers)
+	fmt.Fprintf(&b, "pipeline_depth:%d\n", srv.cfg.PipelineDepth)
+	fmt.Fprintf(&b, "connections_current:%d\n", srv.connsCurrent.Load())
+	fmt.Fprintf(&b, "connections_total:%d\n", srv.connsTotal.Load())
+	fmt.Fprintf(&b, "commands_total:%d\n", srv.commandsRun.Load())
+	fmt.Fprintf(&b, "error_replies_total:%d\n", srv.errorReplies.Load())
+	fmt.Fprintf(&b, "draining:%v\n", srv.draining.Load())
+	fmt.Fprintf(&b, "commands:%s\n", strings.Join(commandNames, ","))
+	s.w.WriteBulkString(b.String())
+}

@@ -1,0 +1,308 @@
+// Package server implements ipaserver's network front end: a TCP listener
+// speaking the RESP-compatible wire protocol of internal/proto, one
+// pipelined session per connection dispatching commands onto an embedded
+// ipa.DB, a worker pool bounding engine concurrency at chips × GOMAXPROCS,
+// and an HTTP sidecar exposing /healthz and Prometheus-style /metrics.
+//
+// The protocol — frame grammar, command set, error-code table, pipelining
+// and transaction-session semantics, and the graceful-shutdown contract —
+// is specified in docs/DESIGN_SERVER.md; internal/server/spec_test.go
+// fails if a command or error code exists here without being documented
+// there.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipa"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the RESP listener address (e.g. ":6389"; ":0" picks a free
+	// port, which tests use).
+	Addr string
+	// HTTPAddr is the health/metrics sidecar address ("" disables it).
+	HTTPAddr string
+	// Workers bounds how many commands may execute inside the engine at
+	// once, across all sessions. Default: Chips × GOMAXPROCS — one lane
+	// per plane of hardware parallelism the simulated device offers.
+	Workers int
+	// PipelineDepth is the per-session queue of decoded, not yet executed
+	// commands (default 128). A client pipelining deeper than this is
+	// simply backpressured by TCP; nothing is dropped.
+	PipelineDepth int
+	// MaxBulk overrides the largest accepted bulk-string payload
+	// (default proto.DefaultMaxBulk).
+	MaxBulk int
+	// Logf, when set, receives one line per lifecycle event (connections
+	// are not logged individually). nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Server serves an ipa.DB over the wire protocol.
+type Server struct {
+	db  *ipa.DB
+	cfg Config
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+	workers chan struct{}
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+
+	// draining flips the health endpoint to 503 and marks the shutdown
+	// drain; shut ensures the shutdown sequence runs once.
+	draining atomic.Bool
+	shut     sync.Once
+	shutErr  error
+
+	// acceptWG tracks the accept loop, sessWG every session.
+	acceptWG sync.WaitGroup
+	sessWG   sync.WaitGroup
+
+	// Wire-level counters, exported via /metrics and the INFO command.
+	connsTotal   atomic.Uint64
+	connsCurrent atomic.Int64
+	commandsRun  atomic.Uint64
+	errorReplies atomic.Uint64
+	started      time.Time
+}
+
+// New wraps db in a Server. Start must be called to begin serving.
+func New(db *ipa.DB, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = db.Config().Chips * runtime.GOMAXPROCS(0)
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 128
+	}
+	return &Server{
+		db:       db,
+		cfg:      cfg,
+		workers:  make(chan struct{}, cfg.Workers),
+		sessions: make(map[*session]struct{}),
+		started:  time.Now(),
+	}
+}
+
+// logf emits one lifecycle log line, if logging is configured.
+func (srv *Server) logf(format string, args ...any) {
+	if srv.cfg.Logf != nil {
+		srv.cfg.Logf(format, args...)
+	}
+}
+
+// Start binds the listeners and begins accepting connections. It returns
+// once the server is reachable; serving continues in the background until
+// Shutdown or Close.
+func (srv *Server) Start() error {
+	ln, err := net.Listen("tcp", srv.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", srv.cfg.Addr, err)
+	}
+	srv.ln = ln
+	if srv.cfg.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", srv.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: http listen %s: %w", srv.cfg.HTTPAddr, err)
+		}
+		srv.httpLn = httpLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", srv.handleHealthz)
+		mux.HandleFunc("/metrics", srv.handleMetrics)
+		srv.httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := srv.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				srv.logf("server: http sidecar: %v", err)
+			}
+		}()
+	}
+	srv.acceptWG.Add(1)
+	go srv.acceptLoop()
+	srv.logf("server: listening on %s (workers=%d pipeline=%d http=%s)",
+		ln.Addr(), srv.cfg.Workers, srv.cfg.PipelineDepth, srv.cfg.HTTPAddr)
+	return nil
+}
+
+// Addr returns the bound RESP listener address.
+func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
+
+// HTTPAddr returns the bound sidecar address, or nil when disabled.
+func (srv *Server) HTTPAddr() net.Addr {
+	if srv.httpLn == nil {
+		return nil
+	}
+	return srv.httpLn.Addr()
+}
+
+// acceptLoop admits connections until the listener closes.
+func (srv *Server) acceptLoop() {
+	defer srv.acceptWG.Done()
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Close
+		}
+		if srv.draining.Load() {
+			conn.Close()
+			continue
+		}
+		srv.connsTotal.Add(1)
+		srv.connsCurrent.Add(1)
+		sess := newSession(srv, conn)
+		srv.mu.Lock()
+		srv.sessions[sess] = struct{}{}
+		srv.mu.Unlock()
+		srv.sessWG.Add(1)
+		go sess.serve()
+	}
+}
+
+// dropSession unregisters a finished session.
+func (srv *Server) dropSession(s *session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s)
+	srv.mu.Unlock()
+	srv.connsCurrent.Add(-1)
+	srv.sessWG.Done()
+}
+
+// Shutdown stops the server gracefully: the listener closes, /healthz
+// flips to 503, every session stops reading new frames and finishes the
+// pipelined commands it has already received (their replies are flushed),
+// open transactions of departing sessions are aborted, a final fuzzy
+// checkpoint is taken, and the engine is closed. If ctx expires before
+// all sessions drain, their connections are closed; commands that race
+// past the engine's close answer with the CLOSED wire error instead of a
+// dropped connection.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	srv.shut.Do(func() { srv.shutErr = srv.shutdown(ctx) })
+	return srv.shutErr
+}
+
+func (srv *Server) shutdown(ctx context.Context) error {
+	srv.logf("server: shutting down (draining %d sessions)", srv.connsCurrent.Load())
+	srv.draining.Store(true)
+	srv.ln.Close()
+	srv.acceptWG.Wait()
+
+	// Ask every session to drain: stop pulling frames off the socket,
+	// finish what is queued, flush, hang up.
+	srv.mu.Lock()
+	for s := range srv.sessions {
+		s.drain()
+	}
+	srv.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		srv.sessWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Stragglers lose their connection; their in-flight engine calls
+		// still finish (db.Close waits for them below).
+		srv.logf("server: drain deadline expired, closing %d sessions", srv.connsCurrent.Load())
+		srv.mu.Lock()
+		for s := range srv.sessions {
+			s.conn.Close()
+		}
+		srv.mu.Unlock()
+		<-done
+	}
+
+	// Final checkpoint: restart cost after a clean shutdown is one catalog
+	// read, not a log replay.
+	var ckptErr error
+	if _, err := srv.db.Checkpoint(); err != nil && !errors.Is(err, ipa.ErrClosed) {
+		ckptErr = fmt.Errorf("server: final checkpoint: %w", err)
+	}
+	closeErr := srv.db.Close()
+	if srv.httpSrv != nil {
+		srv.httpSrv.Close()
+	}
+	srv.logf("server: shutdown complete")
+	if ckptErr != nil {
+		return ckptErr
+	}
+	return closeErr
+}
+
+// Close stops the server hard: listeners and connections close
+// immediately, queued commands are abandoned, and the engine is closed
+// (which still flushes). Prefer Shutdown.
+func (srv *Server) Close() error {
+	srv.shut.Do(func() {
+		srv.draining.Store(true)
+		srv.ln.Close()
+		srv.acceptWG.Wait()
+		srv.mu.Lock()
+		for s := range srv.sessions {
+			s.conn.Close()
+		}
+		srv.mu.Unlock()
+		srv.sessWG.Wait()
+		if srv.httpSrv != nil {
+			srv.httpSrv.Close()
+		}
+		srv.shutErr = srv.db.Close()
+	})
+	return srv.shutErr
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining.
+func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if srv.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders engine and server counters in the Prometheus text
+// exposition format.
+func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := srv.db.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metric := func(name, help, typ string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	metric("ipa_committed_txns_total", "Committed transactions since the last stats reset.", "counter", st.CommittedTxns)
+	metric("ipa_aborted_txns_total", "Aborted transactions since the last stats reset.", "counter", st.AbortedTxns)
+	metric("ipa_in_place_appends_total", "Host writes served as in-place appends.", "counter", st.InPlaceAppends)
+	metric("ipa_out_of_place_writes_total", "Host writes served out of place.", "counter", st.OutOfPlaceWrites)
+	metric("ipa_gc_migrations_total", "Garbage-collection page migrations.", "counter", st.GCMigrations)
+	metric("ipa_gc_erases_total", "Garbage-collection block erases.", "counter", st.GCErases)
+	metric("ipa_flash_erases_lifetime_total", "Block erases since device creation.", "counter", st.TotalErasesEver)
+	metric("ipa_wal_bytes_total", "Bytes appended to the write-ahead log.", "counter", st.WALBytes)
+	metric("ipa_wal_segments", "Live write-ahead-log segments after recycling.", "gauge", st.WALSegments)
+	metric("ipa_wal_bytes_since_checkpoint", "Log volume accumulated since the last checkpoint (the redo bound).", "gauge", st.WALBytesSinceCheckpoint)
+	metric("ipa_checkpoint_lsn", "LSN of the last fuzzy checkpoint (0 = never).", "gauge", st.CheckpointLSN)
+	metric("ipa_buffer_hits_total", "Buffer pool hits.", "counter", st.BufferHits)
+	metric("ipa_buffer_misses_total", "Buffer pool misses.", "counter", st.BufferMisses)
+	metric("ipa_lock_conflicts_total", "No-wait record-lock denials (CONFLICT replies).", "counter", st.LockConflicts)
+	metric("ipa_snapshot_reads_total", "Lock-free MVCC snapshot read resolutions.", "counter", st.SnapshotReads)
+	metric("ipa_server_connections_current", "Connections currently open.", "gauge", srv.connsCurrent.Load())
+	metric("ipa_server_connections_total", "Connections accepted since start.", "counter", srv.connsTotal.Load())
+	metric("ipa_server_commands_total", "Commands executed since start.", "counter", srv.commandsRun.Load())
+	metric("ipa_server_error_replies_total", "Error replies sent since start.", "counter", srv.errorReplies.Load())
+	metric("ipa_server_uptime_seconds", "Seconds since the server started.", "gauge", int64(time.Since(srv.started).Seconds()))
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"ipa"
+	"ipa/internal/proto"
+)
+
+// session is one client connection: a reader goroutine decodes frames
+// into a bounded queue (the pipeline), and the session goroutine executes
+// them strictly in order, writing replies through a buffered encoder that
+// is flushed at pipeline boundaries — one syscall per batch, which is
+// where pipelining's throughput comes from. In-order execution is also
+// what gives BEGIN/…/COMMIT sequences their meaning on a pipelined
+// connection.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	r    *proto.Reader
+	w    *proto.Writer
+
+	// reqs carries decoded commands from the reader to the executor;
+	// readErr holds the reader's terminal error, valid after reqs closes.
+	reqs    chan [][]byte
+	readErr error
+
+	// tx is the connection's open explicit transaction, nil outside
+	// BEGIN…COMMIT/ABORT. Aborted on disconnect.
+	tx *ipa.Tx
+
+	// quit is set by the QUIT command: flush and hang up.
+	quit bool
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	r := proto.NewReader(conn)
+	if srv.cfg.MaxBulk > 0 {
+		r.MaxBulk = srv.cfg.MaxBulk
+	}
+	return &session{
+		srv:  srv,
+		conn: conn,
+		r:    r,
+		w:    proto.NewWriter(conn),
+		reqs: make(chan [][]byte, srv.cfg.PipelineDepth),
+	}
+}
+
+// serve runs the session to completion.
+func (s *session) serve() {
+	defer s.srv.dropSession(s)
+	defer s.conn.Close()
+	go s.readLoop()
+
+	for args := range s.reqs {
+		s.srv.workers <- struct{}{} // engine admission: chips × GOMAXPROCS lanes
+		s.execute(args)
+		<-s.srv.workers
+		if s.quit {
+			break
+		}
+		// Flush only at pipeline boundaries: while more commands are
+		// queued, replies accumulate in the write buffer.
+		if len(s.reqs) == 0 {
+			if err := s.w.Flush(); err != nil {
+				break
+			}
+		}
+	}
+
+	// The reader is done (or QUIT cut it short). A malformed frame cannot
+	// be resynchronised: report it as the final reply, then hang up.
+	if !s.quit {
+		if err := s.readErr; errors.Is(err, proto.ErrProto) || errors.Is(err, proto.ErrTooLarge) {
+			s.writeError(codeProto, err.Error())
+		}
+	}
+	s.w.Flush()
+	// Half-read pipelines die with the connection, but an open explicit
+	// transaction must not leak its locks: abort it.
+	if s.tx != nil {
+		_ = s.tx.Abort()
+		s.tx = nil
+	}
+	// Close the connection first — it unblocks a reader parked in Read —
+	// then drain the queue so the reader can never block forever on a
+	// full channel after the executor stops.
+	s.conn.Close()
+	for range s.reqs {
+	}
+}
+
+// readLoop decodes frames into the pipeline until the connection fails,
+// the peer hangs up, or the frame stream turns malformed.
+func (s *session) readLoop() {
+	defer close(s.reqs)
+	for {
+		args, err := s.r.ReadCommand()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.readErr = err
+			}
+			return
+		}
+		s.reqs <- args
+	}
+}
+
+// drain makes the session stop reading new frames: the in-flight read is
+// unblocked by an immediate deadline, the already-queued commands run to
+// completion and their replies are flushed by the executor as usual.
+func (s *session) drain() {
+	s.conn.SetReadDeadline(time.Now())
+}
+
+// writeError emits one error reply and counts it.
+func (s *session) writeError(code, msg string) {
+	s.srv.errorReplies.Add(1)
+	s.w.WriteError(code, msg)
+}

@@ -263,6 +263,9 @@ func (c Config) withDefaults() Config {
 // ErrClosed is returned by operations on a closed database.
 var ErrClosed = errors.New("ipa: database closed")
 
+// ErrTableExists is returned when creating a table whose name is taken.
+var ErrTableExists = errors.New("ipa: table already exists")
+
 // DB is a database instance.
 //
 // The engine synchronises at page granularity: the buffer pool is sharded
@@ -539,7 +542,7 @@ func (db *DB) CreateTableWithScheme(name string, tupleSize int, scheme Scheme) (
 		return nil, ErrClosed
 	}
 	if _, ok := db.tables[name]; ok {
-		return nil, fmt.Errorf("ipa: table %q already exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	if tupleSize <= 0 || tupleSize > db.cfg.PageSize/4 {
 		return nil, fmt.Errorf("ipa: unsupported tuple size %d", tupleSize)

@@ -1,0 +1,176 @@
+// Package ipaclient is the Go client for ipaserver's wire protocol. It
+// speaks the RESP-compatible framing of internal/proto over one TCP
+// connection: Do sends a single command and waits for its reply, Batch
+// pipelines many commands in one write and decodes the replies in order
+// (one round trip for the whole batch). A Client is safe for concurrent
+// use, but commands interleave — use one Client per goroutine (as
+// cmd/ipaload does) when BEGIN…COMMIT must not interleave with other
+// traffic, since the transaction is a property of the connection.
+//
+// The protocol itself — commands, replies and error codes — is specified
+// in docs/DESIGN_SERVER.md.
+package ipaclient
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ipa/internal/proto"
+)
+
+// Error is an error reply from the server. Code is one of the stable wire
+// codes of docs/DESIGN_SERVER.md ("NOTFOUND", "CONFLICT", ...).
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return "ipaclient: " + e.Code
+	}
+	return fmt.Sprintf("ipaclient: %s %s", e.Code, e.Message)
+}
+
+// IsCode reports whether err is a server Error carrying the given wire
+// code.
+func IsCode(err error, code string) bool {
+	se, ok := err.(*Error)
+	return ok && se.Code == code
+}
+
+// Client is one connection to an ipaserver.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *proto.Reader
+	w    *proto.Writer
+}
+
+// Dial connects to an ipaserver at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a bound on connection establishment.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ipaclient: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    proto.NewReader(conn),
+		w:    proto.NewWriter(conn),
+	}, nil
+}
+
+// Close hangs up. A transaction left open on the connection is aborted by
+// the server.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// reply converts an error reply into *Error, passing other kinds through.
+func reply(r proto.Reply) (proto.Reply, error) {
+	if r.Kind == proto.KindError {
+		e := &Error{Code: r.ErrorCode()}
+		if len(e.Code) < len(r.Str) {
+			e.Message = r.Str[len(e.Code)+1:]
+		}
+		return r, e
+	}
+	return r, nil
+}
+
+// Do sends one command and waits for its reply. Error replies surface as
+// *Error; transport failures as ordinary errors.
+func (c *Client) Do(args ...[]byte) (proto.Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.WriteCommand(args...)
+	if err := c.w.Flush(); err != nil {
+		return proto.Reply{}, err
+	}
+	r, err := c.r.ReadReply()
+	if err != nil {
+		return proto.Reply{}, err
+	}
+	return reply(r)
+}
+
+// DoStrings is Do with string arguments.
+func (c *Client) DoStrings(args ...string) (proto.Reply, error) {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Do(bs...)
+}
+
+// Batch pipelines every command in one write and decodes the replies in
+// order: len(cmds) commands, one round trip. Error replies appear in the
+// returned slice (Kind KindError), not as the error return — a batch with
+// a NOTFOUND in the middle still yields all replies. The error return is
+// reserved for transport failures, after which the replies decoded so far
+// are returned.
+func (c *Client) Batch(cmds [][][]byte) ([]proto.Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, args := range cmds {
+		c.w.WriteCommand(args...)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	replies := make([]proto.Reply, 0, len(cmds))
+	for range cmds {
+		r, err := c.r.ReadReply()
+		if err != nil {
+			return replies, err
+		}
+		replies = append(replies, r)
+	}
+	return replies, nil
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	_, err := c.DoStrings("PING")
+	return err
+}
+
+// CreateTable issues CREATE table tupleSize.
+func (c *Client) CreateTable(table string, tupleSize int) error {
+	_, err := c.DoStrings("CREATE", table, fmt.Sprint(tupleSize))
+	return err
+}
+
+// Insert issues INSERT table key value.
+func (c *Client) Insert(table string, key int64, value []byte) error {
+	_, err := c.Do([]byte("INSERT"), []byte(table), []byte(fmt.Sprint(key)), value)
+	return err
+}
+
+// Get issues GET table key and returns the tuple.
+func (c *Client) Get(table string, key int64) ([]byte, error) {
+	r, err := c.DoStrings("GET", table, fmt.Sprint(key))
+	if err != nil {
+		return nil, err
+	}
+	return r.Bulk, nil
+}
+
+// Update issues UPDATE table key offset value — a tail-patch of the tuple
+// at the given byte offset, the engine's in-place-append fast path.
+func (c *Client) Update(table string, key int64, offset int, value []byte) error {
+	_, err := c.Do([]byte("UPDATE"), []byte(table), []byte(fmt.Sprint(key)),
+		[]byte(fmt.Sprint(offset)), value)
+	return err
+}
+
+// Delete issues DEL table key.
+func (c *Client) Delete(table string, key int64) error {
+	_, err := c.DoStrings("DEL", table, fmt.Sprint(key))
+	return err
+}

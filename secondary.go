@@ -16,6 +16,10 @@ import (
 // ErrIndexNotFound is returned when a named secondary index does not exist.
 var ErrIndexNotFound = errors.New("ipa: secondary index not found")
 
+// ErrIndexExists is returned when creating a secondary index whose name is
+// taken on its table.
+var ErrIndexExists = errors.New("ipa: secondary index already exists")
+
 // ExtractFunc derives the secondary key of a tuple. It must be a pure
 // function of the tuple bytes: the engine re-extracts keys during update
 // maintenance, integrity verification and crash recovery, and all call
@@ -231,7 +235,7 @@ func (t *Table) CreateSecondaryIndex(name string, extract ExtractFunc) (*Seconda
 	db.mu.Lock()
 	if _, dup := db.secondaryByName[t.name+"."+name]; dup {
 		db.mu.Unlock()
-		return nil, fmt.Errorf("ipa: secondary index %q on table %q already exists", name, t.name)
+		return nil, fmt.Errorf("%w: %q on table %q", ErrIndexExists, name, t.name)
 	}
 	id := db.nextObjID
 	db.nextObjID++
