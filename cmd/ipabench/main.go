@@ -16,6 +16,7 @@
 //	ipabench -exp crash        # power-cut torture: crash at every fault point
 //	ipabench -exp index        # index maintenance: IPA vs out-of-place entry pages
 //	ipabench -exp secondary    # secondary-index maintenance: IPA vs out-of-place
+//	ipabench -exp ycsb         # YCSB A-F, cache-sized and 8x larger-than-memory
 //	ipabench -exp all
 //
 // The -quick flag shrinks every experiment so the whole suite finishes in
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, index, secondary, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, oltp, ipl, longevity, scenarios, interference, sweep, concurrent, chips, crash, index, secondary, ycsb, all")
 		scale    = flag.Int("scale", 0, "workload scale factor (0 = experiment default)")
 		ops      = flag.Int("ops", 0, "bound runs by committed transactions (0 = use duration)")
 		duration = flag.Duration("duration", 0, "bound runs by virtual device time (0 = experiment default)")
@@ -427,6 +428,27 @@ func main() {
 			}
 			res.Write(os.Stdout)
 			report.Add("secondary", o, res)
+			return nil
+		})
+	}
+	if want("ycsb") {
+		run("YCSB A-F: cache-sized vs larger-than-memory", func() error {
+			o := bench.DefaultYCSBOptions()
+			o.Profile = profile
+			o.Seed = *seed
+			o.SchemeN, o.SchemeM = *n, *m
+			if *ops > 0 {
+				o.Ops = *ops
+			}
+			if *quick {
+				o.Ops = 3000
+			}
+			res, err := bench.YCSB(o)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			report.Add("ycsb", o, res)
 			return nil
 		})
 	}

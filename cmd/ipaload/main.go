@@ -1,8 +1,10 @@
 // Command ipaload is a many-connection load generator for ipaserver. It
-// preloads a table, then drives a mixed UPDATE/GET workload from N
-// concurrent connections, each pipelining commands at a configurable
-// depth (-pipeline 1 measures the unpipelined round-trip cost). -conns
-// takes a comma-separated sweep, so one invocation produces a whole
+// preloads a table, then drives either a mixed UPDATE/GET workload or, with
+// -ycsb A..F, one of the YCSB core workloads (zipfian/latest key skew,
+// scans, inserts and read-modify-writes over the wire) from N concurrent
+// connections, each pipelining commands at a configurable depth
+// (-pipeline 1 measures the unpipelined round-trip cost). -conns takes a
+// comma-separated sweep, so one invocation produces a whole
 // connections-vs-throughput curve; -json writes the machine-readable
 // results that CI uploads as bench-server.json.
 //
@@ -12,6 +14,7 @@
 // Usage:
 //
 //	ipaload -addr localhost:6389 -conns 1,4,16,64,256 -pipeline 32 -duration 5s
+//	ipaload -addr localhost:6389 -ycsb B -conns 16 -duration 5s
 //	ipaload -addr localhost:6389 -quick
 package main
 
@@ -27,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipa/internal/workload"
 	"ipa/ipaclient"
 )
 
@@ -47,7 +51,107 @@ type report struct {
 	Keys      int     `json:"keys"`
 	TupleSize int     `json:"tuple_size"`
 	UpdatePct int     `json:"update_pct"`
+	YCSB      string  `json:"ycsb,omitempty"`
 	Points    []point `json:"points"`
+}
+
+// ycsbGen turns the YCSB mix of one letter into wire commands. Shared by
+// every connection of a sweep point: the insert counter hands out unique
+// keys, and the zipfian sampler is immutable. Scans use the SCAN verb,
+// read-modify-writes pipeline a GET followed by an UPDATE of the same key.
+type ycsbGen struct {
+	mix     workload.YCSBMix
+	dist    string
+	zipf    *workload.Zipfian
+	scanMax int
+	tuple   int
+	nextKey atomic.Int64 // next unused insert key == current keyspace size
+}
+
+func newYCSBGen(letter byte, keys, tuple int) (*ycsbGen, error) {
+	mix, err := workload.YCSBMixFor(letter)
+	if err != nil {
+		return nil, err
+	}
+	g := &ycsbGen{
+		mix:     mix,
+		dist:    "zipfian",
+		zipf:    workload.NewZipfian(int64(keys), workload.YCSBTheta),
+		scanMax: 100,
+		tuple:   tuple,
+	}
+	if letter == 'D' || letter == 'd' {
+		g.dist = "latest"
+	}
+	g.nextKey.Store(int64(keys))
+	return g, nil
+}
+
+// key draws a request key from the generator's distribution.
+func (g *ycsbGen) key(rng *rand.Rand) int64 {
+	n := g.nextKey.Load()
+	rank := g.zipf.Next(rng)
+	if g.dist == "latest" {
+		if rank >= n {
+			rank = n - 1
+		}
+		return n - 1 - rank
+	}
+	// Scrambled zipfian: the FNV spread of workload.YCSB, inlined here via
+	// uniform re-draw over the live keyspace for ranks beyond the preload.
+	if rank >= n {
+		rank = n - 1
+	}
+	return scramble(rank, n)
+}
+
+// scramble spreads a zipfian rank across [0, n) (FNV-1a, as in the engine
+// driver).
+func scramble(rank, n int64) int64 {
+	h := uint64(0xcbf29ce484222325)
+	v := uint64(rank)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return int64(h % uint64(n))
+}
+
+// gen appends the wire commands of one YCSB operation (one or, for RMW,
+// two commands) and returns the updated slice.
+func (g *ycsbGen) gen(cmds [][][]byte, rng *rand.Rand, tbl []byte, patchOff []byte) [][][]byte {
+	keyArg := func(k int64) []byte { return []byte(strconv.FormatInt(k, 10)) }
+	patch := func() []byte {
+		b := make([]byte, 8)
+		rng.Read(b)
+		return b
+	}
+	p := rng.Intn(100)
+	m := g.mix
+	switch {
+	case p < m.Read:
+		return append(cmds, [][]byte{[]byte("GET"), tbl, keyArg(g.key(rng))})
+	case p < m.Read+m.Update:
+		return append(cmds, [][]byte{[]byte("UPDATE"), tbl, keyArg(g.key(rng)), patchOff, patch()})
+	case p < m.Read+m.Update+m.Insert:
+		k := g.nextKey.Add(1) - 1
+		row := make([]byte, g.tuple)
+		for i := range row {
+			row[i] = byte('a' + i%26)
+		}
+		return append(cmds, [][]byte{[]byte("INSERT"), tbl, keyArg(k), row})
+	case p < m.Read+m.Update+m.Insert+m.Scan:
+		from := g.key(rng)
+		length := int64(1 + rng.Intn(g.scanMax))
+		return append(cmds, [][]byte{
+			[]byte("SCAN"), tbl, keyArg(from), keyArg(from + length), keyArg(length),
+		})
+	default: // read-modify-write
+		k := keyArg(g.key(rng))
+		cmds = append(cmds, [][]byte{[]byte("GET"), tbl, k})
+		return append(cmds, [][]byte{[]byte("UPDATE"), tbl, k, patchOff, patch()})
+	}
 }
 
 func main() {
@@ -60,6 +164,7 @@ func main() {
 		tuple    = flag.Int("tuple", 200, "tuple size in bytes")
 		updates  = flag.Int("updates", 80, "percentage of operations that are UPDATEs (rest are GETs)")
 		table    = flag.String("table", "load", "table name")
+		ycsb     = flag.String("ycsb", "", "YCSB workload letter A-F (empty = legacy update/get mix)")
 		quick    = flag.Bool("quick", false, "CI smoke mode: tiny sweep, sub-second windows")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
 		outPath  = flag.String("out", "", "also write the JSON report to this file")
@@ -79,6 +184,18 @@ func main() {
 		*pipeline = 1
 	}
 
+	var gen *ycsbGen
+	if *ycsb != "" {
+		if len(*ycsb) != 1 {
+			fatal(fmt.Errorf("bad -ycsb %q: want one letter A-F", *ycsb))
+		}
+		g, err := newYCSBGen((*ycsb)[0], *keys, *tuple)
+		if err != nil {
+			fatal(err)
+		}
+		gen = g
+	}
+
 	if err := preload(*addr, *table, *tuple, *keys); err != nil {
 		fatal(err)
 	}
@@ -90,9 +207,10 @@ func main() {
 		Keys:      *keys,
 		TupleSize: *tuple,
 		UpdatePct: *updates,
+		YCSB:      strings.ToUpper(*ycsb),
 	}
 	for _, n := range conns {
-		p, err := run(*addr, *table, *tuple, *keys, *updates, n, *pipeline, *duration)
+		p, err := run(*addr, *table, *tuple, *keys, *updates, n, *pipeline, *duration, gen)
 		if err != nil {
 			fatal(err)
 		}
@@ -175,8 +293,10 @@ func preload(addr, table string, tuple, keys int) error {
 }
 
 // run measures one sweep point: n connections, each a goroutine with its
-// own client, issuing pipelined batches until the window closes.
-func run(addr, table string, tuple, keys, updates, n, depth int, window time.Duration) (point, error) {
+// own client, issuing pipelined batches until the window closes. With a
+// non-nil gen the batches carry a YCSB mix instead of the legacy
+// update/get mix.
+func run(addr, table string, tuple, keys, updates, n, depth int, window time.Duration, gen *ycsbGen) (point, error) {
 	clients := make([]*ipaclient.Client, n)
 	for i := range clients {
 		c, err := ipaclient.Dial(addr)
@@ -212,16 +332,24 @@ func run(addr, table string, tuple, keys, updates, n, depth int, window time.Dur
 			offArg := []byte(strconv.Itoa(patchOff))
 			tbl := []byte(table)
 			for !stop.Load() {
-				cmds := make([][][]byte, depth)
-				for j := range cmds {
-					key := []byte(strconv.Itoa(rng.Intn(keys)))
-					if rng.Intn(100) < updates {
-						rng.Read(patch)
-						val := make([]byte, 8)
-						copy(val, patch)
-						cmds[j] = [][]byte{[]byte("UPDATE"), tbl, key, offArg, val}
-					} else {
-						cmds[j] = [][]byte{[]byte("GET"), tbl, key}
+				var cmds [][][]byte
+				if gen != nil {
+					cmds = make([][][]byte, 0, depth+1)
+					for len(cmds) < depth {
+						cmds = gen.gen(cmds, rng, tbl, offArg)
+					}
+				} else {
+					cmds = make([][][]byte, depth)
+					for j := range cmds {
+						key := []byte(strconv.Itoa(rng.Intn(keys)))
+						if rng.Intn(100) < updates {
+							rng.Read(patch)
+							val := make([]byte, 8)
+							copy(val, patch)
+							cmds[j] = [][]byte{[]byte("UPDATE"), tbl, key, offArg, val}
+						} else {
+							cmds[j] = [][]byte{[]byte("GET"), tbl, key}
+						}
 					}
 				}
 				replies, err := c.Batch(cmds)
@@ -232,11 +360,16 @@ func run(addr, table string, tuple, keys, updates, n, depth int, window time.Dur
 					return
 				}
 				for _, r := range replies {
-					switch r.ErrorCode() {
-					case "":
+					switch code := r.ErrorCode(); {
+					case code == "":
 						ops.Add(1)
-					case "CONFLICT":
+					case code == "CONFLICT":
 						conflicts.Add(1)
+					case gen != nil && code == "NOTFOUND":
+						// YCSB read-latest: a read may chase a key whose
+						// INSERT is still in flight on another connection.
+						// YCSB counts the miss as a completed read.
+						ops.Add(1)
 					default:
 						errs.Add(1)
 					}

@@ -31,6 +31,9 @@ const (
 	OpErase        = nand.OpErase
 	OpLogFlush     = nand.OpLogFlush
 	OpAll          = nand.OpAll
+	// OpRead classifies page reads for SetDeviceOpHook observers. Reads
+	// are never fault points, so OpRead is not part of OpAll.
+	OpRead = nand.OpRead
 )
 
 // ErrPowerLost is reported by every operation after an injected power cut.

@@ -27,9 +27,9 @@ type Experiment struct {
 	// Name labels the run in reports.
 	Name string
 	// Workload selects the driver: "tpcb", "tpcc", "tatp", "linkbench",
-	// or a secondary-index variant — "tatpsec" (sub_nbr lookups),
-	// "linkbenchsec" (assoc-by-id2) or "secchurn" (isolated
-	// secondary-entry churn).
+	// a YCSB letter ("ycsb-a" .. "ycsb-f"), or a secondary-index variant
+	// — "tatpsec" (sub_nbr lookups), "linkbenchsec" (assoc-by-id2) or
+	// "secchurn" (isolated secondary-entry churn).
 	Workload string
 	// Scale is the workload scale factor (branches, warehouses,
 	// subscribers/10000, nodes/10000 depending on the driver).
@@ -134,6 +134,11 @@ func NewWorkload(name string, scale int, seed int64) (workload.Workload, error) 
 		cfg.Rows = scale * 10000
 		cfg.Seed = seed
 		return workload.NewSecondaryChurn(cfg), nil
+	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f":
+		cfg := workload.DefaultYCSBConfig(name[len("ycsb-")])
+		cfg.Records = scale * 5000
+		cfg.Seed = seed
+		return workload.NewYCSB(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown workload %q", name)
 	}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ipa"
+	"ipa/internal/workload"
+)
+
+// YCSBOptions configures the YCSB workload family (A–F) in two heap
+// sizings: cache-sized (the working set fits in the buffer pool) and
+// larger-than-memory (the heap is HeapFactor × the buffer pool, so every
+// hot page cycles through eviction → delta-merge → GC → wear-levelling).
+type YCSBOptions struct {
+	// Letters selects the workloads ('A'..'F'; empty = all six).
+	Letters []byte
+	// HeapFactors sizes each run's heap as a multiple of the buffer pool
+	// capacity. Values < 1 are cache-sized; the paper-motivated
+	// larger-than-memory point is ≥ 8. Empty = {0.5, 8}.
+	HeapFactors []float64
+	// ValueSize is the tuple size in bytes; UpdateBytes the tail-patch
+	// size of updates and read-modify-writes.
+	ValueSize   int
+	UpdateBytes int
+	// Ops bounds each run by committed operations.
+	Ops int
+	// Mode/Scheme/Flash configure the write path (default IPA native
+	// flash [N×M] on pSLC).
+	Mode    ipa.WriteMode
+	SchemeN int
+	SchemeM int
+	Flash   ipa.FlashMode
+	Profile DeviceProfile
+	Seed    int64
+}
+
+// DefaultYCSBOptions returns the configuration used by cmd/ipabench.
+func DefaultYCSBOptions() YCSBOptions {
+	return YCSBOptions{
+		Letters:     []byte{'A', 'B', 'C', 'D', 'E', 'F'},
+		HeapFactors: []float64{0.5, 8},
+		ValueSize:   120,
+		UpdateBytes: 8,
+		Ops:         20000,
+		Mode:        modeNative,
+		SchemeN:     2,
+		SchemeM:     4,
+		Flash:       flashPSLC,
+		Profile:     DefaultProfile,
+		Seed:        1,
+	}
+}
+
+// YCSBRow is the outcome of one (workload, heap sizing) run.
+type YCSBRow struct {
+	Workload     string  `json:"workload"`
+	Distribution string  `json:"distribution"`
+	HeapFactor   float64 `json:"heap_factor"` // heap bytes / buffer pool bytes
+	Records      int     `json:"records"`
+	Committed    int     `json:"committed"`
+	Aborted      int     `json:"aborted"`
+	// TPS is committed operations per virtual device second. Reads are
+	// lock-free snapshot reads, not transactions, so this is derived from
+	// the run's op count, not from Stats.CommittedTxns. 0 means the run
+	// consumed no virtual device time at all (fully cached reads).
+	TPS         float64 `json:"tps"`
+	Erases      uint64  `json:"erases"`
+	GCErases    uint64  `json:"gc_erases"`
+	IPASharePct float64 `json:"ipa_share_pct"` // in-place appends / (appends + out-of-place)
+	HitRatePct  float64 `json:"buffer_hit_pct"`
+	DirtyEvicts uint64  `json:"dirty_evictions"`
+	ErasesPerOp float64 `json:"erases_per_host_write"`
+}
+
+// YCSBResult is the full family sweep.
+type YCSBResult struct {
+	Rows []YCSBRow `json:"rows"`
+}
+
+// ycsbRecords sizes the keyspace so the heap is roughly factor × the
+// buffer pool. Tuples per heap page are estimated conservatively (page
+// header + per-slot overhead), which is accurate enough for the sizing's
+// purpose: factor < 1 keeps the working set resident, factor ≥ 8 forces
+// continuous eviction.
+func ycsbRecords(p DeviceProfile, valueSize int, factor float64) int {
+	perPage := (p.PageSize - 128) / (valueSize + 16)
+	if perPage < 1 {
+		perPage = 1
+	}
+	records := int(factor * float64(p.BufferPoolPages) * float64(perPage))
+	if records < 256 {
+		records = 256
+	}
+	// Keep the heap within half the device (GC needs free-block headroom,
+	// and pSLC halves the capacity).
+	maxRecords := p.Blocks * p.PagesPerBlock / 4 * perPage
+	if records > maxRecords {
+		records = maxRecords
+	}
+	return records
+}
+
+// YCSB runs every requested workload letter at every heap factor.
+func YCSB(o YCSBOptions) (YCSBResult, error) {
+	if len(o.Letters) == 0 {
+		o.Letters = []byte{'A', 'B', 'C', 'D', 'E', 'F'}
+	}
+	if len(o.HeapFactors) == 0 {
+		o.HeapFactors = []float64{0.5, 8}
+	}
+	if o.ValueSize == 0 {
+		o.ValueSize = 120
+	}
+	if o.Ops <= 0 {
+		o.Ops = 20000
+	}
+	if o.SchemeN == 0 && o.SchemeM == 0 {
+		o.SchemeN, o.SchemeM = 2, 4
+	}
+	p := o.Profile
+	if p.PageSize == 0 {
+		p = DefaultProfile
+	}
+
+	var out YCSBResult
+	for _, letter := range o.Letters {
+		for _, factor := range o.HeapFactors {
+			cfg := workload.DefaultYCSBConfig(letter)
+			cfg.Records = ycsbRecords(p, o.ValueSize, factor)
+			cfg.ValueSize = o.ValueSize
+			cfg.UpdateBytes = o.UpdateBytes
+			cfg.Seed = o.Seed + int64(letter)
+			w, err := workload.NewYCSB(cfg)
+			if err != nil {
+				return out, err
+			}
+
+			db, err := ipa.Open(ipa.Config{
+				PageSize:        p.PageSize,
+				Blocks:          p.Blocks,
+				PagesPerBlock:   p.PagesPerBlock,
+				BufferPoolPages: p.BufferPoolPages,
+				WriteMode:       o.Mode,
+				Scheme:          ipaScheme(o.SchemeN, o.SchemeM),
+				FlashMode:       o.Flash,
+				Seed:            o.Seed,
+			})
+			if err != nil {
+				return out, fmt.Errorf("bench: ycsb-%c: %w", letter, err)
+			}
+			if err := w.Load(db); err != nil {
+				db.Close()
+				return out, fmt.Errorf("bench: ycsb-%c load: %w", letter, err)
+			}
+			db.ResetStats()
+			run, err := workload.Run(db, w, workload.RunOptions{MaxOps: o.Ops, Seed: o.Seed + 1})
+			if err != nil {
+				db.Close()
+				return out, fmt.Errorf("bench: ycsb-%c run: %w", letter, err)
+			}
+			if err := db.FlushAll(); err != nil {
+				db.Close()
+				return out, fmt.Errorf("bench: ycsb-%c flush: %w", letter, err)
+			}
+			s := db.Stats()
+			db.Close()
+
+			hitRate := 0.0
+			if tot := s.BufferHits + s.BufferMisses; tot > 0 {
+				hitRate = 100 * float64(s.BufferHits) / float64(tot)
+			}
+			tps := 0.0
+			if run.Elapsed > 0 {
+				tps = float64(run.Committed) / run.Elapsed.Seconds()
+			}
+			out.Rows = append(out.Rows, YCSBRow{
+				Workload:     w.Name(),
+				Distribution: w.Config().Distribution,
+				HeapFactor:   factor,
+				Records:      cfg.Records,
+				Committed:    run.Committed,
+				Aborted:      run.Aborted,
+				TPS:          tps,
+				Erases:       s.FlashBlockErases,
+				GCErases:     s.GCErases,
+				IPASharePct:  100 * s.InPlaceShare(),
+				HitRatePct:   hitRate,
+				DirtyEvicts:  s.DirtyEvictions,
+				ErasesPerOp:  s.ErasesPerHostWrite(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Write renders the sweep as a plain-text table.
+func (r YCSBResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %-8s %6s %8s %10s %8s %8s %7s %7s %9s\n",
+		"workload", "dist", "heap", "records", "tps", "erases", "gc-er", "ipa%", "hit%", "evictions")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %-8s %5.1fx %8d %10.0f %8d %8d %6.1f%% %6.1f%% %9d\n",
+			row.Workload, row.Distribution, row.HeapFactor, row.Records,
+			row.TPS, row.Erases, row.GCErases, row.IPASharePct, row.HitRatePct, row.DirtyEvicts)
+	}
+}

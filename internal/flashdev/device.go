@@ -123,6 +123,15 @@ type chipClock struct {
 	_  [7]int64
 }
 
+// OpHook observes every chip operation as it starts: the chip index and
+// the operation class (nand.OpRead, nand.OpProgram, nand.OpDeltaProgram or
+// nand.OpErase). The chaos harness uses it to inject transient device
+// latency — a hook that sleeps stalls exactly the callers touching that
+// chip, and one that calls AdvanceClock charges virtual time. Hooks run on
+// the caller's goroutine before the operation executes and must be safe
+// for concurrent use.
+type OpHook func(chip int, op nand.FaultOp)
+
 // Device is a simulated Flash storage device. All methods are safe for
 // concurrent use; operations on different chips never contend.
 type Device struct {
@@ -133,6 +142,9 @@ type Device struct {
 	// AdvanceClock. Now() merges them.
 	clocks []chipClock
 	adjust atomic.Int64
+
+	// opHook, when set, observes every chip operation (see OpHook).
+	opHook atomic.Pointer[OpHook]
 
 	pageReads       atomic.Uint64
 	pagePrograms    atomic.Uint64
@@ -248,6 +260,24 @@ func (d *Device) advance(chip int, dt time.Duration) {
 	d.clocks[chip].ns.Add(int64(dt))
 }
 
+// SetOpHook installs (or, with nil, removes) the device operation hook.
+// Safe to call while operations are in flight; in-flight operations may
+// still observe the previous hook.
+func (d *Device) SetOpHook(h OpHook) {
+	if h == nil {
+		d.opHook.Store(nil)
+		return
+	}
+	d.opHook.Store(&h)
+}
+
+// hook invokes the installed operation hook, if any.
+func (d *Device) hook(chip int, op nand.FaultOp) {
+	if h := d.opHook.Load(); h != nil {
+		(*h)(chip, op)
+	}
+}
+
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	return Stats{
@@ -349,6 +379,8 @@ func (d *Device) CopyPage(srcBlock, srcPage, dstBlock, dstPage int) error {
 	if err != nil {
 		return err
 	}
+	d.hook(srcChipIdx, nand.OpRead)
+	d.hook(dstChipIdx, nand.OpProgram)
 	g := d.cfg.Chip.Geometry
 	data := make([]byte, g.PageSize)
 	oob := make([]byte, g.OOBSize)
@@ -424,6 +456,7 @@ func (d *Device) ReadPage(block, page int, buf []byte) error {
 	if len(buf) != g.PageSize {
 		return fmt.Errorf("flashdev: ReadPage buffer %d bytes, want %d", len(buf), g.PageSize)
 	}
+	d.hook(chipIdx, nand.OpRead)
 	oob := make([]byte, g.OOBSize)
 	if err := chip.ReadPage(b, page, buf, oob); err != nil {
 		return err
@@ -565,6 +598,7 @@ func (d *Device) programPage(block, page int, data []byte, eccCover, eccTail int
 	if eccCover < 0 || eccTail < 0 || eccCover+eccTail > len(data) {
 		return fmt.Errorf("flashdev: ecc cover %d+%d out of range", eccCover, eccTail)
 	}
+	d.hook(chipIdx, nand.OpProgram)
 	oobLen := 0
 	if !d.cfg.DisableECC && g.OOBSize >= oobInitialOff+ecc.CodeSize {
 		oobLen = oobInitialOff + ecc.CodeSize
@@ -614,6 +648,7 @@ func (d *Device) ProgramDelta(block, page, offset int, delta []byte) (int, error
 	if offset < 0 || offset+len(delta) > g.PageSize {
 		return 0, fmt.Errorf("flashdev: delta [%d,%d) out of page", offset, offset+len(delta))
 	}
+	d.hook(chipIdx, nand.OpDeltaProgram)
 	slot := -1
 	var oobOff int
 	var oobData []byte
@@ -682,6 +717,7 @@ func (d *Device) EraseBlock(block int) error {
 	if err != nil {
 		return err
 	}
+	d.hook(chipIdx, nand.OpErase)
 	if err := chip.Erase(b); err != nil {
 		return err
 	}

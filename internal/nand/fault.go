@@ -33,6 +33,12 @@ const (
 	OpAll = OpProgram | OpDeltaProgram | OpErase | OpLogFlush
 )
 
+// OpRead classifies page reads for device operation hooks (latency
+// injection, chaos observation). Reads are never fault points — a power
+// cut during a read loses nothing durable — so OpRead is deliberately not
+// part of OpAll and never counts toward a FaultPlan's crash schedule.
+const OpRead FaultOp = 1 << 4
+
 // String names the operation kind (single kinds only).
 func (o FaultOp) String() string {
 	switch o {
@@ -44,6 +50,8 @@ func (o FaultOp) String() string {
 		return "erase"
 	case OpLogFlush:
 		return "log-flush"
+	case OpRead:
+		return "read"
 	default:
 		return fmt.Sprintf("FaultOp(%d)", int(o))
 	}
@@ -142,6 +150,19 @@ func (p *FaultPlan) Disarm() {
 func (p *FaultPlan) PowerCycle() {
 	p.mu.Lock()
 	p.dead = false
+	p.mu.Unlock()
+}
+
+// KillPower cuts power NOW, independently of the operation counter: the
+// plan trips immediately and every subsequent operation fails with
+// ErrPowerLost until PowerCycle. It is the wall-clock-scheduled power cut
+// of the chaos harness — unlike Arm, which schedules a cut at the K-th
+// future operation, KillPower needs no cooperating operation stream, so it
+// can fire from a timer goroutine while the engine is mid-transaction.
+func (p *FaultPlan) KillPower() {
+	p.mu.Lock()
+	p.dead = true
+	p.tripped = true
 	p.mu.Unlock()
 }
 

@@ -92,6 +92,7 @@ func init() {
 	register("COUNT", "COUNT table", 1, 1, cmdCount)
 	register("INSERT", "INSERT table key value", 3, 3, cmdInsert)
 	register("GET", "GET table key", 2, 2, cmdGet)
+	register("GETFU", "GETFU table key", 2, 2, cmdGetFU)
 	register("UPDATE", "UPDATE table key offset value", 4, 4, cmdUpdate)
 	register("DEL", "DEL table key", 2, 2, cmdDel)
 	register("SCAN", "SCAN table from to [limit]", 3, 4, cmdScan)
@@ -270,6 +271,32 @@ func cmdGet(s *session, args [][]byte) {
 	} else {
 		tuple, err = t.Get(key) // fresh statement snapshot
 	}
+	if err != nil {
+		s.engineError(err)
+		return
+	}
+	s.w.WriteBulk(tuple)
+}
+
+// cmdGetFU is GET under the transaction's record lock: the returned
+// value cannot change (or roll back) before COMMIT/ABORT, so a
+// read-modify-write built from it never loses a concurrent update. Only
+// meaningful inside a transaction — the lock's lifetime is the
+// transaction's — so outside one it is a NOTXN error.
+func cmdGetFU(s *session, args [][]byte) {
+	if s.tx == nil {
+		s.writeError(codeNoTxn, "GETFU requires an open transaction")
+		return
+	}
+	t, ok := s.table(args[0])
+	if !ok {
+		return
+	}
+	key, ok := s.argInt("key", args[1])
+	if !ok {
+		return
+	}
+	tuple, err := s.tx.GetForUpdate(t, key)
 	if err != nil {
 		s.engineError(err)
 		return

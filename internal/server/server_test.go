@@ -194,6 +194,41 @@ func TestCommandMatrix(t *testing.T) {
 	}
 }
 
+// TestGetForUpdateLocksOnTheWire pins GETFU's contract: it needs an open
+// transaction, it returns the tuple, and it holds the record lock until
+// COMMIT — a concurrent writer is refused with CONFLICT while the lock
+// is held and succeeds after it is released.
+func TestGetForUpdateLocksOnTheWire(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c1 := dial(t, srv)
+	c2 := dial(t, srv)
+
+	do(t, c1, "CREATE", "bal", "16")
+	do(t, c1, "INSERT", "bal", "7", "money-is-here!!!")
+
+	doErr(t, c1, "NOTXN", "GETFU", "bal", "7") // lock needs a transaction
+
+	do(t, c1, "BEGIN")
+	r := do(t, c1, "GETFU", "bal", "7")
+	if string(r.Bulk) != "money-is-here!!!" {
+		t.Fatalf("GETFU tuple: %q", r.Bulk)
+	}
+	doErr(t, c1, "NOTFOUND", "GETFU", "bal", "99")
+
+	// The locked tuple is untouchable from another connection (the lock
+	// manager is no-wait: conflicts are refused, not queued)...
+	doErr(t, c2, "CONFLICT", "UPDATE", "bal", "7", "0", "steal")
+	do(t, c1, "UPDATE", "bal", "7", "0", "mine!")
+	do(t, c1, "COMMIT")
+
+	// ...and is free again once the transaction commits.
+	do(t, c2, "UPDATE", "bal", "7", "0", "yours")
+	r = do(t, c2, "GET", "bal", "7")
+	if !strings.HasPrefix(string(r.Bulk), "yours") {
+		t.Fatalf("post-release tuple: %q", r.Bulk)
+	}
+}
+
 // TestAutocommitIsDurableOnTheWire verifies that a plain INSERT (no BEGIN)
 // commits a transaction — every wire write goes through the WAL.
 func TestAutocommitIsDurableOnTheWire(t *testing.T) {

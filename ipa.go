@@ -526,6 +526,33 @@ func (db *DB) Now() time.Duration { return db.dev.Now() }
 // WAL returns the write-ahead log (for recovery tests and inspection).
 func (db *DB) WAL() *wal.Log { return db.log }
 
+// CommitWatermark returns the commit-timestamp oracle's contiguous
+// watermark: every commit with a timestamp at or below it has finished
+// (its record flushed, its versions stamped). It is nondecreasing for the
+// lifetime of a DB handle, and after a crash the recovered watermark is at
+// least the MaxCommitTS of the last durable checkpoint — the monotonicity
+// invariants the chaos harness audits continuously.
+func (db *DB) CommitWatermark() uint64 { return db.txns.Oracle().Watermark() }
+
+// SetDeviceOpHook installs (or, with nil, removes) a hook observing every
+// Flash chip operation as it starts: the chip index and the operation
+// class (OpRead, OpProgram, OpDeltaProgram, OpErase). The chaos harness
+// uses it to inject transient device latency spikes and per-chip stalls;
+// the hook runs on the operating goroutine and must be safe for concurrent
+// use.
+func (db *DB) SetDeviceOpHook(h func(chip int, op FaultOp)) {
+	if h == nil {
+		db.dev.SetOpHook(nil)
+		return
+	}
+	db.dev.SetOpHook(func(chip int, op nand.FaultOp) { h(chip, op) })
+}
+
+// AdvanceClock charges extra virtual device time, shared across all chips.
+// Layers above the engine (e.g. chaos latency injection) use it to model
+// delays that are not chip operations.
+func (db *DB) AdvanceClock(dt time.Duration) { db.dev.AdvanceClock(dt) }
+
 // CreateTable creates a table of fixed-size tuples using the database's
 // default N×M scheme.
 func (db *DB) CreateTable(name string, tupleSize int) (*Table, error) {

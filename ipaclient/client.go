@@ -161,6 +161,17 @@ func (c *Client) Get(table string, key int64) ([]byte, error) {
 	return r.Bulk, nil
 }
 
+// GetForUpdate issues GETFU table key: a GET under the open
+// transaction's record lock, so the returned tuple cannot change before
+// COMMIT/ABORT. Outside a transaction the server replies NOTXN.
+func (c *Client) GetForUpdate(table string, key int64) ([]byte, error) {
+	r, err := c.DoStrings("GETFU", table, fmt.Sprint(key))
+	if err != nil {
+		return nil, err
+	}
+	return r.Bulk, nil
+}
+
 // Update issues UPDATE table key offset value — a tail-patch of the tuple
 // at the given byte offset, the engine's in-place-append fast path.
 func (c *Client) Update(table string, key int64, offset int, value []byte) error {
