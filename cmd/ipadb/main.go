@@ -1,13 +1,28 @@
-// Command ipadb is a small interactive shell around the ipa storage engine,
-// in the spirit of the demonstration GUI of the paper: it lets you create
+// Command ipadb is a small shell around the ipa storage engine, in the
+// spirit of the demonstration GUI of the paper: it lets you create
 // tables, insert and update rows, and watch how the Flash device reacts
 // (in-place appends vs out-of-place writes, GC work, virtual time).
 //
 // Usage:
 //
-//	ipadb [-mode traditional|ssd|native] [-n 2] [-m 4] [-flash pslc|oddmlc|mlc]
+//	ipadb [-json] [-mode traditional|ssd|native] [-n 2] [-m 4] [-flash pslc|oddmlc|mlc]
+//	ipadb watch [-url http://127.0.0.1:6390] [-interval 1s] [-n 0] [-plain]
 //
-// Commands (one per line on stdin):
+// Under -json every command answers with one uniform envelope per line:
+//
+//	{"ok":true,"cmd":"get","elapsed_ms":0.123,"data":{...}}
+//	{"ok":false,"cmd":"get","elapsed_ms":0.051,"error":{"code":"NOTFOUND","msg":"..."}}
+//
+// Error codes are the wire codes of docs/DESIGN_SERVER.md — the same
+// table ipaserver puts on the wire, so scripted callers handle one code
+// set regardless of transport. The envelope schema is specified in
+// docs/DESIGN_OPS.md and pinned by the golden tests in main_test.go.
+//
+// The watch subcommand polls a running ipaserver's /stats.json and
+// renders a refreshing terminal view of the ops gauges: lifetime burn,
+// time to death, windowed rates, per-chip wear and command latencies.
+//
+// Shell commands (one per line on stdin):
 //
 //	create <table> <tupleSize>
 //	insert <table> <key> <text>
@@ -21,8 +36,9 @@
 //	get-by <table> <index> <key>      look tuples up by secondary key
 //	tables
 //	stats
+//	ops                               derived gauges: burn rate, windowed rates
 //	flush
-//	checkpoint                        force a fuzzy checkpoint, print JSON
+//	checkpoint                        force a fuzzy checkpoint
 //	help
 //	quit
 package main
@@ -30,22 +46,29 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
-
-	"flag"
+	"time"
 
 	"ipa"
+	"ipa/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		os.Exit(watchMain(os.Args[2:]))
+	}
 	var (
-		mode  = flag.String("mode", "native", "write mode: traditional, ssd or native")
-		n     = flag.Int("n", 2, "IPA scheme parameter N")
-		m     = flag.Int("m", 4, "IPA scheme parameter M")
-		flash = flag.String("flash", "pslc", "flash mode: pslc, oddmlc or mlc")
+		jsonOut = flag.Bool("json", false, "answer every command with a JSON envelope")
+		mode    = flag.String("mode", "native", "write mode: traditional, ssd or native")
+		n       = flag.Int("n", 2, "IPA scheme parameter N")
+		m       = flag.Int("m", 4, "IPA scheme parameter M")
+		flash   = flag.String("flash", "pslc", "flash mode: pslc, oddmlc or mlc")
 	)
 	flag.Parse()
 
@@ -82,213 +105,460 @@ func main() {
 	}
 	defer db.Close()
 
-	fmt.Printf("ipadb: %s write path, scheme %s, %s flash — type 'help' for commands\n",
-		cfg.WriteMode, cfg.Scheme, cfg.FlashMode)
+	sh := &shell{db: db, out: os.Stdout, jsonOut: *jsonOut}
+	if !sh.jsonOut {
+		fmt.Printf("ipadb: %s write path, scheme %s, %s flash — type 'help' for commands\n",
+			cfg.WriteMode, cfg.Scheme, cfg.FlashMode)
+	}
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
-		fmt.Print("> ")
+		if !sh.jsonOut {
+			fmt.Print("> ")
+		}
 		if !scanner.Scan() {
-			fmt.Println()
+			if !sh.jsonOut {
+				fmt.Println()
+			}
 			return
 		}
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
-		}
-		if quit := execute(db, line); quit {
+		if quit := sh.run(scanner.Text()); quit {
 			return
 		}
 	}
 }
 
-// execute runs one shell command and reports whether the shell should exit.
-func execute(db *ipa.DB, line string) bool {
-	fields := strings.Fields(line)
-	cmd, args := fields[0], fields[1:]
-	fail := func(format string, a ...any) bool {
-		fmt.Printf("error: "+format+"\n", a...)
+// envelope is the uniform -json reply: exactly one per command, one per
+// line. The schema is part of docs/DESIGN_OPS.md.
+type envelope struct {
+	OK        bool      `json:"ok"`
+	Cmd       string    `json:"cmd"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Data      any       `json:"data,omitempty"`
+	Error     *envError `json:"error,omitempty"`
+}
+
+// envError carries the stable wire code and the human message.
+type envError struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// cliError is a shell-level failure (bad usage, unknown command, missing
+// table) already tagged with its wire code.
+type cliError struct {
+	code string
+	msg  string
+}
+
+func (e *cliError) Error() string { return e.msg }
+
+func clif(code, format string, a ...any) error {
+	return &cliError{code: code, msg: fmt.Sprintf(format, a...)}
+}
+
+// codeOf maps any shell error onto its wire code: shell-level errors
+// carry their own, engine errors go through the server's table.
+func codeOf(err error) string {
+	var ce *cliError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return server.ErrCode(err)
+}
+
+// shell executes commands against an embedded engine and renders every
+// result either as prose or as a JSON envelope.
+type shell struct {
+	db      *ipa.DB
+	out     io.Writer
+	jsonOut bool
+
+	// now stamps envelope latencies; tests replace it for stable goldens.
+	now func() time.Time
+}
+
+func (sh *shell) clock() time.Time {
+	if sh.now != nil {
+		return sh.now()
+	}
+	return time.Now()
+}
+
+// run executes one input line and reports whether the shell should exit.
+func (sh *shell) run(line string) (quit bool) {
+	line = strings.TrimSpace(line)
+	if line == "" {
 		return false
 	}
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	start := sh.clock()
+	data, err := sh.execute(cmd, args)
+	elapsed := sh.clock().Sub(start)
+
+	if sh.jsonOut {
+		env := envelope{OK: err == nil, Cmd: cmd, ElapsedMS: float64(elapsed) / float64(time.Millisecond)}
+		if err != nil {
+			env.Error = &envError{Code: codeOf(err), Msg: err.Error()}
+		} else {
+			env.Data = data
+		}
+		out, merr := json.Marshal(env)
+		if merr != nil {
+			// Marshal failure of a data payload is a bug; still answer in
+			// envelope form so scripted callers never see a bare line.
+			env.Data = nil
+			env.OK = false
+			env.Error = &envError{Code: server.CodeErr, Msg: merr.Error()}
+			out, _ = json.Marshal(env)
+		}
+		fmt.Fprintln(sh.out, string(out))
+	} else if err != nil {
+		fmt.Fprintf(sh.out, "error: %s %v\n", codeOf(err), err)
+	} else {
+		sh.render(cmd, data)
+	}
+	return cmd == "quit" || cmd == "exit"
+}
+
+// Data payload shapes. Every command returns exactly one of these (or an
+// engine-defined document for stats/ops/checkpoint); main_test.go pins
+// each with a golden envelope.
+type createResult struct {
+	Table     string `json:"table"`
+	TupleSize int    `json:"tuple_size"`
+}
+type rowKeyResult struct {
+	Table string `json:"table"`
+	Key   int64  `json:"key"`
+}
+type getResult struct {
+	Table string `json:"table"`
+	Key   int64  `json:"key"`
+	Value string `json:"value"`
+}
+type updateResult struct {
+	Table  string `json:"table"`
+	Key    int64  `json:"key"`
+	Offset int    `json:"offset"`
+}
+type scanRow struct {
+	Key   int64  `json:"key"`
+	Value string `json:"value"`
+}
+type scanResult struct {
+	Table string    `json:"table"`
+	From  int64     `json:"from"`
+	To    int64     `json:"to"`
+	Rows  []scanRow `json:"rows"`
+	Count int       `json:"count"`
+}
+type indexResult struct {
+	Table  string `json:"table"`
+	Index  string `json:"index"`
+	Offset int    `json:"offset"`
+}
+type indexInfo struct {
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+	Keys    int    `json:"keys"`
+	Pages   int    `json:"pages"`
+}
+type indexesResult struct {
+	Table     string      `json:"table"`
+	Secondary []indexInfo `json:"secondary"`
+}
+type getByResult struct {
+	Table string   `json:"table"`
+	Index string   `json:"index"`
+	Key   int64    `json:"key"`
+	Rows  []string `json:"rows"`
+	Count int      `json:"count"`
+}
+type tableInfo struct {
+	Name  string `json:"name"`
+	Rows  uint64 `json:"rows"`
+	Pages int    `json:"pages"`
+}
+type tablesResult struct {
+	Tables []tableInfo `json:"tables"`
+}
+type flushResult struct {
+	Flushed bool `json:"flushed"`
+}
+type helpResult struct {
+	Commands []string `json:"commands"`
+}
+
+// shellCommands lists every shell verb, for help and the golden tests.
+var shellCommands = []string{
+	"create", "insert", "get", "update", "delete", "scan",
+	"index", "indexes", "get-by", "tables", "stats", "ops",
+	"flush", "checkpoint", "help", "quit",
+}
+
+// execute runs one command and returns its data payload.
+func (sh *shell) execute(cmd string, args []string) (any, error) {
+	db := sh.db
 	switch cmd {
 	case "quit", "exit":
-		return true
+		return nil, nil
 	case "help":
-		fmt.Println("commands: create <table> <tupleSize> | insert <t> <key> <text> | get <t> <key> |")
-		fmt.Println("          update <t> <key> <offset> <text> | delete <t> <key> |")
-		fmt.Println("          scan <t> <from> <to> | index <t> <name> <offset> | indexes <t> |")
-		fmt.Println("          get-by <t> <index> <key> | tables | stats | flush | checkpoint | quit")
+		return helpResult{Commands: shellCommands}, nil
 	case "create":
 		if len(args) != 2 {
-			return fail("usage: create <table> <tupleSize>")
+			return nil, clif(server.CodeArgs, "usage: create <table> <tupleSize>")
 		}
 		size, err := strconv.Atoi(args[1])
 		if err != nil {
-			return fail("bad tuple size: %v", err)
+			return nil, clif(server.CodeArgs, "bad tuple size: %v", err)
 		}
 		if _, err := db.CreateTable(args[0], size); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Printf("table %s created (%d-byte tuples)\n", args[0], size)
+		return createResult{Table: args[0], TupleSize: size}, nil
 	case "insert", "update", "get", "delete", "scan":
-		return tableCommand(db, cmd, args)
+		return sh.tableCommand(cmd, args)
 	case "index":
 		if len(args) != 3 {
-			return fail("usage: index <table> <name> <offset>")
+			return nil, clif(server.CodeArgs, "usage: index <table> <name> <offset>")
 		}
-		table, ok := db.Table(args[0])
-		if !ok {
-			return fail("no such table %q", args[0])
+		table, err := sh.table(args[0])
+		if err != nil {
+			return nil, err
 		}
 		off, err := strconv.Atoi(args[2])
 		if err != nil {
-			return fail("bad offset: %v", err)
+			return nil, clif(server.CodeArgs, "bad offset: %v", err)
 		}
 		if off < 0 || off+8 > table.TupleSize() {
-			return fail("offset %d outside the %d-byte tuples of %s (need offset+8 <= size)", off, table.TupleSize(), args[0])
+			return nil, clif(server.CodeArgs,
+				"offset %d outside the %d-byte tuples of %s (need offset+8 <= size)",
+				off, table.TupleSize(), args[0])
 		}
 		if _, err := table.CreateSecondaryIndex(args[1], ipa.Int64Field(off)); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Printf("secondary index %s.%s created (int64 at offset %d)\n", args[0], args[1], off)
+		return indexResult{Table: args[0], Index: args[1], Offset: off}, nil
 	case "indexes":
 		if len(args) != 1 {
-			return fail("usage: indexes <table>")
+			return nil, clif(server.CodeArgs, "usage: indexes <table>")
 		}
-		table, ok := db.Table(args[0])
-		if !ok {
-			return fail("no such table %q", args[0])
+		table, err := sh.table(args[0])
+		if err != nil {
+			return nil, err
 		}
-		fmt.Printf("  %-24s %8s\n", args[0]+".pk", "(primary)")
+		res := indexesResult{Table: args[0], Secondary: []indexInfo{}}
 		for _, name := range table.SecondaryIndexes() {
 			s, _ := table.SecondaryIndex(name)
-			fmt.Printf("  %-24s %8d entries %6d keys %6d pages\n",
-				args[0]+"."+name, s.Len(), s.Keys(), s.Pages())
+			res.Secondary = append(res.Secondary, indexInfo{
+				Name: name, Entries: s.Len(), Keys: s.Keys(), Pages: s.Pages(),
+			})
 		}
+		return res, nil
 	case "get-by":
 		if len(args) != 3 {
-			return fail("usage: get-by <table> <index> <key>")
+			return nil, clif(server.CodeArgs, "usage: get-by <table> <index> <key>")
 		}
-		table, ok := db.Table(args[0])
-		if !ok {
-			return fail("no such table %q", args[0])
+		table, err := sh.table(args[0])
+		if err != nil {
+			return nil, err
 		}
 		key, err := strconv.ParseInt(args[2], 10, 64)
 		if err != nil {
-			return fail("bad key: %v", err)
+			return nil, clif(server.CodeArgs, "bad key: %v", err)
 		}
 		rows, err := table.GetBySecondary(args[1], key)
 		if err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
+		res := getByResult{Table: args[0], Index: args[1], Key: key, Rows: []string{}}
 		for _, row := range rows {
-			fmt.Printf("%q\n", strings.TrimRight(string(row), "\x00"))
+			res.Rows = append(res.Rows, strings.TrimRight(string(row), "\x00"))
 		}
-		fmt.Printf("(%d rows under %s.%s = %d)\n", len(rows), args[0], args[1], key)
+		res.Count = len(res.Rows)
+		return res, nil
 	case "tables":
+		res := tablesResult{Tables: []tableInfo{}}
 		for _, name := range db.Tables() {
 			t, _ := db.Table(name)
-			fmt.Printf("  %-24s %8d rows %6d pages\n", name, t.Count(), t.Pages())
+			res.Tables = append(res.Tables, tableInfo{Name: name, Rows: t.Count(), Pages: t.Pages()})
 		}
+		return res, nil
 	case "stats":
-		fmt.Print(db.Stats())
+		return db.Stats(), nil
+	case "ops":
+		return db.Ops(), nil
 	case "flush":
 		if err := db.FlushAll(); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Println("all dirty pages flushed")
+		return flushResult{Flushed: true}, nil
 	case "checkpoint":
 		res, err := db.Checkpoint()
 		if err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		out, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return fail("%v", err)
-		}
-		fmt.Println(string(out))
+		return res, nil
 	default:
-		return fail("unknown command %q (try 'help')", cmd)
+		return nil, clif(server.CodeUnknown, "unknown command %q (try 'help')", cmd)
 	}
-	return false
 }
 
-func tableCommand(db *ipa.DB, cmd string, args []string) bool {
-	fail := func(format string, a ...any) bool {
-		fmt.Printf("error: "+format+"\n", a...)
-		return false
-	}
-	if len(args) < 2 {
-		return fail("usage: %s <table> <key> ...", cmd)
-	}
-	table, ok := db.Table(args[0])
+// table resolves a table name with the NOTABLE wire code on failure.
+func (sh *shell) table(name string) (*ipa.Table, error) {
+	t, ok := sh.db.Table(name)
 	if !ok {
-		return fail("no such table %q", args[0])
+		return nil, clif(server.CodeNoTable, "no such table %q", name)
+	}
+	return t, nil
+}
+
+func (sh *shell) tableCommand(cmd string, args []string) (any, error) {
+	if len(args) < 2 {
+		return nil, clif(server.CodeArgs, "usage: %s <table> <key> ...", cmd)
+	}
+	table, err := sh.table(args[0])
+	if err != nil {
+		return nil, err
 	}
 	key, err := strconv.ParseInt(args[1], 10, 64)
 	if err != nil {
-		return fail("bad key: %v", err)
+		return nil, clif(server.CodeArgs, "bad key: %v", err)
 	}
+	db := sh.db
 	switch cmd {
 	case "insert":
 		if len(args) < 3 {
-			return fail("usage: insert <table> <key> <text>")
+			return nil, clif(server.CodeArgs, "usage: insert <table> <key> <text>")
 		}
 		row := make([]byte, table.TupleSize())
 		copy(row, strings.Join(args[2:], " "))
 		if err := table.Insert(key, row); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Println("ok")
+		return rowKeyResult{Table: args[0], Key: key}, nil
 	case "get":
 		row, err := table.Get(key)
 		if err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Printf("%q\n", strings.TrimRight(string(row), "\x00"))
+		return getResult{Table: args[0], Key: key, Value: strings.TrimRight(string(row), "\x00")}, nil
 	case "update":
 		if len(args) < 4 {
-			return fail("usage: update <table> <key> <offset> <text>")
+			return nil, clif(server.CodeArgs, "usage: update <table> <key> <offset> <text>")
 		}
 		off, err := strconv.Atoi(args[2])
 		if err != nil {
-			return fail("bad offset: %v", err)
+			return nil, clif(server.CodeArgs, "bad offset: %v", err)
 		}
 		tx := db.Begin()
 		if err := tx.UpdateAt(table, key, off, []byte(strings.Join(args[3:], " "))); err != nil {
 			_ = tx.Abort()
-			return fail("%v", err)
+			return nil, err
 		}
 		if err := tx.Commit(); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Println("ok")
+		return updateResult{Table: args[0], Key: key, Offset: off}, nil
 	case "delete":
 		tx := db.Begin()
 		if err := tx.Delete(table, key); err != nil {
 			_ = tx.Abort()
-			return fail("%v", err)
+			return nil, err
 		}
 		if err := tx.Commit(); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Println("ok")
+		return rowKeyResult{Table: args[0], Key: key}, nil
 	case "scan":
 		if len(args) != 3 {
-			return fail("usage: scan <table> <from> <to>")
+			return nil, clif(server.CodeArgs, "usage: scan <table> <from> <to>")
 		}
 		to, err := strconv.ParseInt(args[2], 10, 64)
 		if err != nil {
-			return fail("bad upper bound: %v", err)
+			return nil, clif(server.CodeArgs, "bad upper bound: %v", err)
 		}
-		rows := 0
+		res := scanResult{Table: args[0], From: key, To: to, Rows: []scanRow{}}
 		if err := table.ScanRange(key, to, func(k int64, row []byte) bool {
-			fmt.Printf("%12d  %q\n", k, strings.TrimRight(string(row), "\x00"))
-			rows++
+			res.Rows = append(res.Rows, scanRow{Key: k, Value: strings.TrimRight(string(row), "\x00")})
 			return true
 		}); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
-		fmt.Printf("(%d rows in [%d,%d))\n", rows, key, to)
+		res.Count = len(res.Rows)
+		return res, nil
 	}
-	return false
+	return nil, clif(server.CodeUnknown, "unknown command %q", cmd)
+}
+
+// render prints one successful result as prose (the no -json view).
+func (sh *shell) render(cmd string, data any) {
+	w := sh.out
+	switch d := data.(type) {
+	case createResult:
+		fmt.Fprintf(w, "table %s created (%d-byte tuples)\n", d.Table, d.TupleSize)
+	case rowKeyResult:
+		fmt.Fprintln(w, "ok")
+	case updateResult:
+		fmt.Fprintln(w, "ok")
+	case getResult:
+		fmt.Fprintf(w, "%q\n", d.Value)
+	case scanResult:
+		for _, r := range d.Rows {
+			fmt.Fprintf(w, "%12d  %q\n", r.Key, r.Value)
+		}
+		fmt.Fprintf(w, "(%d rows in [%d,%d))\n", d.Count, d.From, d.To)
+	case indexResult:
+		fmt.Fprintf(w, "secondary index %s.%s created (int64 at offset %d)\n", d.Table, d.Index, d.Offset)
+	case indexesResult:
+		fmt.Fprintf(w, "  %-24s %8s\n", d.Table+".pk", "(primary)")
+		for _, s := range d.Secondary {
+			fmt.Fprintf(w, "  %-24s %8d entries %6d keys %6d pages\n",
+				d.Table+"."+s.Name, s.Entries, s.Keys, s.Pages)
+		}
+	case getByResult:
+		for _, row := range d.Rows {
+			fmt.Fprintf(w, "%q\n", row)
+		}
+		fmt.Fprintf(w, "(%d rows under %s.%s = %d)\n", d.Count, d.Table, d.Index, d.Key)
+	case tablesResult:
+		for _, t := range d.Tables {
+			fmt.Fprintf(w, "  %-24s %8d rows %6d pages\n", t.Name, t.Rows, t.Pages)
+		}
+	case ipa.Stats:
+		fmt.Fprint(w, d)
+	case ipa.OpsStats:
+		renderOps(w, d)
+	case flushResult:
+		fmt.Fprintln(w, "all dirty pages flushed")
+	case helpResult:
+		fmt.Fprintf(w, "commands: %s\n", strings.Join(d.Commands, " | "))
+	case nil:
+		// quit
+	default:
+		out, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			fmt.Fprintf(w, "error: %s %v\n", server.CodeErr, err)
+			return
+		}
+		fmt.Fprintln(w, string(out))
+	}
+}
+
+// renderOps prints the derived gauges; shared with `ipadb watch`.
+func renderOps(w io.Writer, o ipa.OpsStats) {
+	fmt.Fprintf(w, "device life burned   %8.4f%%  (%d of %d erases)\n",
+		o.LifeBurned*100, o.ErasesConsumed, o.EraseBudget)
+	if o.TimeToDeath > 0 {
+		fmt.Fprintf(w, "time to death        %8s   (virtual, at current erase rate)\n", o.TimeToDeath.Round(time.Second))
+	} else {
+		fmt.Fprintf(w, "time to death        %8s\n", "∞")
+	}
+	fmt.Fprintf(w, "erases avoided       %8d   (vs out-of-place baseline %d)\n", o.ErasesAvoided, o.BaselineErases)
+	fmt.Fprintf(w, "window               %8s   virtual (%d samples)\n", o.WindowVirtual.Round(time.Millisecond), o.Samples)
+	fmt.Fprintf(w, "  tps                %10.1f/s\n", o.WindowTPS)
+	fmt.Fprintf(w, "  evictions          %10.1f/s\n", o.WindowEvictionsPerSec)
+	fmt.Fprintf(w, "  erase rate         %10.3f/s\n", o.WindowEraseRatePerSec)
+	fmt.Fprintf(w, "  in-place share     %9.1f%%\n", o.WindowInPlaceShare*100)
 }

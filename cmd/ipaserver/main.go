@@ -1,7 +1,9 @@
 // Command ipaserver serves an ipa engine over the network: a RESP-
 // compatible TCP listener (redis-cli works for the simple verbs, ipaclient
-// and cmd/ipaload for everything) plus an HTTP sidecar with /healthz and
-// Prometheus-style /metrics. SIGINT/SIGTERM trigger a graceful shutdown:
+// and cmd/ipaload for everything) plus an HTTP sidecar with /healthz,
+// Prometheus-style /metrics (per-command latency histograms, lifetime
+// burn gauges), the /stats.json ops document and the live /dashboard.
+// SIGINT/SIGTERM trigger a graceful shutdown:
 // in-flight pipelines finish, a final fuzzy checkpoint is taken, the
 // engine closes. The wire protocol is specified in docs/DESIGN_SERVER.md.
 //
@@ -32,19 +34,27 @@ func main() {
 		pipeline = flag.Int("pipeline", 128, "per-connection pipeline depth")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain deadline")
 
-		mode  = flag.String("mode", "native", "write mode: traditional, ssd or native")
-		n     = flag.Int("n", 2, "IPA scheme parameter N")
-		m     = flag.Int("m", 4, "IPA scheme parameter M")
-		flash = flag.String("flash", "pslc", "flash mode: pslc, oddmlc or mlc")
-		chips = flag.Int("chips", 4, "NAND chips (parallel recovery and GC lanes)")
-		ckpt  = flag.Uint64("checkpoint-bytes", 4<<20, "WAL bytes between fuzzy checkpoints (0 disables)")
+		mode   = flag.String("mode", "native", "write mode: traditional, ssd or native")
+		n      = flag.Int("n", 2, "IPA scheme parameter N")
+		m      = flag.Int("m", 4, "IPA scheme parameter M")
+		flash  = flag.String("flash", "pslc", "flash mode: pslc, oddmlc or mlc")
+		chips  = flag.Int("chips", 4, "NAND chips (parallel recovery and GC lanes)")
+		blocks = flag.Int("blocks", 0, "erase blocks per chip (0 = engine default; shrink to watch wear)")
+		pages  = flag.Int("pages-per-block", 0, "pages per erase block (0 = engine default)")
+		pool   = flag.Int("pool", 0, "buffer pool pages (0 = engine default)")
+		ckpt   = flag.Uint64("checkpoint-bytes", 4<<20, "WAL bytes between fuzzy checkpoints (0 disables)")
+		stats  = flag.Duration("stats-interval", time.Second, "ops-sampler period for windowed rates (0 disables)")
 	)
 	flag.Parse()
 
 	cfg := ipa.Config{
 		Chips:                *chips,
+		Blocks:               *blocks,
+		PagesPerBlock:        *pages,
+		BufferPoolPages:      *pool,
 		Scheme:               ipa.Scheme{N: *n, M: *m},
 		CheckpointEveryBytes: *ckpt,
+		StatsInterval:        *stats,
 	}
 	switch *mode {
 	case "traditional":

@@ -122,7 +122,9 @@ func (s *session) execute(args [][]byte) {
 		s.writeError(codeArgs, "usage: "+cmd.usage)
 		return
 	}
+	start := time.Now()
 	cmd.fn(s, rest)
+	s.srv.lat.observe(name, s.shard, time.Since(start))
 }
 
 // engineError maps err onto its wire code and writes the error reply.

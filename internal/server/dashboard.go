@@ -1,0 +1,22 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// The live dashboard is one self-contained HTML page — no external
+// assets, no JS dependencies — embedded into the binary. It polls
+// /stats.json once a second and renders the burn gauge, the trailing-
+// window rate sparklines, per-chip wear balance, per-region in-place
+// ratios and the per-command latency table client-side. The page
+// contract (which fields it reads) is part of docs/DESIGN_OPS.md.
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard serves the embedded page.
+func (srv *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

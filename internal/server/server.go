@@ -2,7 +2,9 @@
 // speaking the RESP-compatible wire protocol of internal/proto, one
 // pipelined session per connection dispatching commands onto an embedded
 // ipa.DB, a worker pool bounding engine concurrency at chips × GOMAXPROCS,
-// and an HTTP sidecar exposing /healthz and Prometheus-style /metrics.
+// and an HTTP sidecar exposing /healthz, Prometheus-style /metrics (with
+// per-command latency histograms), the machine-readable /stats.json ops
+// document, and the embedded live /dashboard.
 //
 // The protocol — frame grammar, command set, error-code table, pipelining
 // and transaction-session semantics, and the graceful-shutdown contract —
@@ -77,6 +79,11 @@ type Server struct {
 	commandsRun  atomic.Uint64
 	errorReplies atomic.Uint64
 	started      time.Time
+
+	// lat holds the per-command latency histograms; nextShard deals a
+	// shard index to each new session so recorders spread across shards.
+	lat       *latencies
+	nextShard atomic.Uint64
 }
 
 // New wraps db in a Server. Start must be called to begin serving.
@@ -96,6 +103,7 @@ func New(db *ipa.DB, cfg Config) *Server {
 		workers:  make(chan struct{}, cfg.Workers),
 		sessions: make(map[*session]struct{}),
 		started:  time.Now(),
+		lat:      newLatencies(latencyShards()),
 	}
 }
 
@@ -125,6 +133,8 @@ func (srv *Server) Start() error {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", srv.handleHealthz)
 		mux.HandleFunc("/metrics", srv.handleMetrics)
+		mux.HandleFunc("/stats.json", srv.handleStatsJSON)
+		mux.HandleFunc("/dashboard", srv.handleDashboard)
 		srv.httpSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := srv.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -275,34 +285,4 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
-}
-
-// handleMetrics renders engine and server counters in the Prometheus text
-// exposition format.
-func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := srv.db.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	metric := func(name, help, typ string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
-	}
-	metric("ipa_committed_txns_total", "Committed transactions since the last stats reset.", "counter", st.CommittedTxns)
-	metric("ipa_aborted_txns_total", "Aborted transactions since the last stats reset.", "counter", st.AbortedTxns)
-	metric("ipa_in_place_appends_total", "Host writes served as in-place appends.", "counter", st.InPlaceAppends)
-	metric("ipa_out_of_place_writes_total", "Host writes served out of place.", "counter", st.OutOfPlaceWrites)
-	metric("ipa_gc_migrations_total", "Garbage-collection page migrations.", "counter", st.GCMigrations)
-	metric("ipa_gc_erases_total", "Garbage-collection block erases.", "counter", st.GCErases)
-	metric("ipa_flash_erases_lifetime_total", "Block erases since device creation.", "counter", st.TotalErasesEver)
-	metric("ipa_wal_bytes_total", "Bytes appended to the write-ahead log.", "counter", st.WALBytes)
-	metric("ipa_wal_segments", "Live write-ahead-log segments after recycling.", "gauge", st.WALSegments)
-	metric("ipa_wal_bytes_since_checkpoint", "Log volume accumulated since the last checkpoint (the redo bound).", "gauge", st.WALBytesSinceCheckpoint)
-	metric("ipa_checkpoint_lsn", "LSN of the last fuzzy checkpoint (0 = never).", "gauge", st.CheckpointLSN)
-	metric("ipa_buffer_hits_total", "Buffer pool hits.", "counter", st.BufferHits)
-	metric("ipa_buffer_misses_total", "Buffer pool misses.", "counter", st.BufferMisses)
-	metric("ipa_lock_conflicts_total", "No-wait record-lock denials (CONFLICT replies).", "counter", st.LockConflicts)
-	metric("ipa_snapshot_reads_total", "Lock-free MVCC snapshot read resolutions.", "counter", st.SnapshotReads)
-	metric("ipa_server_connections_current", "Connections currently open.", "gauge", srv.connsCurrent.Load())
-	metric("ipa_server_connections_total", "Connections accepted since start.", "counter", srv.connsTotal.Load())
-	metric("ipa_server_commands_total", "Commands executed since start.", "counter", srv.commandsRun.Load())
-	metric("ipa_server_error_replies_total", "Error replies sent since start.", "counter", srv.errorReplies.Load())
-	metric("ipa_server_uptime_seconds", "Seconds since the server started.", "gauge", int64(time.Since(srv.started).Seconds()))
 }

@@ -34,6 +34,10 @@ type session struct {
 
 	// quit is set by the QUIT command: flush and hang up.
 	quit bool
+
+	// shard is this session's lane in the latency histograms; sessions are
+	// dealt shards round-robin so concurrent recorders rarely collide.
+	shard int
 }
 
 func newSession(srv *Server, conn net.Conn) *session {
@@ -42,11 +46,12 @@ func newSession(srv *Server, conn net.Conn) *session {
 		r.MaxBulk = srv.cfg.MaxBulk
 	}
 	return &session{
-		srv:  srv,
-		conn: conn,
-		r:    r,
-		w:    proto.NewWriter(conn),
-		reqs: make(chan [][]byte, srv.cfg.PipelineDepth),
+		srv:   srv,
+		conn:  conn,
+		r:     r,
+		w:     proto.NewWriter(conn),
+		reqs:  make(chan [][]byte, srv.cfg.PipelineDepth),
+		shard: int(srv.nextShard.Add(1)-1) % srv.lat.shards,
 	}
 }
 
@@ -56,25 +61,37 @@ func (s *session) serve() {
 	defer s.conn.Close()
 	go s.readLoop()
 
-	for args := range s.reqs {
+	// readerDone records that the reqs channel closed: only then has
+	// readLoop finished, and only then may readErr be read (the channel
+	// close is the happens-before edge). Leaving the loop by break —
+	// QUIT, or a dead connection failing the flush — races the reader,
+	// and a final reply could not be delivered anyway.
+	readerDone := false
+loop:
+	for {
+		args, ok := <-s.reqs
+		if !ok {
+			readerDone = true
+			break
+		}
 		s.srv.workers <- struct{}{} // engine admission: chips × GOMAXPROCS lanes
 		s.execute(args)
 		<-s.srv.workers
 		if s.quit {
-			break
+			break loop
 		}
 		// Flush only at pipeline boundaries: while more commands are
 		// queued, replies accumulate in the write buffer.
 		if len(s.reqs) == 0 {
 			if err := s.w.Flush(); err != nil {
-				break
+				break loop
 			}
 		}
 	}
 
-	// The reader is done (or QUIT cut it short). A malformed frame cannot
-	// be resynchronised: report it as the final reply, then hang up.
-	if !s.quit {
+	// The reader is done. A malformed frame cannot be resynchronised:
+	// report it as the final reply, then hang up.
+	if readerDone && !s.quit {
 		if err := s.readErr; errors.Is(err, proto.ErrProto) || errors.Is(err, proto.ErrTooLarge) {
 			s.writeError(codeProto, err.Error())
 		}

@@ -1,0 +1,36 @@
+package server
+
+// Exported views of the wire error-code table, so out-of-process tooling
+// (cmd/ipadb's -json envelopes) reports the same stable codes the server
+// puts on the wire, and a drift test can compare the two surfaces.
+
+// Wire error codes, exported. Values mirror the code* constants used by
+// the dispatch layer; docs/DESIGN_SERVER.md documents each.
+const (
+	CodeErr      = codeErr
+	CodeProto    = codeProto
+	CodeUnknown  = codeUnknown
+	CodeArgs     = codeArgs
+	CodeNoTable  = codeNoTable
+	CodeExists   = codeExists
+	CodeNotFound = codeNotFound
+	CodeDupKey   = codeDupKey
+	CodeConflict = codeConflict
+	CodeNoIndex  = codeNoIndex
+	CodeNoTxn    = codeNoTxn
+	CodeInTxn    = codeInTxn
+	CodeFinished = codeFinished
+	CodeClosed   = codeClosed
+)
+
+// WireCodes returns a copy of the full error-code table.
+func WireCodes() []string {
+	out := make([]string, len(wireCodes))
+	copy(out, wireCodes)
+	return out
+}
+
+// ErrCode maps an engine error onto its stable wire code, exactly as the
+// server's reply path does. The mapping is total: unrecognised errors are
+// CodeErr.
+func ErrCode(err error) string { return errCode(err) }

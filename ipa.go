@@ -226,6 +226,13 @@ type Config struct {
 	// 64 KiB). Checkpoint truncation recycles whole segments, so smaller
 	// segments give it finer grain; tests use tiny ones.
 	WALSegmentBytes int
+	// StatsInterval starts the background ops sampler: every interval one
+	// counter snapshot is pushed onto the trailing ring that backs the
+	// windowed rates and the lifetime burn gauge (DB.Ops, DB.SampleOps;
+	// see docs/DESIGN_OPS.md). Default 0: no background sampler — Ops
+	// falls back to whole-window rates, and tools may call SampleOps
+	// explicitly.
+	StatsInterval time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -328,6 +335,13 @@ type DB struct {
 	recoveryStats  RecoveryStats
 	ckptStop       chan struct{}
 	ckptDone       chan struct{}
+
+	// Ops sampler state: the trailing ring of counter snapshots behind
+	// the windowed rates and burn gauge (see ops.go).
+	opsMu   sync.Mutex
+	opsRing []OpsSample
+	opsStop chan struct{}
+	opsDone chan struct{}
 }
 
 // Open creates a database on a freshly formatted simulated Flash device.
@@ -382,6 +396,7 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.startCheckpointer()
+	db.startOpsSampler()
 	return db, nil
 }
 
@@ -669,6 +684,7 @@ func (db *DB) FlushAll() error { return db.pool.FlushAll() }
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
 		db.stopCheckpointer()
+		db.stopOpsSampler()
 		db.gate.Lock()
 		db.closed.Store(true)
 		db.gate.Unlock()
@@ -718,6 +734,11 @@ func (db *DB) ResetStats() {
 	// went back to zero, and walBytesAtCkpt must never exceed it.
 	db.walBytesAtCkpt.Store(db.log.BytesWritten())
 	db.timeBase.Store(int64(db.dev.Now()))
+	// Drop the ops snapshot ring: samples taken before the reset would
+	// yield negative window deltas against the zeroed counters.
+	db.opsMu.Lock()
+	db.opsRing = db.opsRing[:0]
+	db.opsMu.Unlock()
 }
 
 // Trace returns the recorded fetch/eviction trace (TraceEvictions must be

@@ -1,0 +1,236 @@
+package ipa
+
+import (
+	"time"
+)
+
+// This file implements the derived operational gauges behind the live ops
+// surface (docs/DESIGN_OPS.md): the device-lifetime burn gauge that turns
+// the paper's one-shot E5 longevity estimate into a number you can watch
+// move on a running server, and the windowed rates (tps, evictions/s,
+// in-place-append share, erase rate) computed from a lightweight ring of
+// periodic counter snapshots.
+//
+// All rates are computed over *virtual* device time, the same clock
+// Stats.Throughput uses — which keeps them deterministic under test (a
+// virtual-clock run yields closed-form expected values) and comparable
+// across write modes. Wall-clock widths are reported alongside for
+// dashboard context only.
+
+// opsRingCap bounds the snapshot ring: at the default 1s StatsInterval it
+// holds about two minutes of trailing history.
+const opsRingCap = 128
+
+// OpsSample is one snapshot of the raw counters the windowed rates are
+// derived from. Samples are taken by the background sampler
+// (Config.StatsInterval) or explicitly via DB.SampleOps.
+type OpsSample struct {
+	// Wall is the wall-clock time of the snapshot; Virtual the device
+	// clock (DB.Now).
+	Wall    time.Time     `json:"wall"`
+	Virtual time.Duration `json:"virtual"`
+
+	// Counters as of the snapshot. Committed, DirtyEvictions,
+	// InPlaceAppends and OutOfPlaceWrites follow ResetStats windows;
+	// Erases is the lifetime device total (never reset).
+	Committed        uint64 `json:"committed"`
+	DirtyEvictions   uint64 `json:"dirty_evictions"`
+	InPlaceAppends   uint64 `json:"in_place_appends"`
+	OutOfPlaceWrites uint64 `json:"out_of_place_writes"`
+	Erases           uint64 `json:"erases"`
+}
+
+// OpsStats is the derived ops gauge set: lifetime burn plus trailing-window
+// rates. DB.Ops computes it from the two newest ring samples when the
+// sampler has run, falling back to the whole ResetStats window otherwise.
+type OpsStats struct {
+	// EraseBudget is the total block erases the device can absorb before
+	// every block reaches its endurance: blocks (across all chips) ×
+	// endurance cycles per block.
+	EraseBudget uint64 `json:"erase_budget"`
+	// ErasesConsumed is the lifetime erase total (Stats.TotalErasesEver).
+	ErasesConsumed uint64 `json:"erases_consumed"`
+	// LifeBurned is ErasesConsumed / EraseBudget: the fraction of the
+	// device's lifetime already spent. 1.0 means the budget is exhausted.
+	LifeBurned float64 `json:"life_burned"`
+	// ErasesAvoided estimates how many erases in-place appends saved over
+	// the NoFTL/out-of-place baseline in the current stats window: each
+	// in-place append replaced one out-of-place page write, and
+	// PagesPerBlock page writes cost the device one eventual GC erase, so
+	// ErasesAvoided = InPlaceAppends / PagesPerBlock. This is the live
+	// form of the paper's E5 longevity estimate (first-order: it ignores
+	// GC migration write amplification, which only increases the saving).
+	ErasesAvoided uint64 `json:"erases_avoided"`
+	// BaselineErases is what the modelled baseline would have consumed in
+	// the same window: the erases actually performed plus the avoided ones.
+	BaselineErases uint64 `json:"baseline_erases"`
+
+	// WindowVirtual / WindowWall are the width of the trailing window the
+	// rates below cover.
+	WindowVirtual time.Duration `json:"window_virtual"`
+	WindowWall    time.Duration `json:"window_wall"`
+	// WindowTPS is committed transactions per virtual second in the window.
+	WindowTPS float64 `json:"window_tps"`
+	// WindowEvictionsPerSec is dirty page evictions per virtual second.
+	WindowEvictionsPerSec float64 `json:"window_evictions_per_sec"`
+	// WindowInPlaceShare is the fraction of window host writes served as
+	// in-place appends (0 when the window saw no writes).
+	WindowInPlaceShare float64 `json:"window_in_place_share"`
+	// WindowEraseRatePerSec is block erases per virtual second in the
+	// window — the burn speed.
+	WindowEraseRatePerSec float64 `json:"window_erase_rate_per_sec"`
+	// TimeToDeath extrapolates the remaining erase budget at the window
+	// erase rate: (EraseBudget − ErasesConsumed) / WindowEraseRatePerSec,
+	// in virtual time. 0 means no erase activity in the window (the
+	// device is not measurably dying) or the budget is already exhausted.
+	TimeToDeath time.Duration `json:"time_to_death"`
+	// Samples is how many ring snapshots backed the window (0 or 1 means
+	// the fallback whole-window rates were used).
+	Samples int `json:"samples"`
+}
+
+// SampleOps takes one counter snapshot, pushes it onto the trailing ring
+// and returns it. The background sampler (Config.StatsInterval) calls it
+// periodically; tests and tools may call it explicitly — e.g. around a
+// deterministic virtual-clock workload phase.
+func (db *DB) SampleOps() OpsSample {
+	ss := db.store.Stats()
+	fs := db.ftl.Stats()
+	s := OpsSample{
+		Wall:             time.Now(),
+		Virtual:          db.dev.Now(),
+		Committed:        db.committed.Load(),
+		DirtyEvictions:   ss.DirtyEvictions,
+		InPlaceAppends:   fs.InPlaceAppends,
+		OutOfPlaceWrites: fs.OutOfPlaceWrites,
+		Erases:           db.dev.TotalErases(),
+	}
+	db.opsMu.Lock()
+	if len(db.opsRing) == opsRingCap {
+		copy(db.opsRing, db.opsRing[1:])
+		db.opsRing = db.opsRing[:opsRingCap-1]
+	}
+	db.opsRing = append(db.opsRing, s)
+	db.opsMu.Unlock()
+	return s
+}
+
+// OpsWindow returns a copy of the snapshot ring, oldest first.
+func (db *DB) OpsWindow() []OpsSample {
+	db.opsMu.Lock()
+	defer db.opsMu.Unlock()
+	out := make([]OpsSample, len(db.opsRing))
+	copy(out, db.opsRing)
+	return out
+}
+
+// Ops computes the derived operational gauges. The trailing window is the
+// span between the two newest ring snapshots; with fewer than two samples
+// it degrades to the whole window since the last ResetStats, so Ops is
+// meaningful even without the background sampler.
+func (db *DB) Ops() OpsStats {
+	geo := db.dev.Geometry()
+	endurance := db.dev.EnduranceCycles()
+	consumed := db.dev.TotalErases()
+	fs := db.ftl.Stats()
+	ds := db.dev.Stats()
+	ss := db.store.Stats()
+	ppb := uint64(geo.PagesPerBlock)
+
+	o := OpsStats{
+		EraseBudget:    uint64(geo.Blocks) * uint64(endurance),
+		ErasesConsumed: consumed,
+	}
+	if o.EraseBudget > 0 {
+		o.LifeBurned = float64(consumed) / float64(o.EraseBudget)
+	}
+	if ppb > 0 {
+		o.ErasesAvoided = fs.InPlaceAppends / ppb
+	}
+	o.BaselineErases = ds.BlockErases + o.ErasesAvoided
+
+	// Window deltas: newest two ring samples, or the ResetStats window.
+	db.opsMu.Lock()
+	n := len(db.opsRing)
+	var newest, oldest OpsSample
+	if n >= 2 {
+		newest, oldest = db.opsRing[n-1], db.opsRing[n-2]
+	}
+	db.opsMu.Unlock()
+	o.Samples = n
+
+	var dVirtual time.Duration
+	var dCommitted, dEvictions, dInPlace, dOutOfPlace, dErases uint64
+	if n >= 2 {
+		dVirtual = newest.Virtual - oldest.Virtual
+		o.WindowWall = newest.Wall.Sub(oldest.Wall)
+		dCommitted = sub(newest.Committed, oldest.Committed)
+		dEvictions = sub(newest.DirtyEvictions, oldest.DirtyEvictions)
+		dInPlace = sub(newest.InPlaceAppends, oldest.InPlaceAppends)
+		dOutOfPlace = sub(newest.OutOfPlaceWrites, oldest.OutOfPlaceWrites)
+		dErases = sub(newest.Erases, oldest.Erases)
+	} else {
+		dVirtual = db.dev.Now() - time.Duration(db.timeBase.Load())
+		dCommitted = db.committed.Load()
+		dEvictions = ss.DirtyEvictions
+		dInPlace = fs.InPlaceAppends
+		dOutOfPlace = fs.OutOfPlaceWrites
+		dErases = ds.BlockErases
+	}
+	o.WindowVirtual = dVirtual
+	if secs := dVirtual.Seconds(); secs > 0 {
+		o.WindowTPS = float64(dCommitted) / secs
+		o.WindowEvictionsPerSec = float64(dEvictions) / secs
+		o.WindowEraseRatePerSec = float64(dErases) / secs
+	}
+	if writes := dInPlace + dOutOfPlace; writes > 0 {
+		o.WindowInPlaceShare = float64(dInPlace) / float64(writes)
+	}
+	if o.WindowEraseRatePerSec > 0 && consumed < o.EraseBudget {
+		remaining := float64(o.EraseBudget - consumed)
+		o.TimeToDeath = time.Duration(remaining / o.WindowEraseRatePerSec * float64(time.Second))
+	}
+	return o
+}
+
+// sub is a - b clamped at zero: a ResetStats between two samples may move
+// windowed counters backwards.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// startOpsSampler launches the background snapshot goroutine when the
+// configuration asks for one.
+func (db *DB) startOpsSampler() {
+	if db.cfg.StatsInterval <= 0 {
+		return
+	}
+	db.opsStop = make(chan struct{})
+	db.opsDone = make(chan struct{})
+	go func() {
+		defer close(db.opsDone)
+		ticker := time.NewTicker(db.cfg.StatsInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-db.opsStop:
+				return
+			case <-ticker.C:
+				db.SampleOps()
+			}
+		}
+	}()
+}
+
+// stopOpsSampler shuts the background sampler down.
+func (db *DB) stopOpsSampler() {
+	if db.opsStop == nil {
+		return
+	}
+	close(db.opsStop)
+	<-db.opsDone
+	db.opsStop = nil
+}

@@ -70,6 +70,7 @@ type secondarySpec struct {
 func (db *DB) Crash() *CrashImage {
 	db.closeOnce.Do(func() {
 		db.stopCheckpointer()
+		db.stopOpsSampler()
 		db.gate.Lock()
 		db.closed.Store(true)
 		db.gate.Unlock()
@@ -269,6 +270,7 @@ func Reopen(img *CrashImage) (*DB, error) {
 		CheckpointLSN: db.checkpointLSN.Load(),
 	}
 	db.startCheckpointer()
+	db.startOpsSampler()
 	return db, nil
 }
 
